@@ -1,0 +1,87 @@
+"""Ablation benches for the design choices DESIGN.md calls out:
+the SCGA Cache step, hub-first reordering, load-balanced block splitting
+and dynamic-bin edge compression."""
+
+import pytest
+
+from benchmarks.conftest import bench_scale, emit
+from repro.bench import (
+    ablation_cache_step,
+    ablation_edge_compression,
+    ablation_hub_reorder,
+    ablation_load_balance,
+)
+from repro.core import MixenEngine
+from repro.graphs import load_dataset
+
+
+@pytest.mark.parametrize("cache_step", [True, False])
+def test_propagate_with_cache_step(benchmark, cache_step):
+    import numpy as np
+
+    g = load_dataset("weibo")
+    engine = MixenEngine(g, cache_step=cache_step)
+    engine.prepare()
+    kernel = engine._make_kernel()
+    kernel.set_seed_input(np.ones(engine.plan.num_seed))
+    xs = np.ones(engine.plan.num_regular)
+    benchmark(kernel.iterate, xs)
+
+
+def test_report_cache_step(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: ablation_cache_step(scale=bench_scale()),
+        rounds=1, iterations=1,
+    )
+    emit(result)
+    by_graph = {row["graph"]: row for row in result.rows}
+    # The Cache step saves exactly the repeated seed broadcasting: its
+    # win must be largest on weibo (94% of edges from seeds) and it must
+    # never lose on traffic.
+    assert by_graph["weibo"]["speedup"] > 1.5
+    for row in result.rows:
+        assert row["cached_bytes"] <= row["uncached_bytes"]
+
+
+def test_report_hub_reorder(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: ablation_hub_reorder(scale=bench_scale(2.0)),
+        rounds=1, iterations=1,
+    )
+    emit(result)
+    # Co-locating hubs must not hurt the modeled Main-Phase cost, and
+    # should win somewhere.
+    wins = 0
+    for row in result.rows:
+        assert row["reordered_cycles"] <= row["plain_cycles"] * 1.1
+        if row["reordered_cycles"] < row["plain_cycles"] * 0.995:
+            wins += 1
+    assert wins >= 1
+
+
+def test_report_load_balance(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: ablation_load_balance(scale=bench_scale()),
+        rounds=1, iterations=1,
+    )
+    emit(result)
+    wins = 0
+    for row in result.rows:
+        # List-scheduling anomalies allow tiny regressions; the scheme
+        # must never lose badly and must win decisively somewhere.
+        assert row["balanced_speedup"] >= 0.85 * row["unbalanced_speedup"]
+        assert row["balanced_tasks"] >= row["unbalanced_tasks"]
+        if row["balanced_speedup"] > 1.5 * row["unbalanced_speedup"]:
+            wins += 1
+    assert wins >= 1
+
+
+def test_report_edge_compression(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: ablation_edge_compression(scale=bench_scale()),
+        rounds=1, iterations=1,
+    )
+    emit(result)
+    for row in result.rows:
+        assert row["ratio"] >= 1.0
+        assert row["compressed_bytes"] <= row["raw_bytes"]

@@ -1,0 +1,57 @@
+"""Future-work extension benches: Mixen's filter grafted onto baseline
+engines (the paper's conclusion proposal) and the comparison against
+classic reordering strategies."""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import bench_scale, emit
+from repro.bench import extension_filtered_baselines, reordering_comparison
+from repro.core import FilteredEngine
+from repro.graphs import load_dataset
+
+
+@pytest.mark.parametrize("base", ["pull", "graphmat"])
+def test_filtered_propagate(benchmark, base):
+    g = load_dataset("wiki")
+    engine = FilteredEngine(g, base=base)
+    engine.prepare()
+    x = np.ones(g.num_nodes)
+    benchmark(engine.propagate, x)
+
+
+def test_filtered_prepare(benchmark):
+    g = load_dataset("wiki")
+
+    def prepare_fresh():
+        engine = FilteredEngine(g, base="pull")
+        engine.prepare()
+        return engine
+
+    benchmark(prepare_fresh)
+
+
+def test_report_extension(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: extension_filtered_baselines(scale=bench_scale(2.0)),
+        rounds=1, iterations=1,
+    )
+    emit(result)
+    # The grafting must help, not hurt: modeled cycles never regress by
+    # more than a rounding margin, and win visibly somewhere.
+    gains = [row["gain"] for row in result.rows]
+    assert all(g > 0.95 for g in gains)
+    assert max(gains) > 1.1
+
+
+def test_report_reordering(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: reordering_comparison(scale=bench_scale(2.0)),
+        rounds=1, iterations=1,
+    )
+    emit(result)
+    for row in result.rows:
+        # The full connectivity filter is at least as good as random
+        # shuffling and competitive with plain degree sorting.
+        assert row["mixen-filter"] <= row["random"]
+        assert row["mixen-filter"] <= row["degree"] * 1.15

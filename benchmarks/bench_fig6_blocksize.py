@@ -1,0 +1,59 @@
+"""Figure 6: normalized execution time across block sizes.
+
+Micro-benchmarks time Mixen preparation and propagation at the sweep's
+extreme block sizes; the report regenerates the figure and asserts the
+U-shape: penalties at both tiny and oversized blocks, with the optimum at
+a cache-sized block.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_scale, emit
+from repro.bench import fig6
+from repro.core import MixenEngine
+from repro.graphs import load_dataset
+from repro.machine import SCALED_MACHINE
+
+
+@pytest.mark.parametrize("block_nodes", [64, 512, 4096])
+def test_prepare_at_block_size(benchmark, block_nodes):
+    g = load_dataset("pld")
+
+    def prepare_fresh():
+        engine = MixenEngine(g, block_nodes=block_nodes)
+        engine.prepare()
+        return engine
+
+    benchmark(prepare_fresh)
+
+
+@pytest.mark.parametrize("block_nodes", [64, 512, 4096])
+def test_propagate_at_block_size(benchmark, block_nodes):
+    import numpy as np
+
+    g = load_dataset("pld")
+    engine = MixenEngine(g, block_nodes=block_nodes)
+    engine.prepare()
+    x = np.ones(g.num_nodes)
+    benchmark(engine.propagate, x)
+
+
+def test_report_fig6(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig6(scale=bench_scale(2.0)), rounds=1, iterations=1
+    )
+    emit(result)
+    l1_nodes = SCALED_MACHINE.l1_bytes // 4
+    l2_nodes = SCALED_MACHINE.l2_bytes // 4
+    for row in result.rows:
+        sweep_cols = [h for h in result.headers if h.isdigit()]
+        values = [row[c] for c in sweep_cols]
+        smallest, largest = values[0], values[-1]
+        best = int(row["best"])
+        # U-shape: the optimum is strictly better than the oversized end
+        # and sits at (or below) an L2-sized block.
+        assert largest > 1.0, row["graph"]
+        assert best <= l2_nodes, row["graph"]
+        # Skewed graphs also pay a visible penalty at the tiny end.
+        if row["graph"] in ("track", "pld", "urand"):
+            assert smallest > 1.0, row["graph"]

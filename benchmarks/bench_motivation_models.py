@@ -1,0 +1,71 @@
+"""Section 3 motivation: analytic Pull-vs-Blocking models, plus the
+Section 5 Eq.(1)-(2) validation against the simulated machine."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.bench import motivation_models, perfmodel_validation
+from repro.machine import (
+    blocking_random_accesses,
+    blocking_traffic_bytes,
+    pull_random_accesses,
+    pull_traffic_bytes,
+)
+
+
+def test_model_evaluation_speed(benchmark):
+    def evaluate():
+        total = 0
+        for n, m in ((10_000, 100_000), (100_000, 1_000_000)):
+            total += pull_traffic_bytes(n, m)
+            total += blocking_traffic_bytes(n, m)
+            total += pull_random_accesses(m)
+            total += blocking_random_accesses(n, 512)
+        return total
+
+    benchmark(evaluate)
+
+
+def test_report_motivation(benchmark, results_dir):
+    result = benchmark.pedantic(motivation_models, rounds=1, iterations=1)
+    emit(result)
+    for row in result.rows:
+        # Section 3: blocking always trades more traffic for fewer
+        # random accesses.
+        assert row["block_traffic"] > row["pull_traffic"]
+        assert row["block_random"] < row["pull_random"]
+
+
+def test_report_perfmodel(benchmark, results_dir):
+    result = benchmark.pedantic(
+        perfmodel_validation, rounds=1, iterations=1
+    )
+    emit(result)
+    # Eq.(1): measured/predicted traffic stays proportional across alpha.
+    assert result.extras["bytes_ratio_spread"] < 2.0
+    # Eq.(2): measured random accesses grow with the predicted b^2.
+    rand = [(row["predicted_rand"], row["measured_rand"])
+            for row in result.rows]
+    rand.sort()
+    measured = [m for _, m in rand]
+    assert measured[-1] >= measured[0]
+
+
+def test_report_mrc(benchmark, results_dir):
+    from repro.bench import mrc_study
+
+    result = benchmark.pedantic(
+        lambda: mrc_study(), rounds=1, iterations=1
+    )
+    from benchmarks.conftest import emit
+
+    emit(result)
+    # Mixen's demand accesses hit within a block-sized cache; Pull's
+    # stay miss-heavy until the whole property vector fits.
+    by_key = {(r["graph"], r["variant"]): r for r in result.rows}
+    for g in ("track", "wiki", "pld"):
+        mixen = by_key[(g, "mixen")]
+        pull = by_key[(g, "pull")]
+        assert mixen["2KB"] < 0.1
+        assert pull["2KB"] > 0.5
+        assert pull["64KB"] < 0.1

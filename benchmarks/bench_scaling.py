@@ -1,0 +1,52 @@
+"""Strong-scaling study: modeled Main-Phase speedup vs thread count.
+
+Companion to the paper's fixed 20-thread setup: shows where the blocked
+task supply saturates the simulated threads (the Section 6.4 "at least
+4 blocks per thread" rule in scaling form).
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_scale, emit
+from repro.bench import scaling_study
+from repro.core import MixenEngine
+from repro.graphs import load_dataset
+from repro.parallel import dynamic_schedule, parallel_profile
+
+
+def test_dynamic_schedule_throughput(benchmark):
+    import numpy as np
+
+    loads = np.random.default_rng(0).random(5000)
+    benchmark(dynamic_schedule, loads, 20)
+
+
+def test_parallel_profile(benchmark):
+    g = load_dataset("pld")
+    engine = MixenEngine(g, block_nodes=128)
+    engine.prepare()
+    benchmark(parallel_profile, engine, num_threads=20)
+
+
+def test_report_scaling(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: scaling_study(scale=bench_scale(2.0)),
+        rounds=1, iterations=1,
+    )
+    emit(result)
+    for row in result.rows:
+        # Speedup is monotone in thread count and bounded by both the
+        # thread count and the task count.
+        speedups = [
+            row[h]
+            for h in result.headers
+            if h.startswith("t") and h[1:].isdigit()
+        ]
+        # Monotone up to list-scheduling anomalies (Graham's bound).
+        assert all(
+            b >= 0.95 * a for a, b in zip(speedups, speedups[1:])
+        )
+        assert speedups[-1] <= row["tasks"] + 1e-9
+        # Graphs with plenty of tasks scale near-linearly to 16 threads.
+        if row["tasks"] >= 64:
+            assert row["t16"] > 12

@@ -1,0 +1,36 @@
+"""Table 1: structural characteristics of the datasets.
+
+Micro-benchmarks time the structural analysis itself (classification and
+the Table 1 metrics are part of Mixen's filter cost); the report case
+regenerates the table.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_scale, emit
+from repro.bench import table1
+from repro.graphs import classify_nodes, compute_stats, load_dataset
+
+
+@pytest.mark.parametrize("name", ["weibo", "pld", "kron"])
+def test_classify_nodes(benchmark, name):
+    g = load_dataset(name)
+    g.in_degrees()  # isolate classification from degree computation
+    benchmark(classify_nodes, g)
+
+
+@pytest.mark.parametrize("name", ["wiki", "urand"])
+def test_compute_stats(benchmark, name):
+    g = load_dataset(name)
+    benchmark(compute_stats, g)
+
+
+def test_report_table1(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: table1(scale=bench_scale()), rounds=1, iterations=1
+    )
+    emit(result)
+    # Sanity: the skewed proxies keep the paper's hub asymmetry.
+    by_graph = {row["graph"]: row for row in result.rows}
+    assert by_graph["weibo"]["E_hub"] >= 90
+    assert by_graph["road"]["Reg"] == 100

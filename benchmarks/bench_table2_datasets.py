@@ -1,0 +1,31 @@
+"""Table 2: dataset attributes (n, m, directedness, alpha, beta).
+
+Micro-benchmarks time proxy generation; the report regenerates the table
+and asserts the proxies stay on the paper's profile.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_scale, emit
+from repro.bench import table2
+from repro.graphs import DATASETS, dataset_spec
+
+
+@pytest.mark.parametrize("name", ["weibo", "wiki", "rmat", "road"])
+def test_generate_proxy(benchmark, name):
+    spec = dataset_spec(name)
+    # Fresh seed per round to defeat the lru cache: measure generation.
+    counter = iter(range(10_000))
+    benchmark(lambda: spec.build(1.0, 1000 + next(counter)))
+
+
+def test_report_table2(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: table2(scale=bench_scale()), rounds=1, iterations=1
+    )
+    emit(result)
+    by_graph = {row["graph"]: row for row in result.rows}
+    for name in ("weibo", "track", "wiki", "pld"):
+        assert by_graph[name]["alpha"] == pytest.approx(
+            DATASETS[name].paper_alpha, abs=0.08
+        )

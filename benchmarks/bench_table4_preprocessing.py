@@ -1,0 +1,70 @@
+"""Table 4: preprocessing overheads of the frameworks.
+
+Micro-benchmarks time the individual preprocessing stages (Mixen's filter
+and partition, Ligra's format conversion); the report regenerates the
+table and asserts the paper's CSR-binary vs edge-list asymmetry.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_scale, emit
+from repro.bench import table4
+from repro.core import MixenEngine, build_mixed, filter_graph, partition_regular
+from repro.frameworks import make_engine
+from repro.graphs import load_dataset
+
+
+@pytest.fixture(scope="module")
+def pld():
+    return load_dataset("pld")
+
+
+def test_filter_graph(benchmark, pld):
+    benchmark(filter_graph, pld)
+
+
+def test_build_mixed(benchmark, pld):
+    plan = filter_graph(pld)
+    benchmark(build_mixed, pld, plan)
+
+
+def test_partition_regular(benchmark, pld):
+    mixed = build_mixed(pld, filter_graph(pld))
+    benchmark(partition_regular, mixed.rr, 512)
+
+
+@pytest.mark.parametrize("fw", ["block", "ligra", "graphmat"])
+def test_full_prepare(benchmark, fw, pld):
+    def prepare_fresh():
+        engine = make_engine(fw, pld)
+        engine.prepare()
+        return engine
+
+    benchmark(prepare_fresh)
+
+
+def test_mixen_full_prepare(benchmark, pld):
+    def prepare_fresh():
+        engine = MixenEngine(pld)
+        engine.prepare()
+        return engine
+
+    benchmark(prepare_fresh)
+
+
+def test_report_table4(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: table4(scale=bench_scale()), rounds=1, iterations=1
+    )
+    emit(result)
+    # Paper shape: the edge-list converters (Ligra/Polymer/GraphMat) pay
+    # far more than GPOP on every graph; Mixen sits between GPOP and the
+    # converters on the skewed crawls (on non-skewed graphs the paper
+    # itself has Mixen above Ligra, e.g. urand 2.46s vs 1.28s).
+    for row in result.rows:
+        edge_side = min(row["Ligra"], row["Polymer"], row["GraphMat"])
+        assert edge_side > row["GPOP"] * 1.5, row["graph"]
+        if row["graph"] in ("weibo", "track", "wiki", "pld"):
+            assert row["Mixen_total"] < max(
+                row["Ligra"], row["Polymer"], row["GraphMat"]
+            ), row["graph"]

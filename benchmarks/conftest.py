@@ -1,0 +1,44 @@
+"""Shared fixtures for the benchmark suite.
+
+Every ``bench_*`` module pairs kernel micro-benchmarks (pytest-benchmark
+timing of the hot propagation loops) with one ``test_report_*`` case that
+regenerates the corresponding paper table/figure, prints it, and saves it
+under ``bench_results/``.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — dataset scale multiplier (default 1.0 for the
+  timing tables, 2.0 for the machine-model figures).
+* ``REPRO_BENCH_ITERS`` — iterations per timing measurement (default 10).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "bench_results"
+
+
+def bench_scale(default: float = 1.0) -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", default))
+
+
+def bench_iters(default: int = 10) -> int:
+    return int(os.environ.get("REPRO_BENCH_ITERS", default))
+
+
+def emit(result) -> None:
+    """Print and persist one ExperimentResult."""
+    path = result.save(RESULTS_DIR)
+    print()
+    print(result.render())
+    print(f"[saved to {path}]")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Collaborative filtering on a user-item interaction graph.
+
+The paper derives its CF workload from the SpMV form of InDegree
+(Section 6.1): propagating latent factors along interaction edges.  This
+example builds a bipartite user->item graph with planted taste communities
+and *trains* item factors by iterated neighborhood propagation (a simple
+item-embedding smoother built on the same rank-k propagate kernel the
+benchmark times), then produces top-k recommendations and checks they
+respect the planted communities.
+
+Run:  python examples/recommendation_cf.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import MixenEngine
+from repro.graphs import EdgeList, Graph
+
+
+def build_interactions(
+    num_users: int = 3000,
+    num_items: int = 400,
+    communities: int = 4,
+    interactions_per_user: int = 12,
+    mismatch: float = 0.1,
+    seed: int = 0,
+) -> tuple[Graph, np.ndarray, np.ndarray]:
+    """Bipartite user->item graph with planted taste communities.
+
+    Users and items are split into ``communities`` groups; a user's
+    interactions fall inside the own group except for a ``mismatch``
+    fraction.  Node ids: users first, then items.
+    """
+    rng = np.random.default_rng(seed)
+    user_group = rng.integers(0, communities, num_users)
+    item_group = np.arange(num_items) % communities
+    items_by_group = [
+        np.flatnonzero(item_group == c) for c in range(communities)
+    ]
+    src, dst = [], []
+    for user in range(num_users):
+        group = user_group[user]
+        k = interactions_per_user
+        wrong = rng.random(k) < mismatch
+        for is_wrong in wrong:
+            g = rng.integers(0, communities) if is_wrong else group
+            item = rng.choice(items_by_group[g])
+            src.append(user)
+            dst.append(num_users + item)
+    edges = EdgeList(
+        num_users + num_items, np.array(src), np.array(dst)
+    ).deduplicated()
+    graph = Graph.from_edgelist(edges, name="interactions")
+    return graph, user_group, item_group
+
+
+def main() -> None:
+    num_users, num_items = 3000, 400
+    graph, user_group, item_group = build_interactions(num_users, num_items)
+    print(f"interaction graph: {graph}")
+
+    # Users only push (seed nodes), items only receive (sink nodes) in the
+    # bipartite direction — exactly the irregular connectivity Mixen's
+    # filtering targets.
+    engine = MixenEngine(graph)
+    engine.prepare()
+    print(
+        f"mixen sees alpha={engine.alpha:.3f}: the bipartite graph is "
+        "nearly all seed/sink nodes"
+    )
+
+    # --- train item factors by neighborhood propagation ---------------- #
+    k = 16
+    rng = np.random.default_rng(1)
+    factors = rng.standard_normal((graph.num_nodes, k)) * 0.1
+
+    out_deg = graph.out_degrees().astype(float)
+    inv_out = np.divide(1.0, out_deg, out=np.zeros_like(out_deg),
+                        where=out_deg > 0)
+    for _ in range(8):
+        # Items absorb the mean factor of the users who touch them...
+        item_update = engine.propagate(factors * inv_out[:, None])
+        factors[num_users:] = 0.7 * factors[num_users:] + 0.3 * item_update[num_users:]
+        # ...and users absorb the mean factor of their items (reverse).
+        user_update = engine.propagate_out(factors)
+        deg = np.maximum(out_deg, 1.0)
+        factors[:num_users] = (
+            0.7 * factors[:num_users]
+            + 0.3 * user_update[:num_users] / deg[:num_users, None]
+        )
+        factors /= np.linalg.norm(factors, axis=1, keepdims=True) + 1e-12
+
+    # --- recommend ------------------------------------------------------ #
+    item_vecs = factors[num_users:]
+    scores = factors[:num_users] @ item_vecs.T  # (users, items)
+
+    # Mask out already-seen items.
+    seen = np.zeros((num_users, num_items), dtype=bool)
+    edges = graph.to_edgelist()
+    seen[edges.src, edges.dst - num_users] = True
+    scores[seen] = -np.inf
+
+    top1 = np.argmax(scores, axis=1)
+    hit = item_group[top1] == user_group
+    print(
+        f"top-1 recommendation lands in the user's taste community for "
+        f"{hit.mean():.0%} of users (chance: {1 / 4:.0%})"
+    )
+    assert hit.mean() > 0.5, "factor propagation failed to find communities"
+
+    user = 0
+    recs = np.argsort(scores[user])[-5:][::-1]
+    print(
+        f"user 0 (community {user_group[0]}): top-5 recommended items "
+        f"{recs.tolist()} with communities {item_group[recs].tolist()}"
+    )
+
+
+if __name__ == "__main__":
+    main()

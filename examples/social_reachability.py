@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Social-network analysis: influence reach and degrees of separation.
+
+The paper's third motivating application is social network analysis.
+This example uses the weibo proxy (an extreme follower graph: 99% of
+accounts only follow, 1% are followed) to study how far a post can
+propagate: BFS from the biggest influencers, reach per hop, and a
+comparison of the engines' traversal strategies on this skew.
+
+Run:  python examples/social_reachability.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import MixenEngine, load_dataset, make_engine
+from repro.algorithms.bfs import num_reached, reference_bfs
+from repro.bench import time_bfs
+from repro.graphs import classify_nodes
+from repro.types import UNREACHED, NodeClass
+
+
+def main() -> None:
+    network = load_dataset("weibo")
+    classes = classify_nodes(network)
+    print(f"follower network: {network}")
+    print(
+        f"{classes.fraction(NodeClass.SEED):.0%} of accounts only follow "
+        f"(seed); {classes.fraction(NodeClass.REGULAR):.0%} are both "
+        "followed and following (regular)"
+    )
+
+    engine = MixenEngine(network)
+    engine.prepare()
+
+    # --- influence reach of the top accounts --------------------------- #
+    # Edges point follower -> followed, so a post travels along *reverse*
+    # edges; reach = BFS on the reversed graph from the influencer.
+    reversed_net = network.reversed()
+    rev_engine = MixenEngine(reversed_net)
+    rev_engine.prepare()
+
+    in_deg = network.in_degrees()
+    influencers = np.argsort(in_deg)[-3:][::-1]
+    for rank, account in enumerate(influencers.tolist(), 1):
+        levels = rev_engine.run_bfs(account)
+        reach = num_reached(levels) - 1
+        within2 = int(np.count_nonzero((levels <= 2) & (levels > 0)))
+        print(
+            f"influencer #{rank} (account {account}, "
+            f"{int(in_deg[account])} followers): reaches {reach} accounts "
+            f"({reach / network.num_nodes:.0%}), {within2} within 2 hops"
+        )
+
+    # --- degrees of separation histogram -------------------------------- #
+    levels = rev_engine.run_bfs(int(influencers[0]))
+    reached = levels[levels != UNREACHED]
+    print("\nhops  accounts")
+    for hop in range(int(reached.max()) + 1):
+        count = int(np.count_nonzero(reached == hop))
+        print(f"{hop:4d}  {count:8d}  {'#' * min(count // 200 + 1, 50)}")
+
+    # --- engine agreement and traversal cost ----------------------------- #
+    src = int(influencers[0])
+    expect = reference_bfs(reversed_net, src)
+    assert np.array_equal(levels, expect)
+    for name in ("mixen", "block", "ligra"):
+        e = (
+            rev_engine
+            if name == "mixen"
+            else make_engine(name, reversed_net)
+        )
+        e.prepare()
+        assert np.array_equal(e.run_bfs(src), expect), name
+        t = time_bfs(e, src)
+        print(f"{name:6s} BFS: {t * 1e3:7.2f} ms")
+
+
+if __name__ == "__main__":
+    main()

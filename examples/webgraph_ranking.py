@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Web-search-style link analysis on a synthetic web crawl.
+
+The paper motivates link analysis with web search (PageRank powering
+Google's early engine, HITS/SALSA for topic-specific authority).  This
+example builds a pld-like web-crawl proxy and runs all three ranking
+families through the Mixen engine, then examines how the connectivity
+classes show up in the rankings:
+
+* seed pages (crawl frontier pages nobody links to yet) all collapse to
+  the teleport rank;
+* sink pages (e.g. PDFs, dead ends) still earn rank from their in-links;
+* hub pages dominate the authority scores.
+
+Run:  python examples/webgraph_ranking.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import MixenEngine, PageRank, hits, load_dataset, salsa
+from repro.graphs import classify_nodes
+from repro.types import NodeClass
+
+
+def spearman(a: np.ndarray, b: np.ndarray) -> float:
+    """Spearman rank correlation (no scipy needed for one line of math)."""
+    ra = np.argsort(np.argsort(a)).astype(float)
+    rb = np.argsort(np.argsort(b)).astype(float)
+    ra -= ra.mean()
+    rb -= rb.mean()
+    denom = np.sqrt((ra**2).sum() * (rb**2).sum())
+    return float((ra * rb).sum() / denom) if denom else 0.0
+
+
+def main() -> None:
+    crawl = load_dataset("pld")  # pay-level-domain web graph proxy
+    classes = classify_nodes(crawl)
+    print(f"crawl: {crawl}")
+    print(
+        "classes: "
+        + ", ".join(
+            f"{c.name.lower()}={classes.count(c)}" for c in NodeClass
+        )
+    )
+
+    engine = MixenEngine(crawl)
+    engine.prepare()
+
+    # --- PageRank ----------------------------------------------------- #
+    pr = engine.run(PageRank(tolerance=1e-12), max_iterations=200)
+    print(f"\npagerank: {pr.iterations} iterations, converged={pr.converged}")
+
+    seeds = classes.mask(NodeClass.SEED)
+    teleport = 0.15 / crawl.num_nodes
+    assert np.allclose(pr.scores[seeds], teleport)
+    print(
+        f"all {seeds.sum()} seed pages sit at the teleport rank "
+        f"{teleport:.2e} (they have no in-links)"
+    )
+    sinks = classes.mask(NodeClass.SINK)
+    print(
+        f"sink pages average {pr.scores[sinks].mean() / teleport:.1f}x "
+        "the teleport rank — dead ends still collect rank"
+    )
+
+    # --- HITS and SALSA ------------------------------------------------ #
+    h = hits(engine, max_iterations=200)
+    s = salsa(engine, max_iterations=200)
+    print(
+        f"\nhits converged in {h.iterations} iters; "
+        f"salsa in {s.iterations}"
+    )
+
+    # The paper notes all these algorithms behave like InDegree; check
+    # the rank agreement on this crawl.
+    in_deg = crawl.in_degrees().astype(float)
+    print("rank correlation vs raw in-degree:")
+    print(f"  pagerank : {spearman(pr.scores, in_deg):.3f}")
+    print(f"  hits auth: {spearman(h.authorities, in_deg):.3f}")
+    print(f"  salsa    : {spearman(s.authorities, in_deg):.3f}")
+
+    top_pr = set(np.argsort(pr.scores)[-20:].tolist())
+    top_auth = set(np.argsort(h.authorities)[-20:].tolist())
+    print(
+        f"top-20 overlap pagerank vs hits authorities: "
+        f"{len(top_pr & top_auth)}/20"
+    )
+
+    hub_mask = classes.hub_mask
+    top10 = np.argsort(pr.scores)[-10:]
+    print(
+        f"{int(hub_mask[top10].sum())}/10 of the top PageRank pages are "
+        "structural hubs (in-degree above average)"
+    )
+
+
+if __name__ == "__main__":
+    main()

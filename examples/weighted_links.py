@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Weighted link analysis: when not all links count equally.
+
+A library extension beyond the paper: per-edge values on every
+SpMV-capable engine.  The scenario: a web graph where editorial links
+carry more endorsement than boilerplate navigation links.  Weighted
+PageRank shifts rank toward editorially-linked pages while the
+structure (and Mixen's filtering advantage) stays identical.
+
+Run:  python examples/weighted_links.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import MixenEngine, PageRank, load_dataset
+from repro.algorithms import weighted_out_strength
+from repro.frameworks import PullEngine
+
+
+def main() -> None:
+    graph = load_dataset("pld")
+    rng = np.random.default_rng(0)
+
+    # Tag 20% of links as editorial (weight 5); the rest are navigation
+    # boilerplate (weight 1).
+    editorial = rng.random(graph.num_edges) < 0.2
+    weights = np.where(editorial, 5.0, 1.0)
+    print(
+        f"{graph}: {int(editorial.sum())} editorial links "
+        f"({editorial.mean():.0%}) weighted 5x"
+    )
+
+    plain = MixenEngine(graph)
+    plain.prepare()
+    weighted = MixenEngine(graph, edge_values=weights)
+    weighted.prepare()
+
+    # Weighted PageRank must normalize by the weighted out-strength, or
+    # strong-link sources would push out more mass than they hold.
+    strength = weighted_out_strength(graph, weights)
+    r_plain = plain.run(PageRank(tolerance=1e-12), max_iterations=300)
+    r_weighted = weighted.run(
+        PageRank(tolerance=1e-12, out_strength=strength),
+        max_iterations=300,
+    )
+    print(
+        f"converged: plain={r_plain.converged} "
+        f"weighted={r_weighted.converged}"
+    )
+
+    # Pages whose in-links are mostly editorial must gain rank.
+    in_editorial = np.zeros(graph.num_nodes)
+    in_total = np.zeros(graph.num_nodes)
+    np.add.at(in_editorial, graph.csr.indices, editorial.astype(float))
+    np.add.at(in_total, graph.csr.indices, 1.0)
+    has_links = in_total > 0
+    editorial_share = np.divide(
+        in_editorial, in_total, out=np.zeros_like(in_total),
+        where=has_links,
+    )
+    gain = np.divide(
+        r_weighted.scores, r_plain.scores,
+        out=np.ones_like(r_plain.scores), where=r_plain.scores > 0,
+    )
+    mostly_editorial = has_links & (editorial_share > 0.5)
+    mostly_nav = has_links & (editorial_share < 0.1)
+    print(
+        f"rank gain: editorially-linked pages {gain[mostly_editorial].mean():.2f}x, "
+        f"navigation-linked pages {gain[mostly_nav].mean():.2f}x"
+    )
+    assert gain[mostly_editorial].mean() > gain[mostly_nav].mean()
+
+    # Cross-engine agreement holds for weighted propagation too.
+    check = PullEngine(graph, edge_values=weights)
+    check.prepare()
+    r_check = check.run(
+        PageRank(tolerance=1e-12, out_strength=strength),
+        max_iterations=300,
+    )
+    assert np.allclose(r_weighted.scores, r_check.scores, atol=1e-9)
+    print("weighted mixen == weighted pull: OK")
+
+    top_w = np.argsort(r_weighted.scores)[-5:][::-1]
+    print("top-5 pages under weighted ranking:", top_w.tolist())
+
+
+if __name__ == "__main__":
+    main()

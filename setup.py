@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` falls back to the legacy
+`setup.py develop` path through this file when PEP 517 editable builds
+are unavailable (offline machines without `wheel`).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,65 @@
+"""repro: a reproduction of "Connectivity-Aware Link Analysis for Skewed
+Graphs" (Mixen, ICPP 2023).
+
+Quick start::
+
+    from repro import load_dataset, MixenEngine, PageRank
+
+    graph = load_dataset("wiki")
+    engine = MixenEngine(graph)
+    engine.prepare()
+    result = engine.run(PageRank(), max_iterations=100)
+
+Subpackages:
+
+* :mod:`repro.graphs` — graph containers, generators, proxy datasets;
+* :mod:`repro.machine` — the simulated multicore memory hierarchy;
+* :mod:`repro.frameworks` — the baseline engines (Pull/Push/GPOP-style
+  blocking/Ligra/Polymer/GraphMat);
+* :mod:`repro.core` — Mixen itself (filtering, mixed format, SCGA);
+* :mod:`repro.algorithms` — InDegree, PageRank, CF, HITS, SALSA, BFS;
+* :mod:`repro.parallel` — scheduling models and thread-pool helpers;
+* :mod:`repro.bench` — the table/figure reproduction harness.
+"""
+
+from .algorithms import (
+    ALGORITHMS,
+    CollaborativeFiltering,
+    InDegree,
+    PageRank,
+    hits,
+    salsa,
+)
+from .core import MixenEngine, filter_graph
+from .frameworks import Engine, engine_names, make_engine
+from .graphs import (
+    DATASET_NAMES,
+    Graph,
+    compute_stats,
+    load_dataset,
+)
+from .machine import PAPER_MACHINE, SCALED_MACHINE, MemoryHierarchy
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHMS",
+    "CollaborativeFiltering",
+    "DATASET_NAMES",
+    "Engine",
+    "Graph",
+    "InDegree",
+    "MemoryHierarchy",
+    "MixenEngine",
+    "PAPER_MACHINE",
+    "PageRank",
+    "SCALED_MACHINE",
+    "__version__",
+    "compute_stats",
+    "engine_names",
+    "filter_graph",
+    "hits",
+    "load_dataset",
+    "make_engine",
+    "salsa",
+]

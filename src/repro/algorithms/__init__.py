@@ -1,0 +1,50 @@
+"""Link-analysis algorithms and traversal helpers."""
+
+from .base import Algorithm, inverse_out_degrees, weighted_out_strength
+from .bfs import default_source, num_reached, reference_bfs
+from .collaborative import CollaborativeFiltering
+from .components import ComponentsResult, connected_components
+from .hits import HitsResult, hits
+from .indegree import InDegree
+from .pagerank import PageRank
+from .personalized import KatzCentrality, PersonalizedPageRank
+from .salsa import SalsaResult, salsa
+from .sssp import SsspResult, sssp
+
+#: algorithm factories in the paper's Table 3 column order (BFS is run
+#: through the engines' ``run_bfs``, not this protocol).
+ALGORITHMS = {
+    "indegree": InDegree,
+    "pagerank": PageRank,
+    "cf": CollaborativeFiltering,
+}
+
+#: additional protocol algorithms beyond the paper's Table 3 set.
+EXTRA_ALGORITHMS = {
+    "ppr": PersonalizedPageRank,
+    "katz": KatzCentrality,
+}
+
+__all__ = [
+    "ALGORITHMS",
+    "Algorithm",
+    "CollaborativeFiltering",
+    "ComponentsResult",
+    "HitsResult",
+    "EXTRA_ALGORITHMS",
+    "InDegree",
+    "KatzCentrality",
+    "PageRank",
+    "PersonalizedPageRank",
+    "SalsaResult",
+    "SsspResult",
+    "connected_components",
+    "default_source",
+    "hits",
+    "inverse_out_degrees",
+    "num_reached",
+    "reference_bfs",
+    "salsa",
+    "sssp",
+    "weighted_out_strength",
+]

@@ -1,0 +1,50 @@
+"""Breadth-first search helpers.
+
+Engines implement :meth:`~repro.frameworks.base.Engine.run_bfs` with their
+characteristic strategies (Ligra's direction optimization, GPOP/Mixen's
+blocked frontiers, the pull engines' dense sweeps).  This module adds the
+engine-free reference used by tests and a convenience wrapper, plus source
+selection matching the paper's convention of picking a well-connected
+source so the traversal covers the graph.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..errors import EngineError
+from ..graphs.graph import Graph
+from ..types import UNREACHED
+
+
+def reference_bfs(graph: Graph, source: int) -> np.ndarray:
+    """Queue-based reference BFS levels (ground truth for the engines)."""
+    n = graph.num_nodes
+    if not 0 <= source < n:
+        raise EngineError(f"BFS source {source} outside [0, {n})")
+    levels = np.full(n, UNREACHED, dtype=np.int64)
+    levels[source] = 0
+    queue = deque([source])
+    csr = graph.csr
+    while queue:
+        u = queue.popleft()
+        next_level = levels[u] + 1
+        for v in csr.row(u).tolist():
+            if levels[v] == UNREACHED:
+                levels[v] = next_level
+                queue.append(v)
+    return levels
+
+
+def default_source(graph: Graph) -> int:
+    """The highest-out-degree node: a deterministic, well-connected source."""
+    if graph.num_nodes == 0:
+        raise EngineError("cannot pick a BFS source in an empty graph")
+    return int(np.argmax(graph.out_degrees()))
+
+
+def num_reached(levels: np.ndarray) -> int:
+    """How many nodes a BFS reached."""
+    return int(np.count_nonzero(levels != UNREACHED))

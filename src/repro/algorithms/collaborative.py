@@ -1,0 +1,53 @@
+"""Collaborative Filtering as rank-k SpMV (the paper's CF workload).
+
+The paper derives CF from "the SpMV form of InDegree" (Section 6.1): one
+iteration propagates k-dimensional latent factors along in-links with
+degree normalization — an SpMM ``Y = A^T (X / out_degree)``.  As in the
+InDegree benchmark, the timing workload repeats the same propagation with
+``X`` fixed; a full alternating-update training loop built on this kernel
+lives in ``examples/recommendation_cf.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConvergenceError
+from ..graphs.graph import Graph
+from ..types import VALUE_DTYPE
+from .base import Algorithm, _safe_inverse, inverse_out_degrees
+
+
+class CollaborativeFiltering(Algorithm):
+    """Rank-k factor propagation; scores are the propagated factors."""
+
+    name = "cf"
+    scores_from = "y"
+    #: the timing workload repeats the same SpMM; X stays fixed.
+    x_constant = True
+
+    def __init__(self, factors: int = 8, seed: int = 0, out_strength=None):
+        if factors <= 0:
+            raise ConvergenceError(
+                f"factor dimension must be positive, got {factors}"
+            )
+        self.factors = factors
+        self.seed = seed
+        self.out_strength = out_strength
+
+    @property
+    def rank(self) -> int:  # type: ignore[override]
+        return self.factors
+
+    def initial(self, graph: Graph) -> np.ndarray:
+        rng = np.random.default_rng(self.seed)
+        return rng.standard_normal(
+            (graph.num_nodes, self.factors)
+        ).astype(VALUE_DTYPE)
+
+    def propagate_scale(self, graph: Graph) -> np.ndarray:
+        if self.out_strength is not None:
+            return _safe_inverse(
+                np.asarray(self.out_strength, dtype=np.float64)
+            )
+        return inverse_out_degrees(graph)

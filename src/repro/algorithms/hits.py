@@ -1,0 +1,66 @@
+"""HITS (Kleinberg 1999): mutually reinforcing hub/authority scores.
+
+Mentioned by the paper as one of the InDegree-derived link-analysis
+algorithms (Section 2.2).  Each iteration needs both propagation
+directions: authorities pull from in-neighbors' hub scores, hubs pull from
+out-neighbors' authority scores — so this exercises the engines'
+``propagate`` and ``propagate_out`` pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConvergenceError
+from ..types import VALUE_DTYPE
+
+
+@dataclass
+class HitsResult:
+    """Authority/hub vectors plus run metadata."""
+
+    authorities: np.ndarray
+    hubs: np.ndarray
+    iterations: int
+    converged: bool
+
+
+def hits(
+    engine,
+    *,
+    max_iterations: int = 50,
+    tolerance: float = 1e-10,
+) -> HitsResult:
+    """Run HITS on a prepared engine.
+
+    Per iteration: ``a' = normalize(A^T h)``, ``h' = normalize(A a')``,
+    with L2 normalization (Kleinberg's formulation).
+    """
+    if max_iterations <= 0:
+        raise ConvergenceError(
+            f"max_iterations must be positive, got {max_iterations}"
+        )
+    n = engine.graph.num_nodes
+    a = np.full(n, 1.0 / np.sqrt(max(n, 1)), dtype=VALUE_DTYPE)
+    h = a.copy()
+    converged = False
+    iterations = 0
+    for it in range(max_iterations):
+        a_new = _l2_normalized(engine.propagate(h))
+        h_new = _l2_normalized(engine.propagate_out(a_new))
+        iterations = it + 1
+        if (
+            np.abs(a_new - a).sum() + np.abs(h_new - h).sum()
+        ) < tolerance:
+            a, h = a_new, h_new
+            converged = True
+            break
+        a, h = a_new, h_new
+    return HitsResult(a, h, iterations, converged)
+
+
+def _l2_normalized(v: np.ndarray) -> np.ndarray:
+    norm = float(np.linalg.norm(v))
+    return v / norm if norm > 0 else v

@@ -1,0 +1,27 @@
+"""The InDegree algorithm — the paper's canonical link-analysis kernel.
+
+One SpMV ``y = A^T x`` per iteration with ``x`` fixed at all-ones: node
+``v``'s score is its in-degree.  The paper uses it (Section 2.2) as the
+precursor of PageRank/HITS/SALSA and as the primary timing workload
+(100 iterations of the same propagation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..types import VALUE_DTYPE
+from .base import Algorithm
+
+
+class InDegree(Algorithm):
+    """Iterated ``y = A^T 1``; scores are the in-degrees."""
+
+    name = "indegree"
+    scores_from = "y"
+    #: the benchmark repeats the same SpMV; x stays at the initial ones.
+    x_constant = True
+
+    def initial(self, graph: Graph) -> np.ndarray:
+        return np.ones(graph.num_nodes, dtype=VALUE_DTYPE)

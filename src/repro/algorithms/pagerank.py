@@ -1,0 +1,79 @@
+"""PageRank (Page et al. 1999) in the propagate/apply protocol.
+
+Per iteration: ``x' = (1 - d) / n + d * A^T (x / out_degree)``, the
+standard damped formulation without dangling-mass redistribution (the
+convention of GAPBS/GPOP-style systems, which the paper builds on).
+
+Seed nodes (no in-links) receive zero mass, so their rank is the constant
+``(1 - d) / n``; :meth:`initial` starts them there — their fixed point —
+which makes them invariant from iteration 0 and is what lets Mixen cache
+their outgoing contribution once (Section 4.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConvergenceError
+from ..graphs.classify import classify_nodes
+from ..graphs.graph import Graph
+from ..types import VALUE_DTYPE, NodeClass
+from .base import Algorithm, _safe_inverse, inverse_out_degrees
+
+
+class PageRank(Algorithm):
+    """Damped PageRank; scores are the evolving rank vector."""
+
+    name = "pagerank"
+    scores_from = "x"
+
+    def __init__(
+        self,
+        damping: float = 0.85,
+        tolerance: float = 1e-10,
+        out_strength=None,
+    ):
+        if not 0.0 < damping < 1.0:
+            raise ConvergenceError(
+                f"damping must be in (0, 1), got {damping}"
+            )
+        if tolerance < 0:
+            raise ConvergenceError(
+                f"tolerance must be non-negative, got {tolerance}"
+            )
+        self.damping = damping
+        self.tolerance = tolerance
+        #: optional weighted out-degrees (see
+        #: :func:`~repro.algorithms.base.weighted_out_strength`); when
+        #: running on a weighted engine, normalization must use the
+        #: weighted strength or the iteration diverges.
+        self.out_strength = out_strength
+        self._teleport = 0.0
+
+    def initial(self, graph: Graph) -> np.ndarray:
+        n = max(graph.num_nodes, 1)
+        self._teleport = (1.0 - self.damping) / n
+        x = np.full(graph.num_nodes, 1.0 / n, dtype=VALUE_DTYPE)
+        # Seeds (and isolated nodes) never receive mass: start them at
+        # their fixed point so they are invariant from the first iteration.
+        classes = classify_nodes(graph).classes
+        no_in = (classes == np.int8(NodeClass.SEED)) | (
+            classes == np.int8(NodeClass.ISOLATED)
+        )
+        x[no_in] = self._teleport
+        return x
+
+    def propagate_scale(self, graph: Graph) -> np.ndarray:
+        if self.out_strength is not None:
+            import numpy as _np
+
+            return _safe_inverse(
+                _np.asarray(self.out_strength, dtype=_np.float64)
+            )
+        return inverse_out_degrees(graph)
+
+    def apply(self, y, iteration, nodes=None):
+        return self._teleport + self.damping * y
+
+    def converged(self, x_old: np.ndarray, x_new: np.ndarray) -> bool:
+        return float(np.abs(x_new - x_old).sum()) < self.tolerance

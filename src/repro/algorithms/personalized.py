@@ -1,0 +1,127 @@
+"""Personalized PageRank and Katz centrality.
+
+Two further members of the InDegree-derived link-analysis family the
+paper targets (Section 2.2): both are one propagate + one vertex-local
+apply per iteration, so they run unchanged on every engine — including
+Mixen's phase schedule, whose seed-invariance requirement they satisfy
+by construction (seed values are started at their fixed points).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConvergenceError
+from ..graphs.graph import Graph
+from ..types import VALUE_DTYPE
+from .base import Algorithm, _safe_inverse, inverse_out_degrees
+
+
+class PersonalizedPageRank(Algorithm):
+    """PageRank with teleportation restricted to a source set.
+
+    ``x' = (1 - d) * p + d * A^T (x / out_degree)`` where ``p`` is the
+    normalized personalization vector (uniform over ``sources``).
+
+    Seed-node invariance: a seed node's rank is ``(1 - d) * p[v]``
+    (it receives no mass), which is where :meth:`initial` starts it, so
+    Mixen's static bins stay valid even when a source is a seed node.
+    """
+
+    name = "ppr"
+    scores_from = "x"
+
+    def __init__(
+        self,
+        sources,
+        *,
+        damping: float = 0.85,
+        tolerance: float = 1e-10,
+        out_strength=None,
+    ) -> None:
+        if not 0.0 < damping < 1.0:
+            raise ConvergenceError(
+                f"damping must be in (0, 1), got {damping}"
+            )
+        sources = np.asarray(sources, dtype=np.int64).ravel()
+        if sources.size == 0:
+            raise ConvergenceError("PPR needs at least one source node")
+        self.sources = np.unique(sources)
+        self.damping = damping
+        self.tolerance = tolerance
+        self.out_strength = out_strength
+        self._teleport: np.ndarray | None = None
+
+    def initial(self, graph: Graph) -> np.ndarray:
+        if self.sources.max() >= graph.num_nodes or self.sources.min() < 0:
+            raise ConvergenceError(
+                f"PPR sources outside [0, {graph.num_nodes})"
+            )
+        p = np.zeros(graph.num_nodes, dtype=VALUE_DTYPE)
+        p[self.sources] = 1.0 / self.sources.size
+        self._teleport = (1.0 - self.damping) * p
+        # Start every node at its teleport mass; nodes without in-links
+        # are immediately at their fixed point.
+        return self._teleport.copy()
+
+    def propagate_scale(self, graph: Graph) -> np.ndarray:
+        if self.out_strength is not None:
+            return _safe_inverse(
+                np.asarray(self.out_strength, dtype=np.float64)
+            )
+        return inverse_out_degrees(graph)
+
+    def apply(self, y, iteration, nodes=None):
+        assert self._teleport is not None, "apply() before initial()"
+        teleport = (
+            self._teleport if nodes is None else self._teleport[nodes]
+        )
+        return teleport + self.damping * y
+
+    def converged(self, x_old: np.ndarray, x_new: np.ndarray) -> bool:
+        return float(np.abs(x_new - x_old).sum()) < self.tolerance
+
+
+class KatzCentrality(Algorithm):
+    """Katz centrality: ``x' = alpha * A^T x + beta``.
+
+    Converges when ``alpha`` is below the reciprocal of the adjacency
+    spectral radius; the conservative default uses the maximum in-degree
+    bound.  Seed nodes receive no mass, so their centrality is the
+    constant ``beta`` — their fixed point, where :meth:`initial` starts
+    them (trivially: it starts *every* node at ``beta``).
+    """
+
+    name = "katz"
+    scores_from = "x"
+
+    def __init__(
+        self,
+        *,
+        alpha: float | None = None,
+        beta: float = 1.0,
+        tolerance: float = 1e-10,
+    ) -> None:
+        if alpha is not None and alpha <= 0:
+            raise ConvergenceError(f"alpha must be positive, got {alpha}")
+        self.alpha = alpha
+        self.beta = beta
+        self.tolerance = tolerance
+        self._alpha_eff = alpha
+
+    def effective_alpha(self, graph: Graph) -> float:
+        """The attenuation actually used (degree-bound default)."""
+        if self.alpha is not None:
+            return self.alpha
+        max_in = float(graph.in_degrees().max()) if graph.num_nodes else 1.0
+        return 0.9 / max(max_in, 1.0)
+
+    def initial(self, graph: Graph) -> np.ndarray:
+        self._alpha_eff = self.effective_alpha(graph)
+        return np.full(graph.num_nodes, self.beta, dtype=VALUE_DTYPE)
+
+    def apply(self, y, iteration, nodes=None):
+        return self._alpha_eff * y + self.beta
+
+    def converged(self, x_old: np.ndarray, x_new: np.ndarray) -> bool:
+        return float(np.abs(x_new - x_old).max()) < self.tolerance

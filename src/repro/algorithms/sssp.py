@@ -1,0 +1,105 @@
+"""Single-source shortest paths over weighted edges.
+
+Bellman-Ford-style label correction in the min-plus semiring: per round,
+``dist[v] = min(dist[v], min over in-edges (dist[u] + w(u, v)))`` — the
+same pull-shaped segment reduction as the link-analysis kernels, run to a
+fixpoint.  With unit weights this degenerates to BFS; with the per-edge
+values of the weighted engines it computes true shortest paths
+(validated against scipy's Dijkstra in the tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConvergenceError, EngineError
+from ..graphs.graph import Graph
+
+#: unreached distance.
+INF = np.inf
+
+
+@dataclass(frozen=True)
+class SsspResult:
+    """Distances plus run metadata."""
+
+    distances: np.ndarray
+    iterations: int
+
+    @property
+    def num_reached(self) -> int:
+        """Nodes with a finite distance."""
+        return int(np.count_nonzero(np.isfinite(self.distances)))
+
+
+def sssp(
+    graph: Graph,
+    source: int,
+    *,
+    edge_values=None,
+    max_iterations: int | None = None,
+) -> SsspResult:
+    """Shortest-path distances from ``source``.
+
+    ``edge_values`` are per-edge non-negative weights aligned to
+    ``graph.csr`` edge order (``None`` = unit weights).  Runs at most
+    ``n`` rounds (a longer shortest path implies a negative cycle, which
+    non-negative weights exclude).
+    """
+    n = graph.num_nodes
+    if not 0 <= source < n:
+        raise EngineError(f"SSSP source {source} outside [0, {n})")
+    if edge_values is None:
+        w_csr = np.ones(graph.num_edges, dtype=np.float64)
+    else:
+        w_csr = np.asarray(edge_values, dtype=np.float64)
+        if w_csr.shape != (graph.num_edges,):
+            raise EngineError(
+                f"edge_values must have shape ({graph.num_edges},), got "
+                f"{w_csr.shape}"
+            )
+        if np.any(w_csr < 0):
+            raise ConvergenceError(
+                "SSSP requires non-negative edge weights"
+            )
+    # Weights must follow the edges into CSC order for the pull.
+    csc, order = graph.csr.transposed_with_order()
+    w_csc = w_csr[order]
+
+    dist = np.full(n, INF, dtype=np.float64)
+    dist[source] = 0.0
+    limit = max_iterations if max_iterations is not None else max(n, 1)
+    iterations = 0
+    for it in range(limit):
+        iterations = it + 1
+        candidate = dist[csc.indices] + w_csc
+        best = _segment_min(candidate, csc.indptr)
+        new_dist = np.minimum(dist, best)
+        if np.array_equal(
+            new_dist, dist, equal_nan=True
+        ):
+            break
+        dist = new_dist
+    else:
+        raise ConvergenceError(
+            f"SSSP did not converge in {limit} rounds "
+            "(negative cycle or iteration cap too low)"
+        )
+    return SsspResult(dist, iterations)
+
+
+def _segment_min(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+    """Per-row minimum with +inf for empty rows (float min-plus)."""
+    num_rows = indptr.size - 1
+    out = np.full(num_rows, INF, dtype=np.float64)
+    if values.size == 0 or num_rows == 0:
+        return out
+    degs = np.diff(indptr)
+    nonempty = degs > 0
+    starts = indptr[:-1][nonempty]
+    if starts.size == 0:
+        return out
+    out[nonempty] = np.minimum.reduceat(values, starts)
+    return out

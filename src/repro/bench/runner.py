@@ -1,0 +1,92 @@
+"""Timing harness: per-iteration and preprocessing measurements.
+
+The paper reports per-iteration execution time averaged over 100
+iterations with convergence disabled (Section 6.1); these helpers follow
+the same protocol at a configurable iteration budget, with warmup rounds
+so one-time NumPy allocation costs don't pollute the numbers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import EngineError
+
+
+@dataclass(frozen=True)
+class Timing:
+    """One timing measurement."""
+
+    seconds: float
+    iterations: int
+
+    @property
+    def per_iteration(self) -> float:
+        """Seconds per iteration."""
+        return self.seconds / self.iterations if self.iterations else 0.0
+
+
+def time_algorithm(
+    engine,
+    algorithm_factory,
+    *,
+    iterations: int = 10,
+    warmup: int = 2,
+) -> Timing:
+    """Per-iteration time of an algorithm on a prepared engine.
+
+    ``algorithm_factory`` is called fresh for each run (algorithms may
+    carry per-run state).  Convergence checking is disabled, matching the
+    paper's measurement protocol.
+    """
+    if iterations <= 0:
+        raise EngineError(
+            f"iterations must be positive, got {iterations}"
+        )
+    engine.prepare()
+    if warmup > 0:
+        engine.run(
+            algorithm_factory(), max_iterations=warmup,
+            check_convergence=False,
+        )
+    start = time.perf_counter()
+    result = engine.run(
+        algorithm_factory(), max_iterations=iterations,
+        check_convergence=False,
+    )
+    elapsed = time.perf_counter() - start
+    return Timing(elapsed, result.iterations)
+
+
+def time_bfs(engine, source: int, *, repeats: int = 3) -> float:
+    """Median full-BFS time (the paper times BFS to convergence)."""
+    if repeats <= 0:
+        raise EngineError(f"repeats must be positive, got {repeats}")
+    engine.prepare()
+    engine.run_bfs(source)  # warmup
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        engine.run_bfs(source)
+        samples.append(time.perf_counter() - start)
+    return float(np.median(samples))
+
+
+def time_prepare(engine_factory, *, repeats: int = 3):
+    """Median preparation time with per-stage breakdown (Table 4).
+
+    ``engine_factory`` must build a *fresh, unprepared* engine per call.
+    Returns ``(median_total_seconds, breakdown_of_median_run)``.
+    """
+    if repeats <= 0:
+        raise EngineError(f"repeats must be positive, got {repeats}")
+    runs = []
+    for _ in range(repeats):
+        engine = engine_factory()
+        stats = engine.prepare()
+        runs.append((stats.seconds, stats.breakdown))
+    runs.sort(key=lambda r: r[0])
+    return runs[len(runs) // 2]

@@ -1,0 +1,57 @@
+"""Parameter-sweep helpers for the design-space experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..errors import EngineError
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (parameter value, metrics) pair."""
+
+    value: object
+    metrics: dict
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Ordered sweep output with min/max lookups per metric."""
+
+    parameter: str
+    points: tuple
+
+    def metric(self, name: str) -> list:
+        """Metric values in sweep order."""
+        return [p.metrics[name] for p in self.points]
+
+    def best(self, name: str, *, minimize: bool = True):
+        """Parameter value optimizing one metric."""
+        if not self.points:
+            raise EngineError("empty sweep")
+        key = (min if minimize else max)(
+            self.points, key=lambda p: p.metrics[name]
+        )
+        return key.value
+
+    def normalized(self, name: str, *, by: str = "min") -> list:
+        """Metric normalized by its min (default) or max."""
+        values = self.metric(name)
+        ref = min(values) if by == "min" else max(values)
+        if ref == 0:
+            return [0.0 for _ in values]
+        return [v / ref for v in values]
+
+
+def sweep(
+    parameter: str,
+    values: Sequence,
+    evaluate: Callable[[object], dict],
+) -> SweepResult:
+    """Evaluate ``evaluate(value) -> metrics`` over all values."""
+    if not values:
+        raise EngineError("sweep needs at least one parameter value")
+    points = tuple(SweepPoint(v, dict(evaluate(v))) for v in values)
+    return SweepResult(parameter, points)

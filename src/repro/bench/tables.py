@@ -1,0 +1,133 @@
+"""Report rendering: ASCII tables matching the paper's layouts, plus the
+geometric-mean speedup summaries of Section 6.2."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+
+def format_table(headers: list, rows: list, *, title: str = "") -> str:
+    """Render rows (lists or dicts) as an aligned ASCII table."""
+    norm_rows = []
+    for row in rows:
+        if isinstance(row, dict):
+            norm_rows.append([row.get(h, "") for h in headers])
+        else:
+            norm_rows.append(list(row))
+    cells = [[_fmt(c) for c in row] for row in norm_rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in cells)) if cells else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(
+            "  ".join(c.ljust(w) for c, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def geomean(values) -> float:
+    """Geometric mean (ignores non-positive values defensively)."""
+    values = np.asarray([v for v in values if v > 0], dtype=np.float64)
+    if values.size == 0:
+        return 0.0
+    return float(np.exp(np.log(values).mean()))
+
+
+def geomean_speedups(
+    times: dict, *, baseline: str
+) -> dict:
+    """Per-framework geometric-mean slowdown relative to ``baseline``.
+
+    ``times`` maps framework -> {case -> seconds}; the result maps each
+    framework to geomean(time / baseline_time) over the shared cases —
+    exactly how Section 6.2 computes "Mixen outperforms GPOP by 3.42x".
+    """
+    base = times[baseline]
+    out = {}
+    for name, cases in times.items():
+        ratios = [
+            cases[c] / base[c]
+            for c in cases
+            if c in base and base[c] > 0 and cases[c] > 0
+        ]
+        out[name] = geomean(ratios)
+    return out
+
+
+@dataclass
+class ExperimentResult:
+    """One table/figure reproduction: rows plus provenance notes."""
+
+    name: str
+    title: str
+    headers: list
+    rows: list = field(default_factory=list)
+    notes: list = field(default_factory=list)
+    extras: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Full human-readable report."""
+        parts = [format_table(self.headers, self.rows, title=self.title)]
+        for note in self.notes:
+            parts.append(f"  note: {note}")
+        return "\n".join(parts)
+
+    def save(self, directory) -> Path:
+        """Write the rendered table and a JSON dump; returns the txt path."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        txt = directory / f"{self.name}.txt"
+        txt.write_text(self.render() + "\n", encoding="utf-8")
+        payload = {
+            "name": self.name,
+            "title": self.title,
+            "headers": [str(h) for h in self.headers],
+            "rows": [
+                row if isinstance(row, dict) else list(map(str, row))
+                for row in self.rows
+            ],
+            "notes": self.notes,
+            "extras": _jsonable(self.extras),
+        }
+        (directory / f"{self.name}.json").write_text(
+            json.dumps(payload, indent=2, default=str), encoding="utf-8"
+        )
+        return txt
+
+
+def _jsonable(obj):
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    return obj

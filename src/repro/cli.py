@@ -1,0 +1,184 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``datasets`` — print the proxy datasets' Table 1/2 structure;
+* ``run`` — run one algorithm on one graph with one engine;
+* ``bfs`` — run BFS and report reach/levels;
+* ``experiment`` — regenerate one paper table/figure (or ``all``);
+* ``engines`` — list the registered engines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from . import bench
+from .algorithms import ALGORITHMS
+from .algorithms.bfs import default_source, num_reached
+from .errors import ReproError
+from .frameworks import engine_names, make_engine
+from .graphs import DATASET_NAMES, load_dataset
+
+#: experiment name -> zero-argument callable.
+EXPERIMENTS = {
+    "table1": bench.table1,
+    "table2": bench.table2,
+    "table3": bench.table3,
+    "table3-modeled": bench.table3_modeled,
+    "table4": bench.table4,
+    "fig4": bench.fig4,
+    "fig5": bench.fig5,
+    "fig6": bench.fig6,
+    "fig7": bench.fig7,
+    "motivation": bench.motivation_models,
+    "perfmodel": bench.perfmodel_validation,
+    "ablation-cache": bench.ablation_cache_step,
+    "ablation-hubs": bench.ablation_hub_reorder,
+    "ablation-balance": bench.ablation_load_balance,
+    "ablation-compress": bench.ablation_edge_compression,
+    "extension": bench.extension_filtered_baselines,
+    "reordering": bench.reordering_comparison,
+    "scaling": bench.scaling_study,
+    "mrc": bench.mrc_study,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Mixen reproduction (Connectivity-Aware Link Analysis for "
+            "Skewed Graphs, ICPP 2023)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="show the proxy datasets")
+    sub.add_parser("engines", help="list registered engines")
+
+    run = sub.add_parser("run", help="run an algorithm")
+    run.add_argument("--graph", choices=DATASET_NAMES, default="wiki")
+    run.add_argument("--engine", default="mixen")
+    run.add_argument(
+        "--algorithm", choices=sorted(ALGORITHMS), default="pagerank"
+    )
+    run.add_argument("--iterations", type=int, default=100)
+    run.add_argument("--scale", type=float, default=1.0)
+    run.add_argument("--top", type=int, default=5)
+
+    bfs = sub.add_parser("bfs", help="run BFS")
+    bfs.add_argument("--graph", choices=DATASET_NAMES, default="wiki")
+    bfs.add_argument("--engine", default="mixen")
+    bfs.add_argument("--source", type=int, default=None)
+    bfs.add_argument("--scale", type=float, default=1.0)
+
+    exp = sub.add_parser(
+        "experiment", help="regenerate a paper table/figure"
+    )
+    exp.add_argument(
+        "name", choices=sorted(EXPERIMENTS) + ["all"],
+        help="which artifact to regenerate",
+    )
+    exp.add_argument(
+        "--save", metavar="DIR", default=None,
+        help="also write .txt/.json under DIR",
+    )
+    return parser
+
+
+def _cmd_datasets(out) -> int:
+    print(bench.table1().render(), file=out)
+    print(file=out)
+    print(bench.table2().render(), file=out)
+    return 0
+
+
+def _cmd_engines(out) -> int:
+    for name in sorted(engine_names()):
+        print(name, file=out)
+    return 0
+
+
+def _cmd_run(args, out) -> int:
+    graph = load_dataset(args.graph, scale=args.scale)
+    engine = make_engine(args.engine, graph)
+    prep = engine.prepare()
+    algorithm = ALGORITHMS[args.algorithm]()
+    start = time.perf_counter()
+    result = engine.run(algorithm, max_iterations=args.iterations)
+    elapsed = time.perf_counter() - start
+    print(
+        f"{args.algorithm} on {args.graph} via {args.engine}: "
+        f"{result.iterations} iterations in {elapsed:.3f}s "
+        f"({result.seconds_per_iteration * 1e3:.3f} ms/iter), "
+        f"prepare {prep.seconds * 1e3:.1f} ms, "
+        f"converged={result.converged}",
+        file=out,
+    )
+    scores = result.scores
+    if scores.ndim > 1:
+        scores = np.linalg.norm(scores, axis=1)
+    top = np.argsort(scores)[-args.top:][::-1]
+    for v in top.tolist():
+        print(f"  node {v}: {scores[v]:.6g}", file=out)
+    return 0
+
+
+def _cmd_bfs(args, out) -> int:
+    graph = load_dataset(args.graph, scale=args.scale)
+    engine = make_engine(args.engine, graph)
+    engine.prepare()
+    source = (
+        args.source if args.source is not None else default_source(graph)
+    )
+    start = time.perf_counter()
+    levels = engine.run_bfs(source)
+    elapsed = time.perf_counter() - start
+    reached = num_reached(levels)
+    finite = levels[levels < np.iinfo(np.int64).max]
+    print(
+        f"BFS on {args.graph} via {args.engine} from node {source}: "
+        f"reached {reached}/{graph.num_nodes} nodes, "
+        f"depth {int(finite.max())}, {elapsed * 1e3:.2f} ms",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_experiment(args, out) -> int:
+    names = sorted(EXPERIMENTS) if args.name == "all" else [args.name]
+    for name in names:
+        result = EXPERIMENTS[name]()
+        print(result.render(), file=out)
+        print(file=out)
+        if args.save:
+            path = result.save(args.save)
+            print(f"[saved to {path}]", file=out)
+    return 0
+
+
+def main(argv=None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "datasets":
+            return _cmd_datasets(out)
+        if args.command == "engines":
+            return _cmd_engines(out)
+        if args.command == "run":
+            return _cmd_run(args, out)
+        if args.command == "bfs":
+            return _cmd_bfs(args, out)
+        if args.command == "experiment":
+            return _cmd_experiment(args, out)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    raise AssertionError(f"unhandled command {args.command!r}")

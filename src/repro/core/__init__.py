@@ -1,0 +1,47 @@
+"""Mixen: the paper's connectivity-aware link-analysis framework."""
+
+from .bins import DynamicBinStats, build_static_bins, dynamic_bin_stats
+from .engine import MixenEngine
+from .extension import FilteredEngine
+from .filtering import FilterPlan, filter_graph
+from .mixed_format import MixedGraph, build_mixed
+from .partition import BlockTask, RegularPartition, partition_regular
+from .perfmodel import measured_main_phase_counters, model_for_engine
+from .permutation import (
+    compose,
+    invert,
+    is_permutation,
+    permute_values,
+    unpermute_values,
+)
+from .scga import ScgaKernel
+from .scheduler import MixenRunResult, run_schedule
+from .semiring import MIN_PLUS, PLUS_TIMES, Semiring
+
+__all__ = [
+    "BlockTask",
+    "DynamicBinStats",
+    "FilteredEngine",
+    "FilterPlan",
+    "MIN_PLUS",
+    "MixedGraph",
+    "MixenEngine",
+    "MixenRunResult",
+    "PLUS_TIMES",
+    "RegularPartition",
+    "ScgaKernel",
+    "Semiring",
+    "build_mixed",
+    "build_static_bins",
+    "compose",
+    "dynamic_bin_stats",
+    "filter_graph",
+    "invert",
+    "is_permutation",
+    "measured_main_phase_counters",
+    "model_for_engine",
+    "partition_regular",
+    "permute_values",
+    "run_schedule",
+    "unpermute_values",
+]

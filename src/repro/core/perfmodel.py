@@ -1,0 +1,47 @@
+"""Bridging Section 5's analytic model and a prepared Mixen engine.
+
+:func:`model_for_engine` instantiates the Eq. (1)–(2) cost model with the
+engine's *measured* alpha/beta/block-size, so benches can compare predicted
+against simulated counters; :func:`measured_main_phase_counters` runs one
+traced Main-Phase iteration through a memory hierarchy and returns what the
+"hardware" saw.
+"""
+
+from __future__ import annotations
+
+from ..machine.hierarchy import MemoryHierarchy, MachineSpec, SCALED_MACHINE
+from ..machine.model import MixenModel
+from ..machine.counters import MachineCounters
+from ..machine.trace import AccessTrace, AddressSpace
+from .engine import MixenEngine
+
+
+def model_for_engine(
+    engine: MixenEngine, *, property_bytes: int = 4
+) -> MixenModel:
+    """Eq. (1)–(2) parameterized with the engine's measured profile."""
+    engine._require_prepared()
+    g = engine.graph
+    return MixenModel(
+        num_nodes=g.num_nodes,
+        num_edges=g.num_edges,
+        alpha=engine.alpha,
+        beta=engine.beta,
+        c_nodes=engine.block_nodes,
+        property_bytes=property_bytes,
+    )
+
+
+def measured_main_phase_counters(
+    engine: MixenEngine,
+    *,
+    spec: MachineSpec = SCALED_MACHINE,
+    exact_lru: bool = False,
+) -> MachineCounters:
+    """Counters of one simulated Main-Phase iteration."""
+    engine._require_prepared()
+    space = AddressSpace(spec.line_bytes)
+    trace = AccessTrace(space)
+    engine.traced_main_iteration(trace)
+    hierarchy = MemoryHierarchy(spec, exact_lru=exact_lru)
+    return hierarchy.run_trace(trace)

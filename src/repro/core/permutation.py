@@ -1,0 +1,67 @@
+"""Permutation utilities used by Mixen's relabeling step."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GraphFormatError
+
+
+def is_permutation(perm: np.ndarray) -> bool:
+    """True when ``perm`` is a permutation of ``0..len(perm)-1``."""
+    perm = np.asarray(perm)
+    if perm.ndim != 1:
+        return False
+    n = perm.size
+    seen = np.zeros(n, dtype=bool)
+    if n and (perm.min() < 0 or perm.max() >= n):
+        return False
+    seen[perm] = True
+    return bool(seen.all())
+
+
+def invert(perm: np.ndarray) -> np.ndarray:
+    """Inverse permutation: ``invert(perm)[perm[v]] == v``."""
+    perm = np.asarray(perm, dtype=np.int64)
+    if not is_permutation(perm):
+        raise GraphFormatError("not a permutation")
+    inv = np.empty_like(perm)
+    inv[perm] = np.arange(perm.size, dtype=np.int64)
+    return inv
+
+
+def compose(outer: np.ndarray, inner: np.ndarray) -> np.ndarray:
+    """``compose(p, q)[v] == p[q[v]]`` (apply ``q`` first, then ``p``)."""
+    outer = np.asarray(outer, dtype=np.int64)
+    inner = np.asarray(inner, dtype=np.int64)
+    if outer.shape != inner.shape:
+        raise GraphFormatError("permutation sizes differ")
+    return outer[inner]
+
+
+def permute_values(values: np.ndarray, perm: np.ndarray) -> np.ndarray:
+    """Move per-node values into the relabeled space.
+
+    ``out[perm[v]] = values[v]`` — the value of old node ``v`` lands at its
+    new id.  Works for 1-D and rank-k (n, k) arrays.
+    """
+    perm = np.asarray(perm, dtype=np.int64)
+    values = np.asarray(values)
+    if values.shape[0] != perm.size:
+        raise GraphFormatError(
+            f"values length {values.shape[0]} != permutation size {perm.size}"
+        )
+    out = np.empty_like(values)
+    out[perm] = values
+    return out
+
+
+def unpermute_values(values: np.ndarray, perm: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`permute_values`: ``out[v] = values[perm[v]]``."""
+    perm = np.asarray(perm, dtype=np.int64)
+    values = np.asarray(values)
+    if values.shape[0] != perm.size:
+        raise GraphFormatError(
+            f"values length {values.shape[0]} != permutation size {perm.size}"
+        )
+    return values[perm]

@@ -1,0 +1,68 @@
+"""Semiring abstraction for propagation kernels.
+
+Link analysis is plus-times SpMV; BFS is min-plus over levels.  Factoring
+the (reduce, identity) pair out lets one Post-Phase implementation serve
+both: Mixen's sink nodes pull a *sum* for PageRank-style algorithms and a
+*minimum* for traversal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import EngineError
+from ..types import UNREACHED
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """A reduction over incoming messages.
+
+    ``reduceat`` must be a NumPy ufunc ``reduceat``-style callable and
+    ``identity`` the value empty reductions take.
+    """
+
+    name: str
+    ufunc: np.ufunc
+    identity: object
+
+    def segment_reduce(
+        self, values: np.ndarray, indptr: np.ndarray
+    ) -> np.ndarray:
+        """Reduce edge-aligned ``values`` per CSR row.
+
+        Rows with no incident values take :attr:`identity`.  Works for 1-D
+        values and for the additive semiring also 2-D (rank-k) values.
+        """
+        values = np.asarray(values)
+        num_rows = indptr.size - 1
+        if values.ndim == 2 and self.ufunc is not np.add:
+            raise EngineError(
+                f"semiring {self.name!r} does not support rank-k values"
+            )
+        shape = (
+            (num_rows,) if values.ndim == 1 else (num_rows, values.shape[1])
+        )
+        out = np.full(shape, self.identity, dtype=values.dtype)
+        if values.shape[0] == 0 or num_rows == 0:
+            return out
+        degs = np.diff(indptr)
+        nonempty = degs > 0
+        starts = indptr[:-1][nonempty]
+        if starts.size == 0:
+            return out
+        # ufunc.reduceat segments run from each start to the next; empty
+        # rows are excluded from ``starts``, so the segment of a non-empty
+        # row ends exactly at its own boundary.
+        reduced = self.ufunc.reduceat(values, starts, axis=0)
+        out[nonempty] = reduced
+        return out
+
+
+#: plus-times: link analysis (sums of incoming scores).
+PLUS_TIMES = Semiring("plus_times", np.add, 0.0)
+
+#: min-plus over levels: BFS/SSSP-style traversal.
+MIN_PLUS = Semiring("min_plus", np.minimum, UNREACHED)

@@ -1,0 +1,31 @@
+"""Typed exceptions raised across the package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class GraphFormatError(ReproError):
+    """An adjacency structure or edge list is malformed or inconsistent."""
+
+
+class PartitionError(ReproError):
+    """Graph partitioning/blocking parameters are invalid."""
+
+
+class DatasetError(ReproError):
+    """A dataset name or generation specification is invalid."""
+
+
+class MachineError(ReproError):
+    """A machine-model configuration or access trace is invalid."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative algorithm failed to converge within its iteration cap."""
+
+
+class EngineError(ReproError):
+    """An engine was used before :meth:`prepare` or with bad inputs."""

@@ -1,0 +1,26 @@
+"""Baseline graph-processing engines and the shared Engine API."""
+
+from .base import AlgorithmResult, Engine, PrepareStats, segment_sum
+from .blocking import BlockingEngine
+from .graphmat import GraphMatEngine
+from .ligra import LigraEngine
+from .polymer import PolymerEngine
+from .pull import PullEngine
+from .push import PushEngine
+from .registry import engine_names, make_engine, register_engine
+
+__all__ = [
+    "AlgorithmResult",
+    "BlockingEngine",
+    "Engine",
+    "GraphMatEngine",
+    "LigraEngine",
+    "PolymerEngine",
+    "PrepareStats",
+    "PullEngine",
+    "PushEngine",
+    "engine_names",
+    "make_engine",
+    "register_engine",
+    "segment_sum",
+]

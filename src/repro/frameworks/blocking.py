@@ -1,0 +1,423 @@
+"""GAS blocking engine (GPOP-style, Algorithm 2) and the shared 2-D
+block layout.
+
+The graph is partitioned into ``b x b`` cache-sized blocks.  Per iteration:
+
+* **Scatter** walks block-rows: for block-row ``i`` it reads the x segment
+  of that row range and appends each edge's message to the bin of block
+  ``(i, j)`` — sequential bin writes, x reads confined to one block-row.
+* **Gather** walks block-columns: for block-column ``j`` it streams the bins
+  of blocks ``(:, j)`` and accumulates into the y segment of that column
+  range — random jumps only when switching bins, i.e. ``b^2`` per iteration
+  (the Section 3 blocking model).
+
+The native kernel realizes this with two precomputed edge permutations:
+``scatter order`` = edges sorted by (block-row, block-col, src), in which
+bin writes are one sequential stream; and a ``gather permutation`` mapping
+bin slots into (block-col, block-row) order for the accumulation.
+:class:`BlockLayout` packages those permutations; Mixen reuses it for its
+regular subgraph (:mod:`repro.core.partition`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import PartitionError
+from ..types import UNREACHED, VALUE_DTYPE
+from .base import Engine
+
+
+@dataclass(frozen=True)
+class BlockLayout:
+    """Edge permutations and block offsets of one 2-D blocking.
+
+    ``b = ceil(n / block_nodes)`` blocks per side.  Edges live in two
+    orders: *scatter order* (block-row major) and *gather order*
+    (block-column major); ``gather_perm`` maps scatter slots to gather
+    sequence.  ``scatter_block_ptr``/``gather_block_ptr`` give each block's
+    contiguous slice in its respective order (block id ``i * b + j`` for
+    scatter, ``j * b + i`` for gather).
+    """
+
+    num_nodes: int
+    block_nodes: int
+    num_blocks_per_side: int
+    src_scatter: np.ndarray = field(repr=False)
+    dst_scatter: np.ndarray = field(repr=False)
+    gather_perm: np.ndarray = field(repr=False)
+    src_gather: np.ndarray = field(repr=False)
+    dst_gather: np.ndarray = field(repr=False)
+    scatter_block_ptr: np.ndarray = field(repr=False)
+    gather_block_ptr: np.ndarray = field(repr=False)
+    #: optional per-edge values in scatter order (weighted SpMV).
+    values_scatter: np.ndarray | None = field(default=None, repr=False)
+
+    @property
+    def num_edges(self) -> int:
+        """Edges covered by the layout."""
+        return int(self.src_scatter.size)
+
+    def block_nnz(self) -> np.ndarray:
+        """Non-zeros per block (b*b,), block-row-major — the load estimate
+        used by the paper's balancing scheme."""
+        return np.diff(self.scatter_block_ptr)
+
+    def spmv(self, x: np.ndarray, *, static: np.ndarray | None = None
+             ) -> np.ndarray:
+        """Blocked propagation ``y = A^T x (+ static)`` over the layout.
+
+        ``static`` is Mixen's cached seed contribution: the Gather
+        accumulation starts from it instead of zero (the Cache step).
+        """
+        x = np.asarray(x, dtype=VALUE_DTYPE)
+        n = self.num_nodes
+        # Scatter: stream x (block-row-confined gathers) into the bins;
+        # Gather: stream the bins in block-column order and accumulate.
+        bins = x[self.src_scatter]
+        if self.values_scatter is not None:
+            bins = (
+                bins * self.values_scatter
+                if bins.ndim == 1
+                else bins * self.values_scatter[:, None]
+            )
+        msgs = bins[self.gather_perm]
+        if x.ndim == 1:
+            y = np.bincount(self.dst_gather, weights=msgs, minlength=n)
+            y = y.astype(VALUE_DTYPE)
+            if static is not None:
+                y += static
+            return y
+        out = np.empty((n, x.shape[1]), dtype=VALUE_DTYPE)
+        for k in range(x.shape[1]):
+            out[:, k] = np.bincount(
+                self.dst_gather, weights=msgs[:, k], minlength=n
+            )
+        if static is not None:
+            out += static
+        return out
+
+    def spmv_parallel(
+        self,
+        x: np.ndarray,
+        *,
+        static: np.ndarray | None = None,
+        max_workers: int | None = None,
+        scatter_tasks=None,
+    ) -> np.ndarray:
+        """Blocked propagation executed on a real thread pool.
+
+        The Scatter phase runs one pool job per task (a block edge slice,
+        e.g. Mixen's balanced :class:`~repro.core.partition.BlockTask`
+        list), the Gather phase one job per block-column.  NumPy releases
+        the GIL inside the slice kernels, so multicore hosts overlap the
+        work; results are bit-identical to :meth:`spmv` (each thread owns
+        disjoint output ranges).
+        """
+        from ..parallel.threadpool import parallel_for
+        from ..types import VALUE_DTYPE as _VD
+
+        x = np.asarray(x, dtype=_VD)
+        if x.ndim != 1:
+            # Rank-k goes through the serial kernel per column.
+            out = np.empty((self.num_nodes, x.shape[1]), dtype=_VD)
+            for k in range(x.shape[1]):
+                out[:, k] = self.spmv_parallel(
+                    x[:, k],
+                    static=None if static is None else static[:, k],
+                    max_workers=max_workers,
+                    scatter_tasks=scatter_tasks,
+                )
+            return out
+        m = self.num_edges
+        bins = np.empty(m, dtype=_VD)
+        if scatter_tasks is None:
+            ptr = self.scatter_block_ptr
+            scatter_tasks = [
+                (int(ptr[b]), int(ptr[b + 1]))
+                for b in range(ptr.size - 1)
+                if ptr[b + 1] > ptr[b]
+            ]
+        else:
+            scatter_tasks = [
+                (int(t.start), int(t.end)) for t in scatter_tasks
+            ]
+
+        def scatter(span):
+            lo, hi = span
+            bins[lo:hi] = x[self.src_scatter[lo:hi]]
+            if self.values_scatter is not None:
+                bins[lo:hi] *= self.values_scatter[lo:hi]
+
+        parallel_for(scatter, scatter_tasks, max_workers=max_workers)
+
+        y = np.zeros(self.num_nodes, dtype=_VD)
+        c = self.block_nodes
+        b = self.num_blocks_per_side
+        gp = self.gather_block_ptr
+
+        def gather(j):
+            lo, hi = int(gp[j * b]), int(gp[(j + 1) * b])
+            if hi <= lo:
+                return
+            col_lo = j * c
+            col_hi = min((j + 1) * c, self.num_nodes)
+            msgs = bins[self.gather_perm[lo:hi]]
+            y[col_lo:col_hi] = np.bincount(
+                self.dst_gather[lo:hi] - col_lo,
+                weights=msgs,
+                minlength=col_hi - col_lo,
+            )
+
+        parallel_for(gather, range(b), max_workers=max_workers)
+        if static is not None:
+            y += static
+        return y
+
+    def frontier_step(
+        self, frontier: np.ndarray, visited_levels: np.ndarray, level: int
+    ) -> np.ndarray:
+        """One blocked BFS step: propagate the frontier through the bins.
+
+        Returns the new frontier mask and marks ``visited_levels``.
+        """
+        active = frontier[self.src_gather]
+        candidates = self.dst_gather[active]
+        new_frontier = np.zeros(self.num_nodes, dtype=bool)
+        new_frontier[candidates] = True
+        new_frontier &= visited_levels == UNREACHED
+        visited_levels[new_frontier] = level
+        return new_frontier
+
+
+def build_block_layout(
+    src: np.ndarray,
+    dst: np.ndarray,
+    num_nodes: int,
+    block_nodes: int,
+    *,
+    values: np.ndarray | None = None,
+) -> BlockLayout:
+    """Compute the 2-D block layout of an edge set (one parallel-friendly
+    pass of lexsorts, as in Section 4.2's "easily implemented by
+    partitioning the CSR into multiple local CSRs")."""
+    if block_nodes <= 0:
+        raise PartitionError(
+            f"block_nodes must be positive, got {block_nodes}"
+        )
+    if num_nodes < 0:
+        raise PartitionError(f"num_nodes must be >= 0, got {num_nodes}")
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    if src.shape != dst.shape:
+        raise PartitionError("src and dst lengths differ")
+    if values is not None:
+        values = np.asarray(values, dtype=VALUE_DTYPE)
+        if values.shape != src.shape:
+            raise PartitionError(
+                "edge values must align with the edge arrays"
+            )
+    c = block_nodes
+    b = max(-(-num_nodes // c), 1)
+    i_blk = src // c
+    j_blk = dst // c
+
+    scatter_order = np.lexsort((src, j_blk, i_blk))
+    src_s = src[scatter_order]
+    dst_s = dst[scatter_order]
+    i_s = i_blk[scatter_order]
+    j_s = j_blk[scatter_order]
+
+    gather_perm = np.lexsort((dst_s, i_s, j_s))
+    dst_g = dst_s[gather_perm]
+    src_g = src_s[gather_perm]
+
+    scatter_ptr = _block_offsets(i_s * b + j_s, b * b)
+    gather_ptr = _block_offsets(
+        j_s[gather_perm] * b + i_s[gather_perm], b * b
+    )
+    return BlockLayout(
+        num_nodes=num_nodes,
+        block_nodes=c,
+        num_blocks_per_side=b,
+        src_scatter=src_s,
+        dst_scatter=dst_s,
+        gather_perm=gather_perm,
+        src_gather=src_g,
+        dst_gather=dst_g,
+        scatter_block_ptr=scatter_ptr,
+        gather_block_ptr=gather_ptr,
+        values_scatter=None if values is None else values[scatter_order],
+    )
+
+
+def _block_offsets(sorted_block_ids: np.ndarray, num_blocks: int) -> np.ndarray:
+    """Offsets of each block's slice inside a block-sorted edge array."""
+    counts = np.bincount(sorted_block_ids, minlength=num_blocks)
+    ptr = np.zeros(num_blocks + 1, dtype=np.int64)
+    np.cumsum(counts, out=ptr[1:])
+    return ptr
+
+
+def trace_blocked_iteration(
+    layout: BlockLayout,
+    trace,
+    *,
+    x_name: str = "x",
+    y_name: str = "y",
+    bins_name: str = "bins",
+    bin_ptr_name: str = "binPtr",
+    compress: bool = False,
+) -> None:
+    """Record one blocked Scatter+Gather iteration into ``trace``.
+
+    Scatter per block: x gathers confined to the block's row range plus a
+    sequential write of the block's bin.  Gather per block: one sequential
+    bin read (``b^2`` block switches total) plus y scatters confined to the
+    column range.  Two second-order effects the paper's block-size study
+    depends on are modelled faithfully:
+
+    * each block's bin is padded to a cache-line boundary (small blocks
+      waste proportionally more traffic);
+    * visiting a block costs one read of its bin-pointer entry (``b^2``
+      metadata touches per phase).
+
+    With ``compress=True`` (edge compression, Section 4.2) the bins hold
+    one message per unique (block, source) pair instead of one per edge.
+    """
+    b = layout.num_blocks_per_side
+    sp = layout.scatter_block_ptr
+    gp = layout.gather_block_ptr
+    if layout.num_edges == 0:
+        return
+    line_elems = max(trace.space.line_bytes // 4, 1)
+
+    def aligned(offset: int) -> int:
+        return -(-offset // line_elems) * line_elems
+
+    # Bin start offsets (scatter-order blocks), line-aligned per block.
+    bin_start = {}
+    offset = 0
+    for blk in range(b * b):
+        lo, hi = int(sp[blk]), int(sp[blk + 1])
+        if hi == lo:
+            continue
+        count = hi - lo
+        if compress:
+            count = int(np.unique(layout.src_scatter[lo:hi]).size)
+        bin_start[blk] = (offset, count)
+        offset = aligned(offset + count)
+
+    # Scatter phase, block-row major.
+    for blk in range(b * b):
+        lo, hi = int(sp[blk]), int(sp[blk + 1])
+        if hi == lo:
+            continue
+        trace.sequential(bin_ptr_name, blk, 1)
+        seg_src = layout.src_scatter[lo:hi]
+        if compress:
+            seg_src = np.unique(seg_src)
+        start, count = bin_start[blk]
+        trace.gather(x_name, seg_src)
+        trace.sequential(bins_name, start, count, write=True)
+
+    # Gather phase, block-column major: block (i, j) sits at gather slot
+    # j * b + i but its bin lives at scatter slot i * b + j.
+    for g_blk in range(b * b):
+        lo, hi = int(gp[g_blk]), int(gp[g_blk + 1])
+        if hi == lo:
+            continue
+        j, i = divmod(g_blk, b)
+        s_blk = i * b + j
+        trace.sequential(bin_ptr_name, s_blk, 1)
+        start, count = bin_start[s_blk]
+        trace.sequential(bins_name, start, count)
+        trace.scatter(y_name, layout.dst_gather[lo:hi])
+
+
+class BlockingEngine(Engine):
+    """Blocked Scatter/Gather propagation over the *whole* node set
+    (the GPOP baseline and the "Block" variant of Figures 4–5).
+
+    Parameters
+    ----------
+    block_nodes:
+        Block side length ``c`` in nodes (the paper sets 256 KB ~ 64K nodes
+        on the real machine; the scaled default matches the simulated L2).
+    """
+
+    name = "block"
+    accepts_csr_binary = True
+
+    def __init__(
+        self, graph, *, block_nodes: int = 512, edge_values=None
+    ) -> None:
+        super().__init__(graph, edge_values=edge_values)
+        if block_nodes <= 0:
+            raise PartitionError(
+                f"block_nodes must be positive, got {block_nodes}"
+            )
+        self.block_nodes = block_nodes
+
+    @property
+    def num_blocks_per_side(self) -> int:
+        """``b = ceil(n / c)``."""
+        return max(-(-self.graph.num_nodes // self.block_nodes), 1)
+
+    def _prepare(self) -> dict:
+        start = time.perf_counter()
+        csr = self.graph.csr
+        self.layout = build_block_layout(
+            csr.row_ids(), csr.indices, self.graph.num_nodes,
+            self.block_nodes, values=self.edge_values,
+        )
+        return {"partition": time.perf_counter() - start}
+
+    def propagate(self, x: np.ndarray) -> np.ndarray:
+        self._require_prepared()
+        return self.layout.spmv(self._check_x(x))
+
+    def traced_propagate(self, x: np.ndarray, trace) -> np.ndarray:
+        """Blocked GAS with its access pattern recorded."""
+        self._require_prepared()
+        n, m = self.graph.num_nodes, self.graph.num_edges
+        space = trace.space
+        if "bins" not in space:
+            space.register("csrPtr", n + 1, 4)
+            space.register("csrIdx", max(m, 1), 4)
+            space.register("x", n, 4)
+            space.register("y", n, 4)
+            b = self.num_blocks_per_side
+            pad = b * b * (trace.space.line_bytes // 4 + 1)
+            space.register("bins", max(m, 1) + pad, 4)
+            space.register("binPtr", b * b + 1, 8)
+        trace.sequential("csrPtr", 0, n + 1)
+        if m:
+            trace.sequential("csrIdx", 0, m)
+            trace_blocked_iteration(self.layout, trace)
+        return self.propagate(x)
+
+    def run_bfs(self, source: int) -> np.ndarray:
+        """Blocked frontier BFS: per iteration only the messages of active
+        sources flow through the (pre-sorted) bins."""
+        self._require_prepared()
+        n = self.graph.num_nodes
+        if not 0 <= source < n:
+            raise PartitionError(f"BFS source {source} outside [0, {n})")
+        levels = np.full(n, UNREACHED, dtype=np.int64)
+        levels[source] = 0
+        frontier = np.zeros(n, dtype=bool)
+        frontier[source] = True
+        level = 0
+        while frontier.any():
+            level += 1
+            frontier = self.layout.frontier_step(frontier, levels, level)
+        return levels
+
+    def block_nnz(self) -> np.ndarray:
+        """Non-zeros per block (b*b,), block-row-major."""
+        self._require_prepared()
+        return self.layout.block_nnz()

@@ -1,0 +1,53 @@
+"""Name -> engine factory registry.
+
+The Mixen engine registers itself on import of :mod:`repro.core`, keeping
+the frameworks package free of an upward dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import EngineError
+from ..graphs.graph import Graph
+from .base import Engine
+from .blocking import BlockingEngine
+from .graphmat import GraphMatEngine
+from .ligra import LigraEngine
+from .polymer import PolymerEngine
+from .pull import PullEngine
+from .push import PushEngine
+
+_REGISTRY: dict[str, Callable[..., Engine]] = {}
+
+
+def register_engine(name: str, factory: Callable[..., Engine]) -> None:
+    """Register an engine factory under ``name`` (idempotent re-register)."""
+    _REGISTRY[name] = factory
+
+
+def engine_names() -> tuple[str, ...]:
+    """All registered engine names."""
+    return tuple(_REGISTRY)
+
+
+def make_engine(name: str, graph: Graph, **options) -> Engine:
+    """Instantiate (but do not prepare) the engine registered as ``name``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise EngineError(
+            f"unknown engine {name!r}; available: {', '.join(_REGISTRY)}"
+        ) from None
+    return factory(graph, **options)
+
+
+for _cls in (
+    PullEngine,
+    PushEngine,
+    BlockingEngine,
+    LigraEngine,
+    PolymerEngine,
+    GraphMatEngine,
+):
+    register_engine(_cls.name, _cls)

@@ -1,0 +1,87 @@
+"""Graph substrate: containers, generators, datasets, statistics."""
+
+from .classify import ConnectivityClasses, classify_nodes, hub_edge_fraction
+from .csr import CSR
+from .datasets import (
+    DATASET_NAMES,
+    DATASETS,
+    SKEWED_NAMES,
+    DatasetSpec,
+    dataset_spec,
+    load_dataset,
+)
+from .edgelist import EdgeList
+from .generators import (
+    GraphProfile,
+    kronecker,
+    powerlaw,
+    profile_graph,
+    rmat,
+    road_grid,
+    uniform_random,
+    zipf_weights,
+)
+from .graph import Graph
+from .io import (
+    load_csr,
+    load_edgelist,
+    load_ligra_adj,
+    save_csr,
+    save_edgelist,
+    save_ligra_adj,
+)
+from .reorder import (
+    REORDERINGS,
+    bfs_order,
+    degree_sort,
+    hub_cluster_order,
+    random_order,
+)
+from .stats import (
+    GraphStats,
+    compute_stats,
+    degree_histogram,
+    gini_coefficient,
+    is_skewed,
+    regular_edge_count,
+)
+
+__all__ = [
+    "CSR",
+    "ConnectivityClasses",
+    "DATASETS",
+    "DATASET_NAMES",
+    "DatasetSpec",
+    "EdgeList",
+    "Graph",
+    "GraphProfile",
+    "GraphStats",
+    "SKEWED_NAMES",
+    "classify_nodes",
+    "compute_stats",
+    "dataset_spec",
+    "degree_histogram",
+    "gini_coefficient",
+    "hub_edge_fraction",
+    "is_skewed",
+    "kronecker",
+    "load_csr",
+    "load_dataset",
+    "load_edgelist",
+    "load_ligra_adj",
+    "REORDERINGS",
+    "bfs_order",
+    "degree_sort",
+    "hub_cluster_order",
+    "powerlaw",
+    "random_order",
+    "profile_graph",
+    "regular_edge_count",
+    "rmat",
+    "road_grid",
+    "save_csr",
+    "save_edgelist",
+    "save_ligra_adj",
+    "uniform_random",
+    "zipf_weights",
+]

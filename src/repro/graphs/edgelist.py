@@ -1,0 +1,162 @@
+"""Edge-list container.
+
+Edge lists are the canonical on-disk interchange format used by graph
+frameworks (the paper's Table 4 measures how expensive it is for Ligra,
+Polymer and GraphMat to convert one into their internal formats).  This
+module provides a small validated container plus the bulk operations —
+deduplication, sorting, relabeling, reversal, symmetrization — that both the
+baseline engines and the dataset generators are built on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import GraphFormatError
+from ..types import EID_DTYPE, VID_DTYPE, as_vids
+
+
+@dataclass(frozen=True)
+class EdgeList:
+    """A directed edge list over nodes ``0..num_nodes-1``.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes; every endpoint must be in ``[0, num_nodes)``.
+    src, dst:
+        Parallel 1-D arrays of edge endpoints (``src[i] -> dst[i]``).
+    """
+
+    num_nodes: int
+    src: np.ndarray = field(repr=False)
+    dst: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "src", as_vids(self.src))
+        object.__setattr__(self, "dst", as_vids(self.dst))
+        if self.num_nodes < 0:
+            raise GraphFormatError(f"num_nodes must be >= 0, got {self.num_nodes}")
+        if self.src.ndim != 1 or self.dst.ndim != 1:
+            raise GraphFormatError("src and dst must be 1-D arrays")
+        if self.src.shape != self.dst.shape:
+            raise GraphFormatError(
+                f"src and dst lengths differ: {self.src.size} vs {self.dst.size}"
+            )
+        if self.src.size:
+            lo = min(int(self.src.min()), int(self.dst.min()))
+            hi = max(int(self.src.max()), int(self.dst.max()))
+            if lo < 0 or hi >= self.num_nodes:
+                raise GraphFormatError(
+                    f"edge endpoints [{lo}, {hi}] fall outside [0, {self.num_nodes})"
+                )
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges."""
+        return int(self.src.size)
+
+    def __len__(self) -> int:
+        return self.num_edges
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EdgeList):
+            return NotImplemented
+        return (
+            self.num_nodes == other.num_nodes
+            and np.array_equal(self.src, other.src)
+            and np.array_equal(self.dst, other.dst)
+        )
+
+    def __hash__(self) -> int:  # frozen dataclass requires explicit choice
+        return hash((self.num_nodes, self.num_edges))
+
+    # ------------------------------------------------------------------ #
+    # transformations (all return new EdgeLists)
+    # ------------------------------------------------------------------ #
+    def sorted(self, by: str = "src") -> "EdgeList":
+        """Return a copy sorted lexicographically.
+
+        ``by="src"`` sorts by (src, dst) — the order a CSR build expects;
+        ``by="dst"`` sorts by (dst, src) — the order a CSC build expects.
+        """
+        if by == "src":
+            order = np.lexsort((self.dst, self.src))
+        elif by == "dst":
+            order = np.lexsort((self.src, self.dst))
+        else:
+            raise GraphFormatError(f"unknown sort key {by!r}; use 'src' or 'dst'")
+        return EdgeList(self.num_nodes, self.src[order], self.dst[order])
+
+    def deduplicated(self) -> "EdgeList":
+        """Return a copy with duplicate (src, dst) pairs removed (sorted)."""
+        if self.num_edges == 0:
+            return EdgeList(self.num_nodes, self.src, self.dst)
+        # Pack pairs into single 64-bit keys so uniqueness is one pass.
+        keys = self.src.astype(np.int64) * np.int64(self.num_nodes) + self.dst
+        keys = np.unique(keys)
+        src = (keys // self.num_nodes).astype(VID_DTYPE)
+        dst = (keys % self.num_nodes).astype(VID_DTYPE)
+        return EdgeList(self.num_nodes, src, dst)
+
+    def without_self_loops(self) -> "EdgeList":
+        """Return a copy with ``v -> v`` edges removed."""
+        keep = self.src != self.dst
+        return EdgeList(self.num_nodes, self.src[keep], self.dst[keep])
+
+    def reversed(self) -> "EdgeList":
+        """Return the edge list of the transposed graph."""
+        return EdgeList(self.num_nodes, self.dst, self.src)
+
+    def symmetrized(self) -> "EdgeList":
+        """Return the undirected closure: both directions, deduplicated."""
+        src = np.concatenate([self.src, self.dst])
+        dst = np.concatenate([self.dst, self.src])
+        return EdgeList(self.num_nodes, src, dst).deduplicated()
+
+    def relabeled(self, perm: np.ndarray) -> "EdgeList":
+        """Apply a node permutation: node ``v`` becomes ``perm[v]``.
+
+        ``perm`` must be a permutation of ``0..num_nodes-1``.
+        """
+        perm = np.asarray(perm)
+        if perm.shape != (self.num_nodes,):
+            raise GraphFormatError(
+                f"permutation has shape {perm.shape}, expected ({self.num_nodes},)"
+            )
+        return EdgeList(self.num_nodes, perm[self.src], perm[self.dst])
+
+    def concatenated(self, other: "EdgeList") -> "EdgeList":
+        """Union of two edge lists over the same node set (keeps duplicates)."""
+        if other.num_nodes != self.num_nodes:
+            raise GraphFormatError(
+                f"cannot concatenate edge lists over {self.num_nodes} and "
+                f"{other.num_nodes} nodes"
+            )
+        return EdgeList(
+            self.num_nodes,
+            np.concatenate([self.src, other.src]),
+            np.concatenate([self.dst, other.dst]),
+        )
+
+    # ------------------------------------------------------------------ #
+    # degree queries
+    # ------------------------------------------------------------------ #
+    def out_degrees(self) -> np.ndarray:
+        """Out-degree of every node."""
+        return np.bincount(self.src, minlength=self.num_nodes).astype(EID_DTYPE)
+
+    def in_degrees(self) -> np.ndarray:
+        """In-degree of every node."""
+        return np.bincount(self.dst, minlength=self.num_nodes).astype(EID_DTYPE)
+
+    def is_symmetric(self) -> bool:
+        """True if for every edge (u, v) the reverse edge (v, u) exists."""
+        a = self.deduplicated()
+        b = self.reversed().deduplicated()
+        return a == b

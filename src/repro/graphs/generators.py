@@ -1,0 +1,418 @@
+"""Synthetic graph generators.
+
+Provides the classic generators the paper's datasets come from (R-MAT,
+Kronecker, uniform random, road-style grids, Zipf power-law) plus a
+*profile-matched* generator that targets the structural profile of a real
+crawl — the connectivity-class mix, hub skew and the alpha/beta ratios from
+Tables 1–2.  The dataset registry (:mod:`repro.graphs.datasets`) uses these
+to build scaled-down stand-ins for weibo/track/wiki/pld, which we cannot
+redistribute or fit in this environment.
+
+All generators are deterministic given a seed and fully vectorized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DatasetError
+from ..types import VID_DTYPE
+from .edgelist import EdgeList
+from .graph import Graph
+
+
+def _rng(seed) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def _weighted_sample(
+    rng: np.random.Generator, weights: np.ndarray, size: int
+) -> np.ndarray:
+    """Sample ``size`` ids in ``[0, len(weights))`` with probability
+    proportional to ``weights`` (inverse-CDF via searchsorted)."""
+    if size == 0:
+        return np.empty(0, dtype=np.int64)
+    cdf = np.cumsum(weights, dtype=np.float64)
+    if cdf[-1] <= 0:
+        raise DatasetError("weights must have positive mass")
+    cdf /= cdf[-1]
+    return np.searchsorted(cdf, rng.random(size), side="right").astype(
+        np.int64
+    )
+
+
+def zipf_weights(count: int, exponent: float) -> np.ndarray:
+    """Zipf rank weights ``(rank+1)^-exponent`` for ``count`` items."""
+    if count <= 0:
+        return np.empty(0, dtype=np.float64)
+    return (np.arange(1, count + 1, dtype=np.float64)) ** (-exponent)
+
+
+# --------------------------------------------------------------------- #
+# classic generators
+# --------------------------------------------------------------------- #
+def uniform_random(
+    num_nodes: int,
+    num_edges: int,
+    *,
+    seed=0,
+    directed: bool = False,
+    name: str = "urand",
+) -> Graph:
+    """Erdős–Rényi-style uniform random graph (the paper's ``urand``).
+
+    Endpoints are drawn uniformly; self loops and duplicates are removed, so
+    the resulting edge count is slightly below ``num_edges`` (regenerated in
+    one top-up round to get close).  ``directed=False`` symmetrizes, giving
+    the all-regular, non-skewed profile of Table 1.
+    """
+    rng = _rng(seed)
+    src = rng.integers(0, num_nodes, num_edges, dtype=np.int64)
+    dst = rng.integers(0, num_nodes, num_edges, dtype=np.int64)
+    edges = EdgeList(num_nodes, src, dst).without_self_loops().deduplicated()
+    missing = num_edges - edges.num_edges
+    if missing > 0:
+        src2 = rng.integers(0, num_nodes, 2 * missing, dtype=np.int64)
+        dst2 = rng.integers(0, num_nodes, 2 * missing, dtype=np.int64)
+        extra = EdgeList(num_nodes, src2, dst2).without_self_loops()
+        edges = edges.concatenated(extra).deduplicated()
+        if edges.num_edges > num_edges:
+            edges = EdgeList(
+                num_nodes, edges.src[:num_edges], edges.dst[:num_edges]
+            )
+    if not directed:
+        edges = edges.symmetrized()
+    return Graph.from_edgelist(edges, directed=directed, name=name)
+
+
+def road_grid(
+    rows: int, cols: int, *, seed=0, horizontal_keep: float = 0.7,
+    name: str = "road",
+) -> Graph:
+    """Road-network stand-in: a 2-D grid with thinned horizontal streets.
+
+    All vertical grid edges are kept (so no node is ever isolated) while
+    each horizontal edge survives with probability ``horizontal_keep``.
+    This reproduces the properties the paper leans on for ``road``:
+    bidirected, every node regular, low maximum degree (<= 4), large
+    diameter, near-uniform degrees — and, with the default keep rate, the
+    "half the nodes are hubs owning two thirds of the edges" profile that
+    Table 1 reports for non-skewed graphs.
+    """
+    if rows < 2 or cols < 2:
+        raise DatasetError("grid needs at least 2x2 nodes")
+    if not 0.0 <= horizontal_keep <= 1.0:
+        raise DatasetError(
+            f"horizontal_keep must be in [0, 1], got {horizontal_keep}"
+        )
+    n = rows * cols
+    rng = _rng(seed)
+    ids = np.arange(n, dtype=np.int64).reshape(rows, cols)
+    right = np.stack([ids[:, :-1].ravel(), ids[:, 1:].ravel()], axis=1)
+    right = right[rng.random(right.shape[0]) < horizontal_keep]
+    down = np.stack([ids[:-1, :].ravel(), ids[1:, :].ravel()], axis=1)
+    pairs = np.concatenate([right, down], axis=0)
+    edges = EdgeList(n, pairs[:, 0], pairs[:, 1]).symmetrized()
+    return Graph.from_edgelist(edges, directed=False, name=name)
+
+
+def rmat(
+    scale: int,
+    edge_factor: int = 16,
+    *,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed=0,
+    directed: bool = True,
+    name: str = "rmat",
+) -> Graph:
+    """R-MAT recursive generator (Chakrabarti et al., the paper's ``rmat``).
+
+    ``n = 2**scale`` nodes and about ``edge_factor * n`` edges after
+    deduplication.  The default (a, b, c) are the Graph500/GAP parameters.
+    R-MAT naturally leaves a large fraction of ids untouched, reproducing the
+    big isolated-node share Table 1 reports for rmat/kron.
+    """
+    if not 0 < a + b + c < 1:
+        raise DatasetError("RMAT probabilities must satisfy 0 < a+b+c < 1")
+    n = 1 << scale
+    m = edge_factor * n
+    rng = _rng(seed)
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    for _ in range(scale):
+        r = rng.random(m)
+        # Quadrants: [0,a) -> (0,0); [a,a+b) -> (0,1); [a+b,a+b+c) -> (1,0).
+        row_bit = r >= a + b
+        col_bit = ((r >= a) & (r < a + b)) | (r >= a + b + c)
+        src = (src << 1) | row_bit
+        dst = (dst << 1) | col_bit
+    edges = EdgeList(n, src, dst).without_self_loops().deduplicated()
+    if not directed:
+        edges = edges.symmetrized()
+    return Graph.from_edgelist(edges, directed=directed, name=name)
+
+
+def kronecker(
+    scale: int,
+    edge_factor: int = 16,
+    *,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed=0,
+    name: str = "kron",
+) -> Graph:
+    """GAP-style Kronecker graph: symmetrized R-MAT (the paper's ``kron``)."""
+    return rmat(
+        scale, edge_factor, a=a, b=b, c=c, seed=seed, directed=False,
+        name=name,
+    )
+
+
+def powerlaw(
+    num_nodes: int,
+    num_edges: int,
+    *,
+    in_exponent: float = 1.0,
+    out_exponent: float = 0.4,
+    seed=0,
+    name: str = "powerlaw",
+) -> Graph:
+    """Directed power-law graph with Zipf-distributed endpoint popularity.
+
+    In-degrees follow a steeper Zipf law than out-degrees, the typical shape
+    of web/social crawls the paper targets.
+    """
+    rng = _rng(seed)
+    dst = _weighted_sample(rng, zipf_weights(num_nodes, in_exponent), num_edges)
+    src = _weighted_sample(
+        rng, zipf_weights(num_nodes, out_exponent), num_edges
+    )
+    edges = EdgeList(num_nodes, src, dst).without_self_loops().deduplicated()
+    perm = rng.permutation(num_nodes).astype(VID_DTYPE)
+    return Graph.from_edgelist(edges.relabeled(perm), directed=True, name=name)
+
+
+# --------------------------------------------------------------------- #
+# profile-matched generator
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class GraphProfile:
+    """Target structural profile for :func:`profile_graph`.
+
+    Fractions refer to Table 1's four connectivity classes and must sum to
+    (approximately) one.  ``beta`` is the target share of edges inside the
+    regular subgraph (Table 2); the remaining edge budget is spread over
+    seed->regular, regular->sink and seed->sink links so that the class
+    constraints hold by construction.
+    """
+
+    num_nodes: int
+    num_edges: int
+    frac_regular: float
+    frac_seed: float
+    frac_sink: float
+    frac_isolated: float
+    beta: float
+    hub_exponent: float = 1.0  #: Zipf exponent of regular in-degree skew
+    seed_target_exponent: float = 1.2  #: skew of seed->regular destinations
+
+    def __post_init__(self) -> None:
+        total = (
+            self.frac_regular
+            + self.frac_seed
+            + self.frac_sink
+            + self.frac_isolated
+        )
+        if not 0.99 <= total <= 1.01:
+            raise DatasetError(
+                f"class fractions sum to {total:.3f}, expected 1.0"
+            )
+        if not 0.0 <= self.beta <= 1.0:
+            raise DatasetError(f"beta must be in [0, 1], got {self.beta}")
+        if self.num_nodes <= 0 or self.num_edges <= 0:
+            raise DatasetError("profile needs positive node and edge counts")
+
+
+def _sample_unique_edges(
+    rng: np.random.Generator,
+    need: int,
+    num_nodes: int,
+    src_sampler,
+    dst_sampler,
+    existing_keys: np.ndarray,
+    *,
+    allow_loops: bool = False,
+    max_rounds: int = 8,
+) -> np.ndarray:
+    """Collect up to ``need`` unique edge keys (``src * n + dst``) that do
+    not collide with ``existing_keys``, resampling until saturated.
+
+    Used by :func:`profile_graph` to hit an exact edge budget despite the
+    heavy duplicate rate that Zipf-concentrated sampling produces.
+    """
+    collected = np.empty(0, dtype=np.int64)
+    existing_keys = np.asarray(existing_keys, dtype=np.int64)
+    n = np.int64(num_nodes)
+    for _ in range(max_rounds):
+        remaining = need - collected.size
+        if remaining <= 0:
+            break
+        batch = int(remaining * 1.6) + 16
+        s = np.asarray(src_sampler(batch), dtype=np.int64)
+        d = np.asarray(dst_sampler(batch), dtype=np.int64)
+        if not allow_loops:
+            keep = s != d
+            s, d = s[keep], d[keep]
+        keys = np.unique(s * n + d)
+        if existing_keys.size:
+            keys = keys[~np.isin(keys, existing_keys)]
+        keys = np.setdiff1d(keys, collected, assume_unique=True)
+        collected = np.concatenate([collected, keys])
+    if collected.size > need:
+        collected = rng.permutation(collected)[:need]
+    return collected
+
+
+def profile_graph(
+    profile: GraphProfile, *, seed=0, name: str = "profile",
+    shuffle: bool = True,
+) -> Graph:
+    """Generate a directed graph matching a structural profile.
+
+    Construction (all class constraints hold *by construction*):
+
+    1. Split ids into regular / seed / sink / isolated blocks per the target
+       fractions.
+    2. Regular core: a cycle over regular ids (guaranteeing in >= 1 and
+       out >= 1 for every regular node) plus ``beta * m - r`` Zipf-skewed
+       unique edges whose destinations concentrate on the first regular ids
+       (the future hubs).
+    3. Seed nodes: one guaranteed out-edge each, plus extra seed->regular
+       edges with hub-skewed destinations.
+    4. Sink nodes: one guaranteed in-edge each (from a regular node), plus
+       extra regular->sink edges.
+    5. Optionally shuffle all node labels so that classes interleave in id
+       space — making Mixen's filtering step do real work.
+
+    The generator resamples around duplicate collisions, so the final edge
+    count lands on ``profile.num_edges`` unless a category's unique-pair
+    space saturates (it raises early when the regular core cannot possibly
+    host ``beta * m`` edges).
+    """
+    rng = _rng(seed)
+    p = profile
+    n = p.num_nodes
+    n_seed = int(round(p.frac_seed * n))
+    n_sink = int(round(p.frac_sink * n))
+    n_iso = int(round(p.frac_isolated * n))
+    n_reg = n - n_seed - n_sink - n_iso
+    if n_reg <= 1:
+        raise DatasetError(
+            "profile leaves fewer than 2 regular nodes; increase num_nodes "
+            "or frac_regular"
+        )
+
+    m = p.num_edges
+    m_rr = max(int(round(p.beta * m)), n_reg)
+    if m_rr > 0.85 * n_reg * (n_reg - 1):
+        raise DatasetError(
+            f"profile infeasible: beta*m = {m_rr} edges cannot fit in a "
+            f"regular core of {n_reg} nodes "
+            f"({n_reg * (n_reg - 1)} possible pairs); increase num_nodes or "
+            "frac_regular, or decrease beta/num_edges"
+        )
+
+    reg = np.arange(n_reg, dtype=np.int64)
+    seeds = n_reg + np.arange(n_seed, dtype=np.int64)
+    sinks = n_reg + n_seed + np.arange(n_sink, dtype=np.int64)
+    n64 = np.int64(n)
+
+    keys: list[np.ndarray] = []
+
+    # (2) regular core: cycle + skewed unique edges.
+    cycle_keys = reg * n64 + np.roll(reg, -1)
+    keys.append(cycle_keys)
+    extra_rr = m_rr - n_reg
+    if extra_rr > 0:
+        w_in = zipf_weights(n_reg, p.hub_exponent)
+        w_out = zipf_weights(n_reg, p.hub_exponent * 0.4)
+        keys.append(
+            _sample_unique_edges(
+                rng, extra_rr, n,
+                lambda k: _weighted_sample(rng, w_out, k),
+                lambda k: _weighted_sample(rng, w_in, k),
+                cycle_keys,
+            )
+        )
+
+    # Split the non-regular edge budget (beyond the guaranteed edges).
+    budget = max(m - m_rr - n_seed - n_sink, 0)
+    extra_seed = extra_sink = 0
+    if budget > 0:
+        if n_seed and n_sink:
+            extra_seed = int(round(budget * 0.8))
+            extra_sink = budget - extra_seed
+        elif n_seed:
+            extra_seed = budget
+        elif n_sink:
+            extra_sink = budget
+        else:  # no seed/sink classes: put the budget into the regular core
+            w_in = zipf_weights(n_reg, p.hub_exponent)
+            keys.append(
+                _sample_unique_edges(
+                    rng, budget, n,
+                    lambda k: rng.integers(0, n_reg, k, dtype=np.int64),
+                    lambda k: _weighted_sample(rng, w_in, k),
+                    np.concatenate(keys),
+                )
+            )
+
+    # (3) seed out-edges (to regular nodes, hub-skewed destinations).
+    if n_seed:
+        w_tgt = zipf_weights(n_reg, p.seed_target_exponent)
+        guaranteed = seeds * n64 + _weighted_sample(rng, w_tgt, n_seed)
+        keys.append(guaranteed)
+        if extra_seed:
+            keys.append(
+                _sample_unique_edges(
+                    rng, extra_seed, n,
+                    lambda k: seeds[
+                        rng.integers(0, n_seed, k, dtype=np.int64)
+                    ],
+                    lambda k: _weighted_sample(rng, w_tgt, k),
+                    guaranteed,
+                )
+            )
+
+    # (4) sink in-edges (from regular nodes).
+    if n_sink:
+        guaranteed = (
+            rng.integers(0, n_reg, n_sink, dtype=np.int64) * n64 + sinks
+        )
+        keys.append(guaranteed)
+        if extra_sink:
+            keys.append(
+                _sample_unique_edges(
+                    rng, extra_sink, n,
+                    lambda k: rng.integers(0, n_reg, k, dtype=np.int64),
+                    lambda k: sinks[
+                        rng.integers(0, n_sink, k, dtype=np.int64)
+                    ],
+                    guaranteed,
+                )
+            )
+
+    all_keys = np.concatenate(keys)
+    src = all_keys // n64
+    dst = all_keys % n64
+    edges = EdgeList(n, src, dst).deduplicated()
+
+    if shuffle:
+        perm = rng.permutation(n).astype(VID_DTYPE)
+        edges = edges.relabeled(perm)
+    return Graph.from_edgelist(edges, directed=True, name=name)

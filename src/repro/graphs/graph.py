@@ -1,0 +1,130 @@
+"""Graph facade combining the out-adjacency (CSR) and in-adjacency (CSC).
+
+Engines in this package consume :class:`Graph` objects.  The CSC (the CSR of
+the transposed graph) is built lazily and cached, because push-only engines
+never need it — and because the paper charges CSC construction to
+preprocessing where relevant (Table 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..errors import GraphFormatError
+from .csr import CSR
+from .edgelist import EdgeList
+
+
+@dataclass
+class Graph:
+    """A directed graph with ``n`` nodes and ``m`` directed edges.
+
+    Parameters
+    ----------
+    csr:
+        Out-adjacency: ``csr.row(v)`` lists the out-neighbors of ``v``.
+    directed:
+        False when the edge set is symmetric (every edge stored both ways),
+        as for the paper's ``kron``/``road``/``urand`` datasets.
+    name:
+        Optional dataset label used in reports.
+    """
+
+    csr: CSR
+    directed: bool = True
+    name: str = ""
+    _csc: Optional[CSR] = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.csr.num_rows != self.csr.num_cols:
+            raise GraphFormatError("graph adjacency must be square")
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_edges(
+        cls,
+        num_nodes: int,
+        src,
+        dst,
+        *,
+        directed: bool = True,
+        name: str = "",
+    ) -> "Graph":
+        """Build a graph from parallel endpoint arrays."""
+        return cls(CSR.from_edges(num_nodes, src, dst), directed, name)
+
+    @classmethod
+    def from_edgelist(
+        cls, edges: EdgeList, *, directed: bool = True, name: str = ""
+    ) -> "Graph":
+        """Build a graph from an :class:`EdgeList`."""
+        return cls(CSR.from_edgelist(edges), directed, name)
+
+    # ------------------------------------------------------------------ #
+    # properties
+    # ------------------------------------------------------------------ #
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``n``."""
+        return self.csr.num_rows
+
+    @property
+    def num_edges(self) -> int:
+        """Number of stored directed edges ``m``."""
+        return self.csr.num_edges
+
+    @property
+    def csc(self) -> CSR:
+        """In-adjacency (built lazily, cached)."""
+        if self._csc is None:
+            self._csc = self.csr.transposed()
+        return self._csc
+
+    def has_csc(self) -> bool:
+        """True if the in-adjacency has already been materialized."""
+        return self._csc is not None
+
+    def out_degrees(self) -> np.ndarray:
+        """Out-degree of every node."""
+        return self.csr.degrees()
+
+    def in_degrees(self) -> np.ndarray:
+        """In-degree of every node (no CSC build needed)."""
+        if self._csc is not None:
+            return self._csc.degrees()
+        return self.csr.col_degrees()
+
+    def average_degree(self) -> float:
+        """Average degree ``m / n`` — the paper's hub threshold."""
+        if self.num_nodes == 0:
+            return 0.0
+        return self.num_edges / self.num_nodes
+
+    # ------------------------------------------------------------------ #
+    # transformations
+    # ------------------------------------------------------------------ #
+    def relabeled(self, perm: np.ndarray) -> "Graph":
+        """Apply a node permutation: node ``v`` becomes ``perm[v]``."""
+        return Graph(self.csr.permuted(perm), self.directed, self.name)
+
+    def reversed(self) -> "Graph":
+        """The transposed graph (reuses the cached CSC as the new CSR)."""
+        g = Graph(self.csc, self.directed, self.name)
+        g._csc = self.csr
+        return g
+
+    def to_edgelist(self) -> EdgeList:
+        """Expand to an edge list (src = CSR rows)."""
+        return self.csr.to_edgelist()
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        kind = "directed" if self.directed else "undirected"
+        return (
+            f"<Graph{label} n={self.num_nodes} m={self.num_edges} {kind}>"
+        )

@@ -1,0 +1,108 @@
+"""Classic graph reordering strategies.
+
+The paper's filtering step is a *connectivity-aware* reordering; the
+literature it builds on (the authors' own TPDS'21 reordering work, and
+degree-sort baselines in cache-blocking papers) offers simpler
+alternatives.  This module implements those so the benchmarks can compare
+Mixen's filter against them:
+
+* :func:`degree_sort` — nodes by descending in- (or out-) degree;
+* :func:`random_order` — a seeded shuffle (the locality-destroying
+  baseline);
+* :func:`bfs_order` — visit order of a BFS from a given/high-degree
+  source (a cheap locality-friendly ordering);
+* :func:`hub_cluster_order` — hubs first, the rest in original order
+  (Mixen's step 2 alone, without the class grouping).
+
+All return a permutation ``perm`` with the :mod:`repro.core.permutation`
+convention: node ``v`` receives new id ``perm[v]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GraphFormatError
+from .classify import classify_nodes
+from .graph import Graph
+
+
+def _order_to_perm(order: np.ndarray, n: int) -> np.ndarray:
+    """Convert a visit order (new id -> old id) into old id -> new id."""
+    perm = np.empty(n, dtype=np.int64)
+    perm[order] = np.arange(n, dtype=np.int64)
+    return perm
+
+
+def degree_sort(
+    graph: Graph, *, by: str = "in", descending: bool = True
+) -> np.ndarray:
+    """Sort nodes by degree (stable; ties keep original order)."""
+    if by == "in":
+        deg = graph.in_degrees()
+    elif by == "out":
+        deg = graph.out_degrees()
+    elif by == "total":
+        deg = graph.in_degrees() + graph.out_degrees()
+    else:
+        raise GraphFormatError(
+            f"unknown degree kind {by!r}; use 'in', 'out' or 'total'"
+        )
+    key = -deg if descending else deg
+    order = np.argsort(key, kind="stable")
+    return _order_to_perm(order, graph.num_nodes)
+
+
+def random_order(graph: Graph, *, seed: int = 0) -> np.ndarray:
+    """A seeded random permutation (destroys any existing locality)."""
+    rng = np.random.default_rng(seed)
+    return rng.permutation(graph.num_nodes).astype(np.int64)
+
+
+def bfs_order(graph: Graph, *, source: int | None = None) -> np.ndarray:
+    """BFS visit order from ``source`` (default: max-out-degree node).
+
+    Unreached nodes keep their relative order after the reached ones.
+    """
+    n = graph.num_nodes
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    if source is None:
+        source = int(np.argmax(graph.out_degrees()))
+    if not 0 <= source < n:
+        raise GraphFormatError(f"BFS source {source} outside [0, {n})")
+    csr = graph.csr
+    visited = np.zeros(n, dtype=bool)
+    order: list[int] = []
+    frontier = np.array([source], dtype=np.int64)
+    visited[source] = True
+    order.append(source)
+    while frontier.size:
+        neighbors = np.unique(
+            np.concatenate([csr.row(int(u)) for u in frontier])
+        ) if frontier.size else np.empty(0, np.int64)
+        fresh = neighbors[~visited[neighbors]]
+        visited[fresh] = True
+        order.extend(fresh.tolist())
+        frontier = fresh
+    rest = np.flatnonzero(~visited)
+    full = np.concatenate([np.array(order, dtype=np.int64), rest])
+    return _order_to_perm(full, n)
+
+
+def hub_cluster_order(graph: Graph) -> np.ndarray:
+    """Hubs (in-degree > average) first, everyone else after, both in
+    original order — Mixen's filter step 2 without the class grouping."""
+    cc = classify_nodes(graph)
+    key = np.where(cc.hub_mask, 0, 1)
+    order = np.argsort(key, kind="stable")
+    return _order_to_perm(order, graph.num_nodes)
+
+
+#: name -> strategy registry for the benchmarks.
+REORDERINGS = {
+    "degree": degree_sort,
+    "random": random_order,
+    "bfs": bfs_order,
+    "hubs": hub_cluster_order,
+}

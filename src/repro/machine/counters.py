@@ -1,0 +1,139 @@
+"""Performance counters: the events perf/likwid measure in the paper.
+
+Two counter families mirror the paper's two "memory activities"
+(Section 3): traffic volume (bytes moved between CPU and memory) and random
+accesses (non-sequential address jumps), plus per-cache-level
+reference/hit/miss counts for the Figure 5/7 experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TrafficCounters:
+    """Byte-level traffic and jump counters reported by instrumented kernels.
+
+    ``random_accesses`` counts per-element address jumps that cannot be
+    coalesced into a streaming access (the paper's "non-sequential address
+    jumps"); ``sequential_elements`` counts elements touched by streaming
+    scans and ``stream_jumps`` the number of distinct streams started —
+    for the blocked engines this is exactly the paper's ``b^2`` bin
+    switches (Section 3).
+    """
+
+    bytes_read: int = 0
+    bytes_written: int = 0
+    random_accesses: int = 0
+    sequential_elements: int = 0
+    stream_jumps: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        """Read plus write volume."""
+        return self.bytes_read + self.bytes_written
+
+    def add(self, other: "TrafficCounters") -> "TrafficCounters":
+        """Accumulate another counter set into this one (returns self)."""
+        self.bytes_read += other.bytes_read
+        self.bytes_written += other.bytes_written
+        self.random_accesses += other.random_accesses
+        self.sequential_elements += other.sequential_elements
+        self.stream_jumps += other.stream_jumps
+        return self
+
+    def __iadd__(self, other: "TrafficCounters") -> "TrafficCounters":
+        return self.add(other)
+
+    def scaled(self, factor: float) -> "TrafficCounters":
+        """Counters multiplied by ``factor`` (e.g. per-iteration averaging)."""
+        return TrafficCounters(
+            int(self.bytes_read * factor),
+            int(self.bytes_written * factor),
+            int(self.random_accesses * factor),
+            int(self.sequential_elements * factor),
+            int(self.stream_jumps * factor),
+        )
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for reports."""
+        return {
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "total_bytes": self.total_bytes,
+            "random_accesses": self.random_accesses,
+            "sequential_elements": self.sequential_elements,
+            "stream_jumps": self.stream_jumps,
+        }
+
+
+@dataclass
+class CacheCounters:
+    """Reference/hit/miss counts of one cache level."""
+
+    references: int = 0
+    hits: int = 0
+
+    @property
+    def misses(self) -> int:
+        """References that missed."""
+        return self.references - self.hits
+
+    @property
+    def hit_ratio(self) -> float:
+        """Hits over references (0 when idle)."""
+        return self.hits / self.references if self.references else 0.0
+
+    @property
+    def miss_ratio(self) -> float:
+        """Misses over references (0 when idle)."""
+        return 1.0 - self.hit_ratio if self.references else 0.0
+
+    def record(self, references: int, hits: int) -> None:
+        """Accumulate one batch of simulated accesses."""
+        if hits > references or references < 0 or hits < 0:
+            raise ValueError(
+                f"invalid batch: references={references} hits={hits}"
+            )
+        self.references += references
+        self.hits += hits
+
+    def add(self, other: "CacheCounters") -> "CacheCounters":
+        """Accumulate another counter set into this one (returns self)."""
+        self.references += other.references
+        self.hits += other.hits
+        return self
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for reports."""
+        return {
+            "references": self.references,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_ratio": self.hit_ratio,
+        }
+
+
+@dataclass
+class MachineCounters:
+    """Full counter bundle: traffic plus one :class:`CacheCounters` per
+    cache level, keyed by level name (``"L1"``, ``"L2"``, ``"LLC"``)."""
+
+    traffic: TrafficCounters = field(default_factory=TrafficCounters)
+    caches: dict = field(default_factory=dict)
+    dram_bytes: int = 0
+
+    def cache(self, name: str) -> CacheCounters:
+        """Get-or-create the counters of one cache level."""
+        if name not in self.caches:
+            self.caches[name] = CacheCounters()
+        return self.caches[name]
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for reports."""
+        return {
+            "traffic": self.traffic.as_dict(),
+            "dram_bytes": self.dram_bytes,
+            "caches": {k: v.as_dict() for k, v in self.caches.items()},
+        }

@@ -1,0 +1,200 @@
+"""Analytic cost models from the paper (Sections 3 and 5).
+
+All formulas count *elements* scaled by ``property_bytes`` (the paper's
+analysis assumes 1-byte node/link/update types; the evaluation uses 4-byte
+types, so ``property_bytes=4`` reproduces its absolute numbers).
+
+Motivation-section models (per iteration of InDegree):
+
+* pulling flow over CSC: traffic ``2m + 2n``, random accesses ``m``;
+* GAS blocking over blocked CSR: traffic ``4m + 3n``, random accesses
+  ``(n / c)^2`` where ``c`` is the block side in nodes.
+
+Section 5 models for Mixen's Main-Phase (Eqs. 1–2):
+
+* traffic ``4 * alpha * n + 4 * beta * m``;
+* random accesses ``(alpha * n / c)^2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import MachineError
+
+
+def _check(n: int, m: int) -> None:
+    if n < 0 or m < 0:
+        raise MachineError(f"negative graph sizes: n={n} m={m}")
+
+
+def pull_traffic_bytes(n: int, m: int, *, property_bytes: int = 1) -> int:
+    """Pulling-flow traffic per iteration: ``(2m + 2n) * property_bytes``.
+
+    CSC scan (n + m), m gathered reads of x, n written sums — the paper
+    folds the pointer scan into the ``2m + 2n`` total.
+    """
+    _check(n, m)
+    return (2 * m + 2 * n) * property_bytes
+
+
+def blocking_traffic_bytes(n: int, m: int, *, property_bytes: int = 1) -> int:
+    """GAS blocking traffic per iteration: ``(4m + 3n) * property_bytes``.
+
+    Scatter reads CSR (n + m) and x (n), writes m bin entries; Gather reads
+    m pairs and writes n sums.
+    """
+    _check(n, m)
+    return (4 * m + 3 * n) * property_bytes
+
+
+def pull_random_accesses(m: int) -> int:
+    """Pulling-flow random accesses per iteration: up to ``m`` x-reads."""
+    _check(0, m)
+    return m
+
+
+def blocking_random_accesses(n: int, c_nodes: int) -> int:
+    """Blocking random accesses per iteration: ``(n / c)^2`` bin switches."""
+    _check(n, 0)
+    if c_nodes <= 0:
+        raise MachineError(f"block side must be positive, got {c_nodes}")
+    b = -(-n // c_nodes)  # ceil
+    return b * b
+
+
+@dataclass(frozen=True)
+class MixenModel:
+    """Eq. (1)–(2): Mixen Main-Phase cost as a function of the profile.
+
+    ``alpha = r / n`` (regular-node ratio), ``beta = m~ / m`` (regular-edge
+    ratio), ``c_nodes`` the block side in nodes.
+    """
+
+    num_nodes: int
+    num_edges: int
+    alpha: float
+    beta: float
+    c_nodes: int
+    property_bytes: int = 1
+
+    def __post_init__(self) -> None:
+        _check(self.num_nodes, self.num_edges)
+        if not 0.0 <= self.alpha <= 1.0 or not 0.0 <= self.beta <= 1.0:
+            raise MachineError(
+                f"alpha/beta must be ratios in [0, 1]: "
+                f"alpha={self.alpha} beta={self.beta}"
+            )
+        if self.c_nodes <= 0:
+            raise MachineError(
+                f"block side must be positive, got {self.c_nodes}"
+            )
+
+    @property
+    def num_regular(self) -> int:
+        """``r = alpha * n``."""
+        return int(round(self.alpha * self.num_nodes))
+
+    @property
+    def regular_edges(self) -> int:
+        """``m~ = beta * m``."""
+        return int(round(self.beta * self.num_edges))
+
+    @property
+    def num_blocks_per_side(self) -> int:
+        """``b = ceil(r / c)``."""
+        return max(-(-self.num_regular // self.c_nodes), 1)
+
+    def traffic_bytes(self) -> int:
+        """Eq. (1): ``mem = 4 * alpha * n + 4 * beta * m`` (times bytes).
+
+        Scatter reads r updates + r destinations and writes m~ bin entries;
+        Cache re-reads and re-writes... the paper's accounting totals
+        ``4r + 4m~``.
+        """
+        return (
+            4 * self.num_regular + 4 * self.regular_edges
+        ) * self.property_bytes
+
+    def random_accesses(self) -> int:
+        """Eq. (2): ``rand = O(b^2) = O((alpha * n / c)^2)`` bin switches."""
+        b = self.num_blocks_per_side
+        return b * b
+
+    def traffic_advantage_over_blocking(self) -> float:
+        """Blocking traffic divided by Mixen traffic (>1 = Mixen wins).
+
+        Per the paper: with ``alpha = beta = 1`` Mixen is slightly *worse*
+        (4n + 4m vs 3n + 4m) because of the extra Cache step; the advantage
+        grows as alpha and beta shrink.
+        """
+        mine = self.traffic_bytes()
+        if mine == 0:
+            return float("inf")
+        return blocking_traffic_bytes(
+            self.num_nodes, self.num_edges,
+            property_bytes=self.property_bytes,
+        ) / mine
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Per-event cycle costs for converting simulated counters into a
+    modeled execution time.
+
+    Demand accesses pay the latency of the level that serviced them;
+    streaming (prefetched / non-temporal) traffic is bandwidth-bound, so
+    it is charged as bytes over ``stream_bytes_per_cycle``.  The defaults
+    approximate a Xeon-class part (cycles) and are only used for *shape*
+    comparisons — the paper's absolute times come from different silicon.
+    """
+
+    l1_hit: float = 4.0
+    l2_hit: float = 14.0
+    llc_hit: float = 42.0
+    dram: float = 220.0
+    stream_bytes_per_cycle: float = 12.0
+
+
+#: default latency model used by the benches.
+DEFAULT_LATENCIES = LatencyModel()
+
+
+def modeled_cycles(
+    machine_counters,
+    latencies: LatencyModel = DEFAULT_LATENCIES,
+    *,
+    cores: int = 1,
+) -> float:
+    """Modeled cycles of one traced execution.
+
+    ``machine_counters`` is the :class:`~repro.machine.counters.
+    MachineCounters` bundle a :class:`~repro.machine.hierarchy.
+    MemoryHierarchy` produced.  Demand accesses pay the latency of the
+    level that serviced them; streamed traffic is charged against the
+    (shared) DRAM bandwidth.  With ``cores > 1`` the demand latency
+    overlaps across cores while the bandwidth term stays shared — the
+    regime the paper's multi-threaded measurements live in, and the
+    mechanism behind its block-size trade-off (Figures 6–7).
+    """
+    if cores <= 0:
+        raise MachineError(f"cores must be positive, got {cores}")
+    caches = machine_counters.caches
+    l1 = caches.get("L1")
+    l2 = caches.get("L2")
+    llc = caches.get("LLC")
+    demand = 0.0
+    if l1 is not None:
+        demand += l1.hits * latencies.l1_hit
+    if l2 is not None:
+        demand += l2.hits * latencies.l2_hit
+    if llc is not None:
+        demand += llc.hits * latencies.llc_hit
+        demand += llc.misses * latencies.dram
+    cycles = demand / cores
+    if latencies.stream_bytes_per_cycle > 0:
+        cycles += (
+            machine_counters.traffic.total_bytes
+            / latencies.stream_bytes_per_cycle
+        )
+    return cycles

@@ -1,0 +1,187 @@
+"""Access traces: the bridge between kernels and the cache simulators.
+
+Instrumented kernels describe their memory behaviour as a sequence of bulk
+*access descriptors* — "scan this array segment", "gather these indices from
+that array" — against a named :class:`AddressSpace`.  The trace expands the
+descriptors into an ordered stream of cache-line ids and simultaneously
+accumulates the byte/jump counters of
+:class:`~repro.machine.counters.TrafficCounters`.
+
+Keeping descriptors bulk (one NumPy array per gather, not one event per
+element) is what makes full-graph simulation tractable in Python.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import MachineError
+from .counters import TrafficCounters
+
+
+@dataclass(frozen=True)
+class ArrayRegion:
+    """One named array placed in the simulated address space."""
+
+    name: str
+    base: int  #: base address in bytes (line-aligned)
+    length: int  #: number of elements
+    itemsize: int  #: bytes per element
+
+    def addresses(self, indices: np.ndarray) -> np.ndarray:
+        """Byte addresses of the given element indices."""
+        return self.base + np.asarray(indices, dtype=np.int64) * self.itemsize
+
+
+class AddressSpace:
+    """A flat simulated address space assigning line-aligned array bases.
+
+    Arrays are placed back to back (padded to line boundaries), mimicking a
+    single big allocation; distinct arrays therefore never share lines.
+    """
+
+    def __init__(self, line_bytes: int = 64) -> None:
+        if line_bytes <= 0:
+            raise MachineError(f"line size must be positive: {line_bytes}")
+        self.line_bytes = line_bytes
+        self._regions: dict[str, ArrayRegion] = {}
+        self._next_base = 0
+
+    def register(self, name: str, length: int, itemsize: int) -> ArrayRegion:
+        """Place a new array; names must be unique."""
+        if name in self._regions:
+            raise MachineError(f"array {name!r} already registered")
+        if length < 0 or itemsize <= 0:
+            raise MachineError(
+                f"bad region spec: length={length} itemsize={itemsize}"
+            )
+        region = ArrayRegion(name, self._next_base, length, itemsize)
+        nbytes = length * itemsize
+        padded = -(-nbytes // self.line_bytes) * self.line_bytes
+        self._next_base += max(padded, self.line_bytes)
+        self._regions[name] = region
+        return region
+
+    def region(self, name: str) -> ArrayRegion:
+        """Look up a placed array."""
+        try:
+            return self._regions[name]
+        except KeyError:
+            raise MachineError(f"array {name!r} is not registered") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._regions
+
+
+class AccessTrace:
+    """Ordered line-id stream plus traffic counters for one execution.
+
+    Kernels call the emitters below; afterwards :meth:`lines` yields the
+    stream for a :class:`~repro.machine.hierarchy.MemoryHierarchy` and
+    :attr:`traffic` holds the byte counters.
+    """
+
+    def __init__(self, space: AddressSpace) -> None:
+        self.space = space
+        self.traffic = TrafficCounters()
+        self._chunks: list[np.ndarray] = []
+        self._demand: list[bool] = []
+
+    # ------------------------------------------------------------------ #
+    # emitters
+    # ------------------------------------------------------------------ #
+    def sequential(
+        self, name: str, start: int, count: int, *, write: bool = False
+    ) -> None:
+        """A streaming scan of ``count`` elements from ``start``.
+
+        Touches each covered line once, in order; counts one stream jump
+        (the initial address jump into the segment — the unit behind the
+        paper's ``b^2`` blocking random-access model).
+        """
+        if count <= 0:
+            return
+        region = self.space.region(name)
+        if start < 0 or start + count > region.length:
+            raise MachineError(
+                f"scan [{start}, {start + count}) outside array "
+                f"{name!r} of length {region.length}"
+            )
+        lb = self.space.line_bytes
+        first = (region.base + start * region.itemsize) // lb
+        last = (region.base + (start + count) * region.itemsize - 1) // lb
+        self._chunks.append(np.arange(first, last + 1, dtype=np.int64))
+        # Streaming scans are covered by the hardware prefetcher: their
+        # lines still occupy cache space and consume DRAM bandwidth, but
+        # they are not demand references (see MemoryHierarchy).
+        self._demand.append(False)
+        nbytes = count * region.itemsize
+        if write:
+            self.traffic.bytes_written += nbytes
+        else:
+            self.traffic.bytes_read += nbytes
+        self.traffic.sequential_elements += count
+        self.traffic.stream_jumps += 1
+
+    def gather(self, name: str, indices: np.ndarray) -> None:
+        """Random reads of the given element indices (one access each)."""
+        self._random_access(name, indices, write=False)
+
+    def scatter(self, name: str, indices: np.ndarray) -> None:
+        """Random writes of the given element indices (one access each)."""
+        self._random_access(name, indices, write=True)
+
+    def _random_access(
+        self, name: str, indices: np.ndarray, *, write: bool
+    ) -> None:
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size == 0:
+            return
+        region = self.space.region(name)
+        if int(indices.min()) < 0 or int(indices.max()) >= region.length:
+            raise MachineError(
+                f"indices outside array {name!r} of length {region.length}"
+            )
+        lines = region.addresses(indices) // self.space.line_bytes
+        self._chunks.append(lines)
+        self._demand.append(True)
+        nbytes = indices.size * region.itemsize
+        if write:
+            self.traffic.bytes_written += nbytes
+        else:
+            self.traffic.bytes_read += nbytes
+        self.traffic.random_accesses += int(indices.size)
+
+    # ------------------------------------------------------------------ #
+    # consumers
+    # ------------------------------------------------------------------ #
+    def lines(self) -> np.ndarray:
+        """The full ordered cache-line stream."""
+        if not self._chunks:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(self._chunks)
+
+    def demand_mask(self) -> np.ndarray:
+        """True for demand accesses (random gathers/scatters); False for
+        prefetcher-covered streaming accesses."""
+        if not self._chunks:
+            return np.empty(0, dtype=bool)
+        return np.concatenate(
+            [
+                np.full(chunk.size, flag, dtype=bool)
+                for chunk, flag in zip(self._chunks, self._demand)
+            ]
+        )
+
+    @property
+    def num_accesses(self) -> int:
+        """Number of line-granular accesses recorded so far."""
+        return int(sum(c.size for c in self._chunks))
+
+    def clear(self) -> None:
+        """Drop the recorded stream and counters (reuse between phases)."""
+        self._chunks.clear()
+        self._demand.clear()
+        self.traffic = TrafficCounters()

@@ -1,0 +1,24 @@
+"""Thread scheduling: the modeled multicore and real thread-pool helpers."""
+
+from .scheduling import (
+    ScheduleResult,
+    dynamic_schedule,
+    modeled_parallel_seconds,
+    static_schedule,
+    work_stealing_schedule,
+)
+from .simthreads import ParallelProfile, parallel_profile
+from .threadpool import chunked, default_workers, parallel_for
+
+__all__ = [
+    "ParallelProfile",
+    "ScheduleResult",
+    "chunked",
+    "default_workers",
+    "dynamic_schedule",
+    "modeled_parallel_seconds",
+    "parallel_for",
+    "parallel_profile",
+    "static_schedule",
+    "work_stealing_schedule",
+]

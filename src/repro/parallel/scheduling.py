@@ -1,0 +1,155 @@
+"""Dynamic scheduling model for the simulated multicore.
+
+Substitution note (see DESIGN.md): the paper runs 20 OpenMP threads with
+the dynamic scheduler; under CPython's GIL (and this host's single core)
+real thread-level parallelism is unavailable, so thread behaviour is
+*modelled*: the per-block task loads feed a deterministic simulation of an
+OpenMP-style dynamic work queue, yielding the makespan, per-thread loads
+and the parallel speedup the paper's load-balancing scheme (Section 4.2)
+is designed to protect.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import MachineError
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Outcome of scheduling one task list onto ``num_threads`` workers."""
+
+    num_threads: int
+    makespan: float  #: finishing time of the last worker
+    thread_loads: np.ndarray  #: total work per worker
+    total_load: float
+
+    @property
+    def speedup(self) -> float:
+        """Parallel speedup over serial execution (<= num_threads)."""
+        if self.makespan == 0:
+            return float(self.num_threads)
+        return self.total_load / self.makespan
+
+    @property
+    def efficiency(self) -> float:
+        """Speedup divided by thread count (1.0 = perfect scaling)."""
+        return self.speedup / self.num_threads
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean thread load (1.0 = perfectly balanced)."""
+        mean = self.thread_loads.mean() if self.thread_loads.size else 0.0
+        if mean == 0:
+            return 1.0
+        return float(self.thread_loads.max() / mean)
+
+
+def _check(loads: np.ndarray, num_threads: int) -> np.ndarray:
+    loads = np.asarray(loads, dtype=np.float64)
+    if loads.ndim != 1:
+        raise MachineError("task loads must be 1-D")
+    if np.any(loads < 0):
+        raise MachineError("task loads must be non-negative")
+    if num_threads <= 0:
+        raise MachineError(
+            f"num_threads must be positive, got {num_threads}"
+        )
+    return loads
+
+
+def dynamic_schedule(loads, num_threads: int) -> ScheduleResult:
+    """OpenMP-style dynamic scheduling: each idle worker grabs the next
+    task from a shared queue, in task order."""
+    loads = _check(loads, num_threads)
+    finish = [(0.0, t) for t in range(num_threads)]
+    heapq.heapify(finish)
+    thread_loads = np.zeros(num_threads, dtype=np.float64)
+    for load in loads.tolist():
+        at, t = heapq.heappop(finish)
+        thread_loads[t] += load
+        heapq.heappush(finish, (at + load, t))
+    makespan = max(at for at, _ in finish) if loads.size else 0.0
+    return ScheduleResult(
+        num_threads, makespan, thread_loads, float(loads.sum())
+    )
+
+
+def static_schedule(loads, num_threads: int) -> ScheduleResult:
+    """OpenMP-style static scheduling: contiguous task chunks per thread."""
+    loads = _check(loads, num_threads)
+    bounds = np.linspace(0, loads.size, num_threads + 1).astype(np.int64)
+    thread_loads = np.array(
+        [
+            loads[bounds[t] : bounds[t + 1]].sum()
+            for t in range(num_threads)
+        ]
+    )
+    makespan = float(thread_loads.max()) if loads.size else 0.0
+    return ScheduleResult(
+        num_threads, makespan, thread_loads, float(loads.sum())
+    )
+
+
+def modeled_parallel_seconds(
+    serial_seconds: float, loads, num_threads: int
+) -> float:
+    """Modeled wall time of a measured serial region under dynamic
+    scheduling of its tasks: the serial time shrinks by the achieved
+    speedup (not by the ideal thread count)."""
+    if serial_seconds < 0:
+        raise MachineError("serial time must be non-negative")
+    sched = dynamic_schedule(loads, num_threads)
+    if sched.speedup == 0:
+        return serial_seconds
+    return serial_seconds / sched.speedup
+
+
+def work_stealing_schedule(loads, num_threads: int) -> ScheduleResult:
+    """Work-stealing model: contiguous per-thread chunks (as a static
+    schedule would assign them) plus stealing — an idle worker takes the
+    last queued task of the currently most loaded peer.
+
+    Bridges the static/dynamic gap: it keeps static scheduling's locality
+    for balanced inputs while recovering dynamic-like makespans when one
+    chunk is hub-heavy.
+    """
+    loads = _check(loads, num_threads)
+    n = loads.size
+    bounds = np.linspace(0, n, num_threads + 1).astype(np.int64)
+    # Per-thread task queues (front = own work; victims lose their back).
+    from collections import deque
+
+    queues = [
+        deque(range(int(bounds[t]), int(bounds[t + 1])))
+        for t in range(num_threads)
+    ]
+    remaining = [
+        float(sum(loads[i] for i in q)) for q in queues
+    ]
+    finish = [(0.0, t) for t in range(num_threads)]
+    heapq.heapify(finish)
+    thread_loads = np.zeros(num_threads, dtype=np.float64)
+    makespan = 0.0
+    while finish:
+        at, t = heapq.heappop(finish)
+        makespan = max(makespan, at)
+        if queues[t]:
+            task = queues[t].popleft()
+            remaining[t] -= float(loads[task])
+        else:
+            victim = max(range(num_threads), key=lambda v: remaining[v])
+            if not queues[victim]:
+                continue  # everything is done or in flight
+            task = queues[victim].pop()
+            remaining[victim] -= float(loads[task])
+        load = float(loads[task])
+        thread_loads[t] += load
+        heapq.heappush(finish, (at + load, t))
+    return ScheduleResult(
+        num_threads, makespan, thread_loads, float(loads.sum())
+    )

@@ -1,0 +1,66 @@
+"""Real thread-pool execution helpers.
+
+CPython's GIL serializes pure-Python work, but the NumPy kernels this
+package runs release the GIL for large array operations, so a thread pool
+still overlaps some work on multicore hosts.  These helpers exist for API
+completeness and for running the engines on real multicore machines; the
+benchmarks use the deterministic model in
+:mod:`repro.parallel.scheduling` instead (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence
+
+from ..errors import MachineError
+
+
+def default_workers() -> int:
+    """Worker count: ``REPRO_NUM_THREADS`` or the host's CPU count."""
+    env = os.environ.get("REPRO_NUM_THREADS")
+    if env:
+        try:
+            value = int(env)
+        except ValueError:
+            raise MachineError(
+                f"REPRO_NUM_THREADS must be an integer, got {env!r}"
+            ) from None
+        if value <= 0:
+            raise MachineError(
+                f"REPRO_NUM_THREADS must be positive, got {value}"
+            )
+        return value
+    return os.cpu_count() or 1
+
+
+def chunked(items: Sequence, num_chunks: int) -> list:
+    """Split a sequence into up to ``num_chunks`` contiguous chunks."""
+    if num_chunks <= 0:
+        raise MachineError(
+            f"num_chunks must be positive, got {num_chunks}"
+        )
+    n = len(items)
+    if n == 0:
+        return []
+    num_chunks = min(num_chunks, n)
+    bounds = [n * i // num_chunks for i in range(num_chunks + 1)]
+    return [
+        items[bounds[i] : bounds[i + 1]] for i in range(num_chunks)
+    ]
+
+
+def parallel_for(
+    fn: Callable, items: Iterable, *, max_workers: int | None = None
+) -> list:
+    """Apply ``fn`` to every item on a thread pool; returns results in
+    input order.  Falls back to a plain loop for a single worker."""
+    items = list(items)
+    workers = max_workers if max_workers is not None else default_workers()
+    if workers <= 0:
+        raise MachineError(f"max_workers must be positive, got {workers}")
+    if workers == 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, items))

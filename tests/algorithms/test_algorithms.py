@@ -1,0 +1,184 @@
+"""Unit tests for the algorithm implementations."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    CollaborativeFiltering,
+    InDegree,
+    PageRank,
+    hits,
+    salsa,
+)
+from repro.errors import ConvergenceError
+from repro.frameworks import PullEngine
+from repro.graphs import Graph, load_dataset
+
+
+@pytest.fixture(scope="module")
+def wiki_engine():
+    e = PullEngine(load_dataset("wiki", scale=0.25))
+    e.prepare()
+    return e
+
+
+class TestInDegree:
+    def test_scores_are_in_degrees(self, wiki_engine):
+        res = wiki_engine.run(InDegree(), max_iterations=3,
+                              check_convergence=False)
+        assert np.array_equal(res.scores, wiki_engine.graph.in_degrees())
+
+    def test_x_constant(self):
+        assert InDegree.x_constant
+        assert InDegree.scores_from == "y"
+
+    def test_iterations_counted(self, wiki_engine):
+        res = wiki_engine.run(InDegree(), max_iterations=5,
+                              check_convergence=False)
+        assert res.iterations == 5
+        assert res.seconds_per_iteration > 0
+
+
+class TestPageRank:
+    def test_scores_sum_below_one(self, wiki_engine):
+        # Without dangling-mass redistribution the total rank leaks
+        # through sink nodes, so the sum is <= 1.
+        res = wiki_engine.run(PageRank(), max_iterations=50)
+        assert 0 < res.scores.sum() <= 1.0 + 1e-9
+
+    def test_converges(self, wiki_engine):
+        res = wiki_engine.run(
+            PageRank(tolerance=1e-9), max_iterations=200
+        )
+        assert res.converged
+        assert res.iterations < 200
+
+    def test_seed_nodes_at_teleport_value(self):
+        g = load_dataset("track", scale=0.25)
+        e = PullEngine(g)
+        e.prepare()
+        pr = PageRank(damping=0.85)
+        res = e.run(pr, max_iterations=30)
+        from repro.graphs import classify_nodes
+        from repro.types import NodeClass
+
+        seeds = classify_nodes(g).mask(NodeClass.SEED)
+        teleport = 0.15 / g.num_nodes
+        assert np.allclose(res.scores[seeds], teleport)
+
+    def test_higher_in_degree_tends_higher_rank(self, wiki_engine):
+        res = wiki_engine.run(PageRank(), max_iterations=50)
+        in_deg = wiki_engine.graph.in_degrees()
+        top = np.argsort(res.scores)[-10:]
+        assert in_deg[top].mean() > in_deg.mean()
+
+    def test_validation(self):
+        with pytest.raises(ConvergenceError):
+            PageRank(damping=1.5)
+        with pytest.raises(ConvergenceError):
+            PageRank(tolerance=-1)
+
+    def test_matches_networkx_on_dangling_free_graph(self):
+        # On a graph with no dangling nodes our formulation coincides
+        # with networkx's PageRank.
+        networkx = pytest.importorskip("networkx")
+        g = load_dataset("urand", scale=0.5)
+        e = PullEngine(g)
+        e.prepare()
+        res = e.run(PageRank(tolerance=1e-12), max_iterations=200)
+        nxg = networkx.DiGraph()
+        nxg.add_nodes_from(range(g.num_nodes))
+        edges = g.to_edgelist()
+        nxg.add_edges_from(zip(edges.src.tolist(), edges.dst.tolist()))
+        nx_pr = networkx.pagerank(nxg, alpha=0.85, tol=1e-12, max_iter=500)
+        expect = np.array([nx_pr[v] for v in range(g.num_nodes)])
+        assert np.allclose(res.scores, expect, atol=1e-8)
+
+
+class TestCollaborativeFiltering:
+    def test_shape(self, wiki_engine):
+        res = wiki_engine.run(
+            CollaborativeFiltering(factors=5),
+            max_iterations=2, check_convergence=False,
+        )
+        assert res.scores.shape == (wiki_engine.graph.num_nodes, 5)
+
+    def test_rank_property(self):
+        assert CollaborativeFiltering(factors=7).rank == 7
+
+    def test_deterministic_given_seed(self, wiki_engine):
+        a = wiki_engine.run(CollaborativeFiltering(seed=3),
+                            max_iterations=2, check_convergence=False)
+        b = wiki_engine.run(CollaborativeFiltering(seed=3),
+                            max_iterations=2, check_convergence=False)
+        assert np.array_equal(a.scores, b.scores)
+
+    def test_validation(self):
+        with pytest.raises(ConvergenceError):
+            CollaborativeFiltering(factors=0)
+
+
+class TestHits:
+    def test_simple_chain(self):
+        # 0 -> 1 -> 2: node 1 is both pointed-to and pointing.
+        g = Graph.from_edges(3, [0, 1], [1, 2])
+        e = PullEngine(g)
+        e.prepare()
+        res = hits(e, max_iterations=100)
+        assert res.converged
+        # Authorities: 1 and 2 split; hubs: 0 and 1 split.
+        assert res.authorities[0] == pytest.approx(0.0, abs=1e-8)
+        assert res.hubs[2] == pytest.approx(0.0, abs=1e-8)
+
+    def test_norms(self, wiki_engine):
+        res = hits(wiki_engine, max_iterations=40)
+        assert np.linalg.norm(res.authorities) == pytest.approx(1.0)
+        assert np.linalg.norm(res.hubs) == pytest.approx(1.0)
+
+    def test_matches_networkx(self):
+        networkx = pytest.importorskip("networkx")
+        g = load_dataset("wiki", scale=0.25)
+        e = PullEngine(g)
+        e.prepare()
+        res = hits(e, max_iterations=300, tolerance=1e-13)
+        nxg = networkx.DiGraph()
+        nxg.add_nodes_from(range(g.num_nodes))
+        edges = g.to_edgelist()
+        nxg.add_edges_from(zip(edges.src.tolist(), edges.dst.tolist()))
+        nx_h, nx_a = networkx.hits(nxg, max_iter=1000, tol=1e-13)
+        a = np.array([nx_a[v] for v in range(g.num_nodes)])
+        # networkx normalizes by L1; compare directions.
+        ours = res.authorities / res.authorities.sum()
+        assert np.allclose(ours, a / a.sum(), atol=1e-6)
+
+    def test_rejects_bad_iterations(self, wiki_engine):
+        with pytest.raises(ConvergenceError):
+            hits(wiki_engine, max_iterations=0)
+
+
+class TestSalsa:
+    def test_l1_normalized(self, wiki_engine):
+        res = salsa(wiki_engine, max_iterations=40)
+        assert res.authorities.sum() == pytest.approx(1.0)
+        assert res.hubs.sum() == pytest.approx(1.0)
+
+    def test_converges(self, wiki_engine):
+        res = salsa(wiki_engine, max_iterations=200, tolerance=1e-9)
+        assert res.converged
+
+    def test_rejects_bad_iterations(self, wiki_engine):
+        with pytest.raises(ConvergenceError):
+            salsa(wiki_engine, max_iterations=-1)
+
+
+class TestReferenceRun:
+    def test_reference_matches_engine(self):
+        g = load_dataset("wiki", scale=0.25)
+        e = PullEngine(g)
+        e.prepare()
+        for alg_factory in (InDegree, PageRank):
+            alg = alg_factory()
+            got = e.run(alg, max_iterations=10,
+                        check_convergence=False).scores
+            expect = alg_factory().reference_run(g, 10)
+            assert np.allclose(got, expect, atol=1e-9)

@@ -1,0 +1,56 @@
+"""Unit tests for BFS helpers and cross-checks against networkx."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.bfs import default_source, num_reached, reference_bfs
+from repro.errors import EngineError
+from repro.graphs import Graph, load_dataset
+from repro.types import UNREACHED
+
+
+class TestReferenceBfs:
+    def test_chain(self):
+        g = Graph.from_edges(4, [0, 1, 2], [1, 2, 3])
+        levels = reference_bfs(g, 0)
+        assert levels.tolist() == [0, 1, 2, 3]
+
+    def test_unreachable(self):
+        g = Graph.from_edges(3, [0], [1])
+        levels = reference_bfs(g, 0)
+        assert levels[2] == UNREACHED
+        assert num_reached(levels) == 2
+
+    def test_source_level_zero(self, tiny_graph):
+        assert reference_bfs(tiny_graph, 2)[2] == 0
+
+    def test_bad_source(self, tiny_graph):
+        with pytest.raises(EngineError):
+            reference_bfs(tiny_graph, 99)
+
+    def test_matches_networkx(self):
+        networkx = pytest.importorskip("networkx")
+        g = load_dataset("wiki", scale=0.25)
+        src = default_source(g)
+        levels = reference_bfs(g, src)
+        nxg = networkx.DiGraph()
+        nxg.add_nodes_from(range(g.num_nodes))
+        edges = g.to_edgelist()
+        nxg.add_edges_from(zip(edges.src.tolist(), edges.dst.tolist()))
+        nx_levels = networkx.single_source_shortest_path_length(nxg, src)
+        for v in range(g.num_nodes):
+            if v in nx_levels:
+                assert levels[v] == nx_levels[v]
+            else:
+                assert levels[v] == UNREACHED
+
+
+class TestDefaultSource:
+    def test_picks_max_out_degree(self, tiny_graph):
+        assert default_source(tiny_graph) == int(
+            np.argmax(tiny_graph.out_degrees())
+        )
+
+    def test_empty_graph(self):
+        with pytest.raises(EngineError):
+            default_source(Graph.from_edges(0, [], []))

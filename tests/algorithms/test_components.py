@@ -1,0 +1,56 @@
+"""Unit tests for weakly connected components."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import connected_components
+from repro.errors import ConvergenceError
+from repro.graphs import Graph, load_dataset
+
+
+class TestConnectedComponents:
+    def test_two_components(self):
+        g = Graph.from_edges(5, [0, 1, 3], [1, 2, 4])
+        res = connected_components(g)
+        assert res.num_components == 2
+        assert res.labels[0] == res.labels[1] == res.labels[2] == 0
+        assert res.labels[3] == res.labels[4] == 3
+
+    def test_isolated_nodes_are_singletons(self):
+        g = Graph.from_edges(4, [0], [1])
+        res = connected_components(g)
+        assert res.num_components == 3
+        assert sorted(res.sizes().tolist()) == [1, 1, 2]
+
+    def test_direction_ignored(self):
+        # 0 -> 1 <- 2: weakly connected despite no directed path 0 -> 2.
+        g = Graph.from_edges(3, [0, 2], [1, 1])
+        assert connected_components(g).num_components == 1
+
+    def test_empty_graph(self):
+        res = connected_components(Graph.from_edges(0, [], []))
+        assert res.num_components == 0
+
+    def test_matches_networkx(self):
+        networkx = pytest.importorskip("networkx")
+        g = load_dataset("rmat", scale=1.0)
+        res = connected_components(g)
+        nxg = networkx.Graph()
+        nxg.add_nodes_from(range(g.num_nodes))
+        edges = g.to_edgelist()
+        nxg.add_edges_from(zip(edges.src.tolist(), edges.dst.tolist()))
+        nx_count = networkx.number_connected_components(nxg)
+        assert res.num_components == nx_count
+        # Labels must partition identically to networkx's components.
+        for comp in networkx.connected_components(nxg):
+            comp = sorted(comp)
+            assert np.unique(res.labels[comp]).size == 1
+
+    def test_rounds_bounded_by_diameter(self):
+        g = load_dataset("road", scale=0.25)
+        res = connected_components(g)
+        assert res.iterations < g.num_nodes
+
+    def test_validation(self, tiny_graph):
+        with pytest.raises(ConvergenceError):
+            connected_components(tiny_graph, max_iterations=0)

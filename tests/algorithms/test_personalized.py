@@ -1,0 +1,140 @@
+"""Unit tests for Personalized PageRank and Katz centrality."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import KatzCentrality, PersonalizedPageRank
+from repro.core import MixenEngine
+from repro.errors import ConvergenceError
+from repro.frameworks import PullEngine
+from repro.graphs import Graph, load_dataset
+
+
+@pytest.fixture(scope="module")
+def wiki():
+    return load_dataset("wiki", scale=0.25)
+
+
+@pytest.fixture(scope="module")
+def wiki_engine(wiki):
+    e = PullEngine(wiki)
+    e.prepare()
+    return e
+
+
+class TestPersonalizedPageRank:
+    def test_mass_concentrates_near_sources(self, wiki, wiki_engine):
+        src = int(np.argmax(wiki.out_degrees()))
+        res = wiki_engine.run(
+            PersonalizedPageRank([src], tolerance=1e-12),
+            max_iterations=300,
+        )
+        assert res.converged
+        # The source itself holds the largest share of its teleport mass.
+        assert res.scores[src] == res.scores.max()
+        # Direct out-neighbors outrank the global average.
+        nbrs = wiki.csr.row(src)
+        assert res.scores[nbrs].mean() > res.scores.mean()
+
+    def test_zero_outside_reachable_set(self):
+        # 0 -> 1, isolated 2: PPR from 0 gives node 2 exactly zero.
+        g = Graph.from_edges(3, [0], [1])
+        e = PullEngine(g)
+        e.prepare()
+        res = e.run(
+            PersonalizedPageRank([0], tolerance=1e-14),
+            max_iterations=100,
+        )
+        assert res.scores[2] == 0.0
+        assert res.scores[0] > res.scores[1] > 0
+
+    def test_mixen_matches_pull(self, wiki, wiki_engine):
+        src = int(np.argmax(wiki.out_degrees()))
+        mix = MixenEngine(wiki)
+        mix.prepare()
+        a = mix.run(
+            PersonalizedPageRank([src], tolerance=1e-13),
+            max_iterations=300,
+        )
+        b = wiki_engine.run(
+            PersonalizedPageRank([src], tolerance=1e-13),
+            max_iterations=300,
+        )
+        assert np.allclose(a.scores, b.scores, atol=1e-10)
+
+    def test_matches_networkx(self, wiki, wiki_engine):
+        networkx = pytest.importorskip("networkx")
+        # Use a dangling-free subcase: urand has no sinks.
+        g = load_dataset("urand", scale=0.5)
+        e = PullEngine(g)
+        e.prepare()
+        sources = [0, 1, 2]
+        res = e.run(
+            PersonalizedPageRank(sources, tolerance=1e-13),
+            max_iterations=500,
+        )
+        nxg = networkx.DiGraph()
+        nxg.add_nodes_from(range(g.num_nodes))
+        edges = g.to_edgelist()
+        nxg.add_edges_from(zip(edges.src.tolist(), edges.dst.tolist()))
+        personalization = {v: 0.0 for v in range(g.num_nodes)}
+        for s in sources:
+            personalization[s] = 1 / len(sources)
+        nx_pr = networkx.pagerank(
+            nxg, alpha=0.85, personalization=personalization,
+            tol=1e-13, max_iter=1000,
+        )
+        expect = np.array([nx_pr[v] for v in range(g.num_nodes)])
+        assert np.allclose(res.scores, expect, atol=1e-8)
+
+    def test_validation(self, wiki, wiki_engine):
+        with pytest.raises(ConvergenceError):
+            PersonalizedPageRank([])
+        with pytest.raises(ConvergenceError):
+            PersonalizedPageRank([0], damping=0.0)
+        with pytest.raises(ConvergenceError):
+            wiki_engine.run(
+                PersonalizedPageRank([wiki.num_nodes]), max_iterations=1
+            )
+
+
+class TestKatz:
+    def test_converges_with_default_alpha(self, wiki_engine):
+        res = wiki_engine.run(
+            KatzCentrality(tolerance=1e-12), max_iterations=500
+        )
+        assert res.converged
+        assert np.all(res.scores >= 1.0)  # beta floor
+
+    def test_higher_in_degree_higher_katz(self, wiki, wiki_engine):
+        res = wiki_engine.run(KatzCentrality(), max_iterations=200)
+        in_deg = wiki.in_degrees()
+        top = np.argsort(res.scores)[-10:]
+        assert in_deg[top].mean() > in_deg.mean()
+
+    def test_closed_form_on_chain(self):
+        # 0 -> 1 -> 2 with alpha a, beta 1:
+        # x0 = 1, x1 = 1 + a, x2 = 1 + a + a^2.
+        g = Graph.from_edges(3, [0, 1], [1, 2])
+        e = PullEngine(g)
+        e.prepare()
+        a = 0.3
+        res = e.run(
+            KatzCentrality(alpha=a, tolerance=1e-14), max_iterations=100
+        )
+        assert res.scores[0] == pytest.approx(1.0)
+        assert res.scores[1] == pytest.approx(1 + a)
+        assert res.scores[2] == pytest.approx(1 + a + a * a)
+
+    def test_mixen_matches_pull(self, wiki, wiki_engine):
+        mix = MixenEngine(wiki)
+        mix.prepare()
+        a = mix.run(KatzCentrality(tolerance=1e-13), max_iterations=500)
+        b = wiki_engine.run(
+            KatzCentrality(tolerance=1e-13), max_iterations=500
+        )
+        assert np.allclose(a.scores, b.scores, atol=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ConvergenceError):
+            KatzCentrality(alpha=-0.1)

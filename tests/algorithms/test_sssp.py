@@ -1,0 +1,83 @@
+"""Unit tests for weighted single-source shortest paths."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import sssp
+from repro.algorithms.bfs import default_source, reference_bfs
+from repro.errors import ConvergenceError, EngineError
+from repro.graphs import Graph, load_dataset
+from repro.types import UNREACHED
+
+
+class TestUnitWeights:
+    def test_matches_bfs(self):
+        g = load_dataset("wiki", scale=0.25)
+        src = default_source(g)
+        res = sssp(g, src)
+        levels = reference_bfs(g, src)
+        finite = levels != UNREACHED
+        assert np.allclose(res.distances[finite], levels[finite])
+        assert np.all(np.isinf(res.distances[~finite]))
+
+    def test_source_distance_zero(self, tiny_graph):
+        assert sssp(tiny_graph, 0).distances[0] == 0.0
+
+
+class TestWeighted:
+    def test_hand_checked(self):
+        # 0 -(5)-> 1, 0 -(1)-> 2 -(1)-> 1: shortest 0->1 goes via 2.
+        g = Graph.from_edges(3, [0, 0, 2], [1, 2, 1])
+        # csr edge order: (0,1), (0,2), (2,1)
+        w = np.array([5.0, 1.0, 1.0])
+        res = sssp(g, 0, edge_values=w)
+        assert res.distances.tolist() == [0.0, 2.0, 1.0]
+
+    def test_matches_scipy_dijkstra(self):
+        scipy_sparse = pytest.importorskip("scipy.sparse")
+        from scipy.sparse.csgraph import dijkstra
+
+        g = load_dataset("pld", scale=0.25)
+        rng = np.random.default_rng(3)
+        w = rng.random(g.num_edges) + 0.05
+        src = default_source(g)
+        res = sssp(g, src, edge_values=w)
+        mat = scipy_sparse.csr_matrix(
+            (w, g.csr.indices, g.csr.indptr),
+            shape=(g.num_nodes, g.num_nodes),
+        )
+        expect = dijkstra(mat, directed=True, indices=src)
+        assert np.allclose(res.distances, expect, atol=1e-9, equal_nan=True)
+
+    def test_zero_weight_edges_allowed(self):
+        g = Graph.from_edges(3, [0, 1], [1, 2])
+        res = sssp(g, 0, edge_values=np.array([0.0, 0.0]))
+        assert res.distances.tolist() == [0.0, 0.0, 0.0]
+
+
+class TestValidation:
+    def test_bad_source(self, tiny_graph):
+        with pytest.raises(EngineError):
+            sssp(tiny_graph, 99)
+
+    def test_negative_weights_rejected(self, tiny_graph):
+        w = -np.ones(tiny_graph.num_edges)
+        with pytest.raises(ConvergenceError):
+            sssp(tiny_graph, 0, edge_values=w)
+
+    def test_wrong_weight_shape(self, tiny_graph):
+        with pytest.raises(EngineError):
+            sssp(tiny_graph, 0, edge_values=np.ones(2))
+
+    def test_iteration_cap(self):
+        # A long path needs one round per hop; an artificially low cap
+        # must raise rather than return wrong distances.
+        g = Graph.from_edges(6, [0, 1, 2, 3, 4], [1, 2, 3, 4, 5])
+        with pytest.raises(ConvergenceError):
+            sssp(g, 0, max_iterations=2)
+
+    def test_rounds_bounded_by_longest_path(self):
+        g = Graph.from_edges(5, [0, 1, 2, 3], [1, 2, 3, 4])
+        res = sssp(g, 0)
+        assert res.iterations <= 6
+        assert res.num_reached == 5

@@ -1,0 +1,40 @@
+"""Unit tests for the one-shot report generator."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import REPORT_SECTIONS, generate_report
+from repro.bench.report import _quick_kwargs
+
+
+class TestReportGenerator:
+    def test_sections_cover_every_paper_artifact(self):
+        names = {fn.__name__ for _, fn in REPORT_SECTIONS}
+        for required in (
+            "table1", "table2", "table3", "table3_modeled", "table4",
+            "fig4", "fig5", "fig6", "fig7",
+            "motivation_models", "perfmodel_validation",
+        ):
+            assert required in names
+
+    def test_quick_kwargs_known_for_every_section(self):
+        # Every experiment must have a quick variant so smoke runs stay
+        # fast; an unknown name silently running at full scale would make
+        # the quick path useless.
+        for _, fn in REPORT_SECTIONS:
+            assert _quick_kwargs(fn.__name__), fn.__name__
+
+    def test_quick_report_generates(self, tmp_path):
+        progress_lines = []
+        path = generate_report(
+            tmp_path, quick=True, progress=progress_lines.append
+        )
+        assert path.name == "REPORT.md"
+        text = path.read_text()
+        assert "# Reproduction report" in text
+        assert "Table 3" in text
+        assert len(progress_lines) == len(REPORT_SECTIONS)
+        # Every experiment's artifacts landed next to the report.
+        assert (tmp_path / "table1_structure.txt").exists()
+        assert (tmp_path / "fig7_pld_llc.json").exists()

@@ -1,0 +1,72 @@
+"""Unit tests for the timing harness."""
+
+import pytest
+
+from repro.algorithms import InDegree
+from repro.algorithms.bfs import default_source
+from repro.bench import Timing, time_algorithm, time_bfs, time_prepare
+from repro.core import MixenEngine
+from repro.errors import EngineError
+from repro.frameworks import PullEngine
+from repro.graphs import load_dataset
+
+
+@pytest.fixture(scope="module")
+def wiki():
+    return load_dataset("wiki", scale=0.25)
+
+
+class TestTiming:
+    def test_per_iteration(self):
+        t = Timing(seconds=2.0, iterations=4)
+        assert t.per_iteration == 0.5
+
+    def test_zero_iterations(self):
+        assert Timing(1.0, 0).per_iteration == 0.0
+
+
+class TestTimeAlgorithm:
+    def test_positive_time(self, wiki):
+        engine = PullEngine(wiki)
+        t = time_algorithm(engine, InDegree, iterations=3, warmup=1)
+        assert t.per_iteration > 0
+        assert t.iterations == 3
+
+    def test_prepares_engine(self, wiki):
+        engine = MixenEngine(wiki)
+        assert not engine.prepared
+        time_algorithm(engine, InDegree, iterations=2)
+        assert engine.prepared
+
+    def test_rejects_bad_iterations(self, wiki):
+        with pytest.raises(EngineError):
+            time_algorithm(PullEngine(wiki), InDegree, iterations=0)
+
+    def test_no_warmup(self, wiki):
+        t = time_algorithm(
+            PullEngine(wiki), InDegree, iterations=2, warmup=0
+        )
+        assert t.per_iteration > 0
+
+
+class TestTimeBfs:
+    def test_positive(self, wiki):
+        engine = PullEngine(wiki)
+        assert time_bfs(engine, default_source(wiki), repeats=2) > 0
+
+    def test_rejects_bad_repeats(self, wiki):
+        with pytest.raises(EngineError):
+            time_bfs(PullEngine(wiki), 0, repeats=0)
+
+
+class TestTimePrepare:
+    def test_median_and_breakdown(self, wiki):
+        total, breakdown = time_prepare(
+            lambda: MixenEngine(wiki), repeats=3
+        )
+        assert total > 0
+        assert set(breakdown) == {"filter", "partition"}
+
+    def test_rejects_bad_repeats(self, wiki):
+        with pytest.raises(EngineError):
+            time_prepare(lambda: PullEngine(wiki), repeats=0)

@@ -1,0 +1,107 @@
+"""Unit tests for table rendering and speedup summaries."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    ExperimentResult,
+    format_table,
+    geomean,
+    geomean_speedups,
+)
+
+
+class TestFormatTable:
+    def test_dict_rows(self):
+        out = format_table(
+            ["a", "b"], [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.25}]
+        )
+        lines = out.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert "2.50" in out
+        assert "0.2500" in out
+
+    def test_list_rows_and_title(self):
+        out = format_table(["x"], [[1], [2]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_missing_dict_keys_blank(self):
+        out = format_table(["a", "b"], [{"a": 1}])
+        assert "1" in out
+
+    def test_empty_rows(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+    def test_large_and_zero_floats(self):
+        out = format_table(["v"], [[1234.5], [0.0]])
+        assert "1234" in out or "1235" in out
+        assert "0" in out
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([1, 4]) == pytest.approx(2.0)
+
+    def test_ignores_nonpositive(self):
+        assert geomean([2, 0, -1, 8]) == pytest.approx(4.0)
+
+    def test_empty(self):
+        assert geomean([]) == 0.0
+
+    def test_speedups(self):
+        times = {
+            "base": {"a": 1.0, "b": 2.0},
+            "slow": {"a": 2.0, "b": 8.0},
+        }
+        out = geomean_speedups(times, baseline="base")
+        assert out["base"] == pytest.approx(1.0)
+        assert out["slow"] == pytest.approx((2 * 4) ** 0.5)
+
+    def test_speedups_skip_missing_cases(self):
+        times = {
+            "base": {"a": 1.0},
+            "partial": {"a": 3.0, "b": 99.0},
+        }
+        out = geomean_speedups(times, baseline="base")
+        assert out["partial"] == pytest.approx(3.0)
+
+
+class TestExperimentResult:
+    def make(self):
+        return ExperimentResult(
+            name="demo",
+            title="Demo",
+            headers=["graph", "value"],
+            rows=[{"graph": "g", "value": 1.5}],
+            notes=["a note"],
+            extras={"numbers": [1, 2]},
+        )
+
+    def test_render_contains_everything(self):
+        text = self.make().render()
+        assert "Demo" in text
+        assert "note: a note" in text
+        assert "1.50" in text
+
+    def test_save_roundtrip(self, tmp_path):
+        res = self.make()
+        txt = res.save(tmp_path)
+        assert txt.read_text().startswith("Demo")
+        payload = json.loads((tmp_path / "demo.json").read_text())
+        assert payload["name"] == "demo"
+        assert payload["rows"][0]["graph"] == "g"
+        assert payload["extras"]["numbers"] == [1, 2]
+
+    def test_save_handles_numpy_types(self, tmp_path):
+        import numpy as np
+
+        res = ExperimentResult(
+            "np", "NP", ["x"], rows=[{"x": np.float64(1.0)}],
+            extras={"arr": np.arange(3), "i": np.int64(4)},
+        )
+        res.save(tmp_path)
+        payload = json.loads((tmp_path / "np.json").read_text())
+        assert payload["extras"]["arr"] == [0, 1, 2]
+        assert payload["extras"]["i"] == 4

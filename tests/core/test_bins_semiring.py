@@ -1,0 +1,133 @@
+"""Unit tests for bins (Section 4.2) and the semiring abstraction."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MIN_PLUS,
+    PLUS_TIMES,
+    build_mixed,
+    build_static_bins,
+    dynamic_bin_stats,
+    filter_graph,
+)
+from repro.errors import EngineError
+from repro.frameworks.blocking import build_block_layout
+from repro.graphs import CSR, load_dataset
+from repro.types import UNREACHED
+
+
+class TestStaticBins:
+    def test_accumulates_seed_contribution(self):
+        # 2 seeds -> 3 regular nodes.
+        s2r = CSR.from_edges(2, [0, 0, 1], [0, 2, 2], num_cols=3)
+        xs = np.array([1.0, 10.0])
+        static = build_static_bins(s2r, xs)
+        assert static.tolist() == [1.0, 0.0, 11.0]
+
+    def test_rank_k(self):
+        s2r = CSR.from_edges(2, [0, 1], [1, 1], num_cols=2)
+        xs = np.array([[1.0, 2.0], [3.0, 4.0]])
+        static = build_static_bins(s2r, xs)
+        assert static.tolist() == [[0.0, 0.0], [4.0, 6.0]]
+
+    def test_empty_seeds(self):
+        s2r = CSR.empty(0, 4)
+        static = build_static_bins(s2r, np.array([]))
+        assert static.tolist() == [0.0] * 4
+
+    def test_matches_dense(self):
+        g = load_dataset("track", scale=0.25)
+        plan = filter_graph(g)
+        mixed = build_mixed(g, plan)
+        rng = np.random.default_rng(0)
+        xs = rng.random(plan.num_seed)
+        static = build_static_bins(mixed.seed_to_reg, xs)
+        expect = mixed.seed_to_reg.to_dense().T @ xs
+        assert np.allclose(static[: expect.size], expect, atol=1e-9)
+
+
+class TestDynamicBinStats:
+    def test_compression_counts(self):
+        # Two edges from source 0 into the same block compress to one slot.
+        layout = build_block_layout(
+            np.array([0, 0, 0]), np.array([1, 2, 5]), 8, 4
+        )
+        stats = dynamic_bin_stats(layout)
+        assert stats.raw_messages == 3
+        # dsts 1, 2 in block 0; dst 5 in block 1 -> 2 compressed slots.
+        assert stats.compressed_messages == 2
+        assert stats.compression_ratio == pytest.approx(1.5)
+
+    def test_no_compression_when_spread(self):
+        layout = build_block_layout(
+            np.array([0, 1, 2]), np.array([1, 2, 0]), 3, 1
+        )
+        stats = dynamic_bin_stats(layout)
+        assert stats.compressed_messages == stats.raw_messages
+
+    def test_empty(self):
+        layout = build_block_layout(
+            np.array([], np.int64), np.array([], np.int64), 4, 2
+        )
+        stats = dynamic_bin_stats(layout)
+        assert stats.raw_messages == 0
+        assert stats.compression_ratio == 1.0
+
+    def test_nbytes(self):
+        layout = build_block_layout(
+            np.array([0, 0]), np.array([1, 2]), 4, 4
+        )
+        stats = dynamic_bin_stats(layout)
+        assert stats.nbytes(compressed=False) == 2 * 4
+        assert stats.nbytes(compressed=True) == 1 * 4
+
+    def test_hubs_increase_compression_on_skewed_graphs(self):
+        # weibo's dense hub core compresses heavily (full scale: the
+        # proxy's regular core is infeasible below ~scale 0.7).
+        g = load_dataset("weibo")
+        plan = filter_graph(g)
+        mixed = build_mixed(g, plan)
+        layout = build_block_layout(
+            mixed.rr.row_ids(), mixed.rr.indices, mixed.rr.num_rows, 64
+        )
+        stats = dynamic_bin_stats(layout)
+        assert stats.compression_ratio > 1.0
+
+
+class TestSemiring:
+    def test_plus_times_matches_segment_sum(self):
+        vals = np.array([1.0, 2.0, 3.0])
+        indptr = np.array([0, 2, 2, 3])
+        out = PLUS_TIMES.segment_reduce(vals, indptr)
+        assert out.tolist() == [3.0, 0.0, 3.0]
+
+    def test_min_plus_with_unreached_identity(self):
+        vals = np.array([5, 3, 7], dtype=np.int64)
+        indptr = np.array([0, 2, 2, 3])
+        out = MIN_PLUS.segment_reduce(vals, indptr)
+        assert out.tolist() == [3, UNREACHED, 7]
+
+    def test_plus_times_rank_k(self):
+        vals = np.array([[1.0, 2.0], [3.0, 4.0]])
+        indptr = np.array([0, 2])
+        out = PLUS_TIMES.segment_reduce(vals, indptr)
+        assert out.tolist() == [[4.0, 6.0]]
+
+    def test_min_plus_rejects_rank_k(self):
+        with pytest.raises(EngineError):
+            MIN_PLUS.segment_reduce(
+                np.zeros((2, 2), np.int64), np.array([0, 2])
+            )
+
+    def test_empty_values(self):
+        out = PLUS_TIMES.segment_reduce(
+            np.array([], dtype=float), np.array([0, 0, 0])
+        )
+        assert out.tolist() == [0.0, 0.0]
+
+    def test_trailing_empty_rows(self):
+        vals = np.array([1.0])
+        indptr = np.array([0, 1, 1, 1])
+        out = PLUS_TIMES.segment_reduce(vals, indptr)
+        assert out.tolist() == [1.0, 0.0, 0.0]

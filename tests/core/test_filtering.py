@@ -1,0 +1,85 @@
+"""Unit tests for Mixen's filtering and relabeling (Section 4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import filter_graph
+from repro.graphs import Graph, classify_nodes, load_dataset
+from repro.types import NodeClass
+
+
+class TestFilterPlanLayout:
+    def test_tiny_graph_boundaries(self, tiny_graph):
+        plan = filter_graph(tiny_graph)
+        assert plan.num_regular == 3
+        assert plan.num_seed == 1
+        assert plan.num_sink == 1
+        assert plan.num_isolated == 1
+        assert plan.regular_slice == slice(0, 3)
+        assert plan.seed_slice == slice(3, 4)
+        assert plan.sink_slice == slice(4, 5)
+        assert plan.isolated_slice == slice(5, 6)
+
+    def test_classes_occupy_contiguous_ranges(self):
+        g = load_dataset("pld", scale=0.25)
+        plan = filter_graph(g)
+        cc = classify_nodes(g)
+        # The class of each new id must match the boundary metadata.
+        classes_new = cc.classes[plan.inverse]
+        r, s = plan.num_regular, plan.num_seed
+        k = plan.num_sink
+        assert np.all(classes_new[:r] == int(NodeClass.REGULAR))
+        assert np.all(classes_new[r : r + s] == int(NodeClass.SEED))
+        assert np.all(classes_new[r + s : r + s + k] == int(NodeClass.SINK))
+        assert np.all(
+            classes_new[r + s + k :] == int(NodeClass.ISOLATED)
+        )
+
+    def test_hubs_relocated_to_front(self):
+        g = load_dataset("wiki", scale=0.5)
+        plan = filter_graph(g)
+        cc = classify_nodes(g)
+        hub_new = cc.hub_mask[plan.inverse]
+        # The first num_hubs relabeled ids are exactly the regular hubs.
+        assert np.all(hub_new[: plan.num_hubs])
+        # And no regular non-hub precedes a hub.
+        assert not np.any(hub_new[plan.num_hubs : plan.num_regular])
+
+    def test_relative_order_preserved_within_classes(self, tiny_graph):
+        plan = filter_graph(tiny_graph, hub_reorder=False)
+        cc = classify_nodes(tiny_graph)
+        for node_class in NodeClass:
+            originals = cc.nodes(node_class)
+            new_ids = plan.perm[originals]
+            assert np.all(np.diff(new_ids) > 0), (
+                f"{node_class.name} order not preserved"
+            )
+
+    def test_hub_reorder_off(self):
+        g = load_dataset("wiki", scale=0.5)
+        plan = filter_graph(g, hub_reorder=False)
+        assert plan.num_hubs == 0
+
+    def test_perm_inverse_consistency(self):
+        g = load_dataset("track", scale=0.25)
+        plan = filter_graph(g)
+        assert np.array_equal(
+            plan.perm[plan.inverse], np.arange(g.num_nodes)
+        )
+
+    def test_alpha(self, tiny_graph):
+        plan = filter_graph(tiny_graph)
+        assert plan.alpha == pytest.approx(0.5)
+
+    def test_class_of_new_id(self, tiny_graph):
+        plan = filter_graph(tiny_graph)
+        assert plan.class_of_new_id(0) == NodeClass.REGULAR
+        assert plan.class_of_new_id(3) == NodeClass.SEED
+        assert plan.class_of_new_id(4) == NodeClass.SINK
+        assert plan.class_of_new_id(5) == NodeClass.ISOLATED
+
+    def test_all_regular_graph(self):
+        g = Graph.from_edges(3, [0, 1, 2], [1, 2, 0])
+        plan = filter_graph(g)
+        assert plan.num_regular == 3
+        assert plan.num_seed == plan.num_sink == plan.num_isolated == 0

@@ -1,0 +1,88 @@
+"""Unit tests for the mixed CSR/CSC representation (Section 4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_mixed, filter_graph
+from repro.graphs import load_dataset
+
+
+@pytest.fixture(scope="module")
+def wiki_mixed():
+    g = load_dataset("wiki", scale=0.5)
+    plan = filter_graph(g)
+    return g, build_mixed(g, plan)
+
+
+class TestDecomposition:
+    def test_every_edge_stored_exactly_once(self, wiki_mixed):
+        g, mixed = wiki_mixed
+        total = (
+            mixed.rr.num_edges
+            + mixed.seed_to_reg.num_edges
+            + mixed.sink_csc.num_edges
+        )
+        assert total == g.num_edges
+
+    def test_dimensions(self, wiki_mixed):
+        _, mixed = wiki_mixed
+        plan = mixed.plan
+        assert mixed.rr.num_rows == plan.num_regular
+        assert mixed.rr.num_cols == max(plan.num_regular, 1)
+        assert mixed.seed_to_reg.num_rows == plan.num_seed
+        assert mixed.sink_csc.num_rows == plan.num_sink
+        assert mixed.sink_csc.num_cols == max(
+            plan.num_regular + plan.num_seed, 1
+        )
+
+    def test_beta_matches_graph_stats(self, wiki_mixed):
+        g, mixed = wiki_mixed
+        from repro.graphs import classify_nodes, regular_edge_count
+
+        expect = regular_edge_count(g, classify_nodes(g)) / g.num_edges
+        assert mixed.beta == pytest.approx(expect)
+
+    def test_rr_matches_dense_extraction(self):
+        g = load_dataset("wiki", scale=0.25)
+        plan = filter_graph(g)
+        mixed = build_mixed(g, plan)
+        r = plan.num_regular
+        dense = g.relabeled(plan.perm).csr.to_dense()
+        assert np.array_equal(mixed.rr.to_dense(), dense[:r, :r])
+
+    def test_seed_to_reg_matches_dense(self):
+        g = load_dataset("wiki", scale=0.25)
+        plan = filter_graph(g)
+        mixed = build_mixed(g, plan)
+        r, s = plan.num_regular, plan.num_seed
+        dense = g.relabeled(plan.perm).csr.to_dense()
+        assert np.array_equal(
+            mixed.seed_to_reg.to_dense(), dense[r : r + s, :r]
+        )
+
+    def test_sink_csc_matches_dense(self):
+        g = load_dataset("wiki", scale=0.25)
+        plan = filter_graph(g)
+        mixed = build_mixed(g, plan)
+        r, s, k = plan.num_regular, plan.num_seed, plan.num_sink
+        dense = g.relabeled(plan.perm).csr.to_dense()
+        # sink_csc rows = sinks, indices = in-neighbors -> dense block
+        # transposed.
+        assert np.array_equal(
+            mixed.sink_csc.to_dense(),
+            dense[: r + s, r + s : r + s + k].T,
+        )
+
+    def test_footprint_below_csr_plus_csc(self, wiki_mixed):
+        g, mixed = wiki_mixed
+        full = g.csr.nbytes() + g.csc.nbytes()
+        assert mixed.nbytes() < full
+
+    def test_stale_plan_rejected(self):
+        from repro.errors import GraphFormatError
+
+        g1 = load_dataset("wiki", scale=0.25)
+        g2 = load_dataset("track", scale=0.25)
+        plan = filter_graph(g1)
+        with pytest.raises((GraphFormatError, IndexError, ValueError)):
+            build_mixed(g2, plan)

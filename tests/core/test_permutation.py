@@ -1,0 +1,96 @@
+"""Unit tests for permutation utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    compose,
+    invert,
+    is_permutation,
+    permute_values,
+    unpermute_values,
+)
+from repro.errors import GraphFormatError
+
+
+class TestIsPermutation:
+    def test_valid(self):
+        assert is_permutation(np.array([2, 0, 1]))
+        assert is_permutation(np.array([], dtype=np.int64))
+
+    def test_invalid(self):
+        assert not is_permutation(np.array([0, 0, 1]))
+        assert not is_permutation(np.array([0, 3]))
+        assert not is_permutation(np.array([-1, 0]))
+        assert not is_permutation(np.zeros((2, 2), np.int64))
+
+
+class TestInvert:
+    def test_hand_checked(self):
+        perm = np.array([2, 0, 1])
+        assert invert(perm).tolist() == [1, 2, 0]
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(GraphFormatError):
+            invert(np.array([0, 0]))
+
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 50))
+    def test_involution(self, seed, n):
+        perm = np.random.default_rng(seed).permutation(n)
+        assert np.array_equal(invert(invert(perm)), perm)
+
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 50))
+    def test_inverse_property(self, seed, n):
+        perm = np.random.default_rng(seed).permutation(n)
+        inv = invert(perm)
+        assert np.array_equal(perm[inv], np.arange(n))
+        assert np.array_equal(inv[perm], np.arange(n))
+
+
+class TestCompose:
+    def test_identity(self):
+        p = np.array([1, 2, 0])
+        ident = np.arange(3)
+        assert np.array_equal(compose(p, ident), p)
+        assert np.array_equal(compose(ident, p), p)
+
+    def test_with_inverse_gives_identity(self):
+        p = np.array([3, 1, 0, 2])
+        assert np.array_equal(compose(invert(p), p), np.arange(4))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(GraphFormatError):
+            compose(np.array([0, 1]), np.array([0]))
+
+
+class TestValueMovement:
+    def test_permute_then_unpermute(self):
+        rng = np.random.default_rng(0)
+        perm = rng.permutation(20)
+        vals = rng.random(20)
+        assert np.array_equal(
+            unpermute_values(permute_values(vals, perm), perm), vals
+        )
+
+    def test_semantics(self):
+        # perm moves node 0 to position 2.
+        perm = np.array([2, 0, 1])
+        vals = np.array([10.0, 20.0, 30.0])
+        moved = permute_values(vals, perm)
+        assert moved.tolist() == [20.0, 30.0, 10.0]
+
+    def test_rank_k(self):
+        rng = np.random.default_rng(1)
+        perm = rng.permutation(10)
+        vals = rng.random((10, 4))
+        assert np.array_equal(
+            unpermute_values(permute_values(vals, perm), perm), vals
+        )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(GraphFormatError):
+            permute_values(np.zeros(3), np.array([0, 1]))
+        with pytest.raises(GraphFormatError):
+            unpermute_values(np.zeros(3), np.array([0, 1]))

@@ -1,0 +1,92 @@
+"""Unit tests for the Engine base class and shared helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EngineError
+from repro.frameworks import PullEngine, make_engine, engine_names
+from repro.frameworks.base import segment_sum
+
+
+class TestSegmentSum:
+    def test_basic(self):
+        vals = np.array([1.0, 2.0, 3.0, 4.0])
+        indptr = np.array([0, 2, 2, 4])
+        assert segment_sum(vals, indptr).tolist() == [3.0, 0.0, 7.0]
+
+    def test_empty_rows_are_zero(self):
+        vals = np.array([5.0])
+        indptr = np.array([0, 0, 1, 1])
+        assert segment_sum(vals, indptr).tolist() == [0.0, 5.0, 0.0]
+
+    def test_2d(self):
+        vals = np.array([[1.0, 10.0], [2.0, 20.0], [3.0, 30.0]])
+        indptr = np.array([0, 1, 3])
+        out = segment_sum(vals, indptr)
+        assert out.tolist() == [[1.0, 10.0], [5.0, 50.0]]
+
+    def test_all_empty(self):
+        out = segment_sum(np.array([], dtype=float), np.array([0, 0, 0]))
+        assert out.tolist() == [0.0, 0.0]
+
+
+class TestEngineLifecycle:
+    def test_use_before_prepare_raises(self, tiny_graph):
+        e = PullEngine(tiny_graph)
+        with pytest.raises(EngineError):
+            e.propagate(np.ones(tiny_graph.num_nodes))
+
+    def test_prepare_idempotent(self, tiny_graph):
+        e = PullEngine(tiny_graph)
+        s1 = e.prepare()
+        s2 = e.prepare()
+        assert s1 is s2
+
+    def test_prepare_stats_has_breakdown(self, tiny_graph):
+        e = PullEngine(tiny_graph)
+        stats = e.prepare()
+        assert stats.seconds >= 0
+        assert "build_csc" in stats.breakdown
+
+    def test_repr_mentions_state(self, tiny_graph):
+        e = PullEngine(tiny_graph)
+        assert "unprepared" in repr(e)
+        e.prepare()
+        assert "prepared" in repr(e)
+
+    def test_bfs_source_validation(self, tiny_graph):
+        e = PullEngine(tiny_graph)
+        e.prepare()
+        with pytest.raises(EngineError):
+            e.run_bfs(-1)
+        with pytest.raises(EngineError):
+            e.run_bfs(tiny_graph.num_nodes)
+
+
+class TestRegistry:
+    def test_all_engines_registered(self):
+        names = engine_names()
+        for expected in (
+            "pull", "push", "block", "ligra", "polymer", "graphmat", "mixen",
+        ):
+            assert expected in names
+
+    def test_unknown_engine(self, tiny_graph):
+        with pytest.raises(EngineError):
+            make_engine("spark", tiny_graph)
+
+    def test_make_engine_passes_options(self, tiny_graph):
+        e = make_engine("block", tiny_graph, block_nodes=2)
+        assert e.block_nodes == 2
+
+    def test_table4_input_format_flags(self):
+        from repro.frameworks import (
+            BlockingEngine, GraphMatEngine, LigraEngine, PolymerEngine,
+        )
+        from repro.core import MixenEngine
+
+        assert BlockingEngine.accepts_csr_binary
+        assert MixenEngine.accepts_csr_binary
+        assert not LigraEngine.accepts_csr_binary
+        assert not PolymerEngine.accepts_csr_binary
+        assert not GraphMatEngine.accepts_csr_binary

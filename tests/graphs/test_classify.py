@@ -1,0 +1,81 @@
+"""Unit tests for repro.graphs.classify."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph, classify_nodes, hub_edge_fraction
+from repro.types import NodeClass
+
+
+class TestClassification:
+    def test_tiny_graph_classes(self, tiny_graph):
+        cc = classify_nodes(tiny_graph)
+        assert cc.classes.tolist() == [
+            NodeClass.REGULAR,  # 0: in and out
+            NodeClass.REGULAR,  # 1
+            NodeClass.SEED,  # 2: out only
+            NodeClass.SINK,  # 3: in only
+            NodeClass.ISOLATED,  # 4
+            NodeClass.REGULAR,  # 5
+        ]
+
+    def test_counts_and_fractions(self, tiny_graph):
+        cc = classify_nodes(tiny_graph)
+        assert cc.count(NodeClass.REGULAR) == 3
+        assert cc.count(NodeClass.SEED) == 1
+        assert cc.count(NodeClass.SINK) == 1
+        assert cc.count(NodeClass.ISOLATED) == 1
+        assert cc.fraction(NodeClass.REGULAR) == pytest.approx(0.5)
+        assert cc.num_regular == 3
+        assert cc.counts.sum() == tiny_graph.num_nodes
+
+    def test_masks_partition_nodes(self, tiny_graph):
+        cc = classify_nodes(tiny_graph)
+        total = np.zeros(tiny_graph.num_nodes, dtype=int)
+        for c in NodeClass:
+            total += cc.mask(c)
+        assert np.all(total == 1)
+
+    def test_nodes_sorted_ascending(self, tiny_graph):
+        cc = classify_nodes(tiny_graph)
+        reg = cc.nodes(NodeClass.REGULAR)
+        assert reg.tolist() == [0, 1, 5]
+
+    def test_empty_graph(self):
+        g = Graph.from_edges(0, [], [])
+        cc = classify_nodes(g)
+        assert cc.num_nodes == 0
+        assert cc.fraction(NodeClass.REGULAR) == 0.0
+
+    def test_all_isolated(self):
+        g = Graph.from_edges(4, [], [])
+        cc = classify_nodes(g)
+        assert cc.count(NodeClass.ISOLATED) == 4
+
+
+class TestHubs:
+    def test_hub_threshold_is_average_degree(self, tiny_graph):
+        # avg degree = 8/6 ~ 1.33; hubs need in-degree >= 2.
+        cc = classify_nodes(tiny_graph)
+        in_deg = tiny_graph.in_degrees()
+        assert np.array_equal(cc.hub_mask, in_deg > 8 / 6)
+        assert cc.hub_mask.tolist() == [True, True, False, True, False, False]
+
+    def test_regular_hubs(self, tiny_graph):
+        cc = classify_nodes(tiny_graph)
+        # node 3 is a hub but a sink, so only 0 and 1 are regular hubs.
+        assert cc.regular_hubs().tolist() == [0, 1]
+
+    def test_hub_edge_fraction(self, tiny_graph):
+        cc = classify_nodes(tiny_graph)
+        # Edges into hubs {0, 1, 3}: all except 0->5; 7 of 8.
+        frac = hub_edge_fraction(tiny_graph, cc.hub_mask)
+        assert frac == pytest.approx(7 / 8)
+
+    def test_hub_edge_fraction_empty(self):
+        g = Graph.from_edges(3, [], [])
+        cc = classify_nodes(g)
+        assert hub_edge_fraction(g, cc.hub_mask) == 0.0
+
+    def test_num_hubs(self, tiny_graph):
+        assert classify_nodes(tiny_graph).num_hubs == 3

@@ -1,0 +1,161 @@
+"""Unit tests for repro.graphs.csr."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graphs import CSR, EdgeList
+
+
+def make(n, pairs, num_cols=None):
+    pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+    return CSR.from_edges(n, pairs[:, 0], pairs[:, 1], num_cols=num_cols)
+
+
+class TestConstruction:
+    def test_from_edges_sorts_rows(self):
+        csr = make(3, [[2, 0], [0, 2], [0, 1]])
+        assert csr.indptr.tolist() == [0, 2, 2, 3]
+        assert csr.row(0).tolist() == [1, 2]
+        assert csr.row(1).tolist() == []
+        assert csr.row(2).tolist() == [0]
+
+    def test_from_edgelist(self):
+        e = EdgeList(3, np.array([0, 1]), np.array([1, 2]))
+        csr = CSR.from_edgelist(e)
+        assert csr.num_edges == 2
+        assert csr.to_edgelist().sorted() == e.sorted()
+
+    def test_empty(self):
+        csr = CSR.empty(4)
+        assert csr.num_edges == 0
+        assert csr.degrees().tolist() == [0, 0, 0, 0]
+
+    def test_rectangular(self):
+        csr = make(2, [[0, 5], [1, 3]], num_cols=6)
+        assert csr.num_rows == 2
+        assert csr.num_cols == 6
+        with pytest.raises(GraphFormatError):
+            csr.num_nodes  # noqa: B018 - property access should raise
+
+    def test_rejects_bad_indptr_length(self):
+        with pytest.raises(GraphFormatError):
+            CSR(2, 2, np.array([0, 1]), np.array([0]))
+
+    def test_rejects_decreasing_indptr(self):
+        with pytest.raises(GraphFormatError):
+            CSR(2, 2, np.array([0, 2, 1]), np.array([0, 1]))
+
+    def test_rejects_out_of_range_indices(self):
+        with pytest.raises(GraphFormatError):
+            CSR(2, 2, np.array([0, 1, 1]), np.array([5]))
+
+    def test_rejects_indptr_not_spanning(self):
+        with pytest.raises(GraphFormatError):
+            CSR(2, 2, np.array([0, 1, 1]), np.array([0, 1]))
+
+    def test_rejects_row_out_of_range(self):
+        with pytest.raises(GraphFormatError):
+            CSR.from_edges(2, [5], [0])
+
+
+class TestQueries:
+    def test_degrees(self):
+        csr = make(3, [[0, 1], [0, 2], [2, 1]])
+        assert csr.degrees().tolist() == [2, 0, 1]
+
+    def test_col_degrees(self):
+        csr = make(3, [[0, 1], [0, 2], [2, 1]])
+        assert csr.col_degrees().tolist() == [0, 2, 1]
+
+    def test_iter_rows(self):
+        csr = make(2, [[0, 1], [1, 0]])
+        rows = [r.tolist() for r in csr.iter_rows()]
+        assert rows == [[1], [0]]
+
+    def test_nbytes(self):
+        csr = make(3, [[0, 1], [1, 2]])
+        assert csr.nbytes() == (4 + 2) * 4
+        assert csr.nbytes(id_bytes=8) == (4 + 2) * 8
+
+
+class TestConversions:
+    def test_row_ids(self):
+        csr = make(3, [[0, 1], [0, 2], [2, 0]])
+        assert csr.row_ids().tolist() == [0, 0, 2]
+
+    def test_transpose_roundtrip(self):
+        csr = make(4, [[0, 1], [1, 2], [3, 0], [0, 3]])
+        assert csr.transposed().transposed() == csr
+
+    def test_transpose_matches_dense(self):
+        csr = make(4, [[0, 1], [1, 2], [3, 0], [0, 3], [2, 2]])
+        assert np.array_equal(csr.transposed().to_dense(), csr.to_dense().T)
+
+    def test_transpose_rectangular(self):
+        csr = make(2, [[0, 4], [1, 2]], num_cols=5)
+        t = csr.transposed()
+        assert (t.num_rows, t.num_cols) == (5, 2)
+        assert np.array_equal(t.to_dense(), csr.to_dense().T)
+
+    def test_permuted_matches_dense(self):
+        csr = make(4, [[0, 1], [1, 2], [3, 0]])
+        perm = np.array([2, 3, 1, 0])
+        dense = csr.to_dense()
+        expected = np.zeros_like(dense)
+        for i in range(4):
+            for j in range(4):
+                expected[perm[i], perm[j]] = dense[i, j]
+        assert np.array_equal(csr.permuted(perm).to_dense(), expected)
+
+    def test_permuted_rejects_bad_shape(self):
+        with pytest.raises(GraphFormatError):
+            make(3, [[0, 1]]).permuted(np.array([0, 1]))
+
+
+class TestSelection:
+    def test_select_rows(self):
+        csr = make(4, [[0, 1], [0, 2], [2, 3], [3, 0]])
+        sub = csr.select_rows(np.array([0, 2]))
+        assert (sub.num_rows, sub.num_cols) == (2, 4)
+        assert sub.row(0).tolist() == [1, 2]
+        assert sub.row(1).tolist() == [3]
+
+    def test_select_rows_empty(self):
+        csr = make(3, [[0, 1]])
+        sub = csr.select_rows(np.array([], dtype=np.int64))
+        assert sub.num_rows == 0
+        assert sub.num_edges == 0
+
+    def test_select_rows_out_of_range(self):
+        with pytest.raises(GraphFormatError):
+            make(3, [[0, 1]]).select_rows(np.array([4]))
+
+    def test_select_columns(self):
+        csr = make(3, [[0, 1], [0, 2], [1, 0], [2, 1]])
+        keep = np.array([False, True, True])
+        sub = csr.select_columns(keep)
+        assert (sub.num_rows, sub.num_cols) == (3, 2)
+        # column 1 -> new 0, column 2 -> new 1; edges to column 0 dropped.
+        assert sub.row(0).tolist() == [0, 1]
+        assert sub.row(1).tolist() == []
+        assert sub.row(2).tolist() == [0]
+
+    def test_select_columns_bad_mask(self):
+        with pytest.raises(GraphFormatError):
+            make(3, [[0, 1]]).select_columns(np.array([True]))
+
+    def test_select_then_dense_matches_numpy_slicing(self):
+        rng = np.random.default_rng(3)
+        pairs = np.stack(
+            [rng.integers(0, 20, 100), rng.integers(0, 20, 100)], axis=1
+        )
+        csr = make(20, pairs)
+        rows = np.array([1, 4, 7, 19])
+        keep = np.zeros(20, dtype=bool)
+        keep[[0, 3, 5, 11, 12]] = True
+        dense = np.minimum(csr.to_dense(), 1)
+        got = np.minimum(
+            csr.select_rows(rows).select_columns(keep).to_dense(), 1
+        )
+        assert np.array_equal(got, dense[np.ix_(rows, np.flatnonzero(keep))])

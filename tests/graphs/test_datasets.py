@@ -1,0 +1,72 @@
+"""Unit tests for repro.graphs.datasets (proxy profiles vs the paper)."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.graphs import (
+    DATASET_NAMES,
+    DATASETS,
+    SKEWED_NAMES,
+    compute_stats,
+    dataset_spec,
+    load_dataset,
+)
+
+
+class TestRegistry:
+    def test_all_eight_datasets_present(self):
+        assert DATASET_NAMES == (
+            "weibo", "track", "wiki", "pld", "rmat", "kron", "road", "urand",
+        )
+
+    def test_skewed_subset(self):
+        assert SKEWED_NAMES == ("weibo", "track", "wiki", "pld", "rmat", "kron")
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(DatasetError):
+            dataset_spec("facebook")
+        with pytest.raises(DatasetError):
+            load_dataset("facebook")
+
+    def test_bad_scale_raises(self):
+        with pytest.raises(DatasetError):
+            load_dataset("wiki", scale=0)
+
+    def test_load_is_cached(self):
+        assert load_dataset("wiki") is load_dataset("wiki")
+
+    def test_scale_changes_size(self):
+        small = load_dataset("track", scale=0.5)
+        base = load_dataset("track")
+        assert small.num_nodes < base.num_nodes
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+class TestProfiles:
+    def test_directedness_matches_paper(self, name):
+        g = load_dataset(name)
+        assert g.directed == DATASETS[name].directed
+
+    def test_skew_label_matches_paper(self, name):
+        s = compute_stats(load_dataset(name))
+        assert s.skewed == DATASETS[name].skewed
+
+    def test_alpha_close_to_paper(self, name):
+        s = compute_stats(load_dataset(name))
+        assert s.alpha == pytest.approx(
+            DATASETS[name].paper_alpha, abs=0.08
+        ), f"{name}: alpha {s.alpha} vs paper {DATASETS[name].paper_alpha}"
+
+    def test_class_mix_close_to_paper(self, name):
+        s = compute_stats(load_dataset(name))
+        for got, want in zip(s.class_fractions, DATASETS[name].paper_classes):
+            assert got == pytest.approx(want, abs=0.10)
+
+    def test_graph_name_set(self, name):
+        assert load_dataset(name).name == name
+
+
+@pytest.mark.parametrize("name", ["weibo", "track", "wiki", "pld"])
+def test_real_proxies_beta_close_to_paper(name):
+    s = compute_stats(load_dataset(name))
+    assert s.beta == pytest.approx(DATASETS[name].paper_beta, abs=0.06)

@@ -1,0 +1,126 @@
+"""Unit tests for repro.graphs.edgelist."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graphs import EdgeList
+
+
+def make(n, pairs):
+    pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+    return EdgeList(n, pairs[:, 0], pairs[:, 1])
+
+
+class TestValidation:
+    def test_rejects_negative_num_nodes(self):
+        with pytest.raises(GraphFormatError):
+            EdgeList(-1, np.array([]), np.array([]))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(GraphFormatError):
+            EdgeList(3, np.array([0, 1]), np.array([1]))
+
+    def test_rejects_out_of_range_endpoints(self):
+        with pytest.raises(GraphFormatError):
+            make(2, [[0, 2]])
+        with pytest.raises(GraphFormatError):
+            make(2, [[-1, 0]])
+
+    def test_rejects_2d_arrays(self):
+        with pytest.raises(GraphFormatError):
+            EdgeList(3, np.zeros((2, 2), int), np.zeros((2, 2), int))
+
+    def test_empty_edge_list_is_valid(self):
+        e = EdgeList(5, np.array([]), np.array([]))
+        assert e.num_edges == 0
+        assert len(e) == 0
+
+
+class TestTransforms:
+    def test_sorted_by_src(self):
+        e = make(3, [[2, 0], [0, 2], [0, 1]]).sorted("src")
+        assert e.src.tolist() == [0, 0, 2]
+        assert e.dst.tolist() == [1, 2, 0]
+
+    def test_sorted_by_dst(self):
+        e = make(3, [[2, 0], [0, 2], [0, 1]]).sorted("dst")
+        assert e.dst.tolist() == [0, 1, 2]
+
+    def test_sorted_rejects_bad_key(self):
+        with pytest.raises(GraphFormatError):
+            make(2, [[0, 1]]).sorted("weight")
+
+    def test_deduplicated(self):
+        e = make(3, [[0, 1], [0, 1], [1, 2], [0, 1]]).deduplicated()
+        assert e.num_edges == 2
+        assert e.src.tolist() == [0, 1]
+
+    def test_deduplicated_empty(self):
+        e = EdgeList(3, np.array([]), np.array([])).deduplicated()
+        assert e.num_edges == 0
+
+    def test_without_self_loops(self):
+        e = make(3, [[0, 0], [0, 1], [2, 2]]).without_self_loops()
+        assert e.num_edges == 1
+        assert (e.src[0], e.dst[0]) == (0, 1)
+
+    def test_reversed(self):
+        e = make(3, [[0, 1], [1, 2]]).reversed()
+        assert e.src.tolist() == [1, 2]
+        assert e.dst.tolist() == [0, 1]
+
+    def test_symmetrized(self):
+        e = make(3, [[0, 1], [1, 2]]).symmetrized()
+        assert e.num_edges == 4
+        assert e.is_symmetric()
+
+    def test_symmetrized_idempotent(self):
+        e = make(4, [[0, 1], [1, 2], [3, 0]]).symmetrized()
+        assert e.symmetrized() == e
+
+    def test_relabeled(self):
+        e = make(3, [[0, 1], [1, 2]])
+        perm = np.array([2, 0, 1])  # 0->2, 1->0, 2->1
+        r = e.relabeled(perm)
+        assert r.src.tolist() == [2, 0]
+        assert r.dst.tolist() == [0, 1]
+
+    def test_relabeled_rejects_bad_shape(self):
+        with pytest.raises(GraphFormatError):
+            make(3, [[0, 1]]).relabeled(np.array([0, 1]))
+
+    def test_concatenated(self):
+        a = make(3, [[0, 1]])
+        b = make(3, [[1, 2]])
+        c = a.concatenated(b)
+        assert c.num_edges == 2
+
+    def test_concatenated_rejects_node_mismatch(self):
+        with pytest.raises(GraphFormatError):
+            make(3, [[0, 1]]).concatenated(make(4, [[0, 1]]))
+
+
+class TestDegrees:
+    def test_degrees(self):
+        e = make(4, [[0, 1], [0, 2], [1, 2], [3, 2]])
+        assert e.out_degrees().tolist() == [2, 1, 0, 1]
+        assert e.in_degrees().tolist() == [0, 1, 3, 0]
+
+    def test_degree_sums_equal_edge_count(self):
+        e = make(5, [[0, 1], [2, 3], [4, 0], [1, 1]])
+        assert e.out_degrees().sum() == e.num_edges
+        assert e.in_degrees().sum() == e.num_edges
+
+    def test_is_symmetric_false_for_directed(self):
+        assert not make(3, [[0, 1]]).is_symmetric()
+
+
+class TestEquality:
+    def test_equality(self):
+        assert make(3, [[0, 1]]) == make(3, [[0, 1]])
+        assert make(3, [[0, 1]]) != make(3, [[1, 0]])
+        assert make(3, [[0, 1]]) != make(4, [[0, 1]])
+
+    def test_equality_other_type(self):
+        assert make(3, [[0, 1]]) != "not an edge list"

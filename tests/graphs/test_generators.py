@@ -1,0 +1,184 @@
+"""Unit tests for repro.graphs.generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.graphs import (
+    GraphProfile,
+    classify_nodes,
+    compute_stats,
+    kronecker,
+    powerlaw,
+    profile_graph,
+    rmat,
+    road_grid,
+    uniform_random,
+    zipf_weights,
+)
+from repro.types import NodeClass
+
+
+class TestZipfWeights:
+    def test_monotone_decreasing(self):
+        w = zipf_weights(10, 1.0)
+        assert np.all(np.diff(w) < 0)
+
+    def test_exponent_zero_is_uniform(self):
+        assert np.allclose(zipf_weights(5, 0.0), 1.0)
+
+    def test_empty(self):
+        assert zipf_weights(0, 1.0).size == 0
+
+
+class TestUniformRandom:
+    def test_deterministic(self):
+        a = uniform_random(100, 500, seed=3)
+        b = uniform_random(100, 500, seed=3)
+        assert a.to_edgelist() == b.to_edgelist()
+
+    def test_edge_count_close_to_target(self):
+        g = uniform_random(500, 4000, seed=1, directed=True)
+        assert abs(g.num_edges - 4000) <= 40
+
+    def test_undirected_is_symmetric(self):
+        g = uniform_random(100, 400, seed=2, directed=False)
+        assert g.to_edgelist().is_symmetric()
+        assert not g.directed
+
+    def test_no_self_loops(self):
+        g = uniform_random(50, 300, seed=4)
+        e = g.to_edgelist()
+        assert np.all(e.src != e.dst)
+
+
+class TestRoadGrid:
+    def test_all_regular(self):
+        g = road_grid(10, 12, seed=0)
+        cc = classify_nodes(g)
+        assert cc.count(NodeClass.REGULAR) == g.num_nodes
+
+    def test_symmetric(self):
+        g = road_grid(8, 8, seed=0)
+        assert g.to_edgelist().is_symmetric()
+
+    def test_max_degree_bounded(self):
+        g = road_grid(15, 15, seed=1)
+        assert int(g.in_degrees().max()) <= 4
+
+    def test_keep_one_is_full_grid(self):
+        g = road_grid(5, 5, horizontal_keep=1.0)
+        # full 5x5 grid: 2 * (2 * 5 * 4) directed edges
+        assert g.num_edges == 2 * 2 * 5 * 4
+
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(DatasetError):
+            road_grid(1, 5)
+
+    def test_rejects_bad_keep(self):
+        with pytest.raises(DatasetError):
+            road_grid(5, 5, horizontal_keep=1.5)
+
+
+class TestRmat:
+    def test_node_count_is_power_of_two(self):
+        g = rmat(8, 4, seed=0)
+        assert g.num_nodes == 256
+
+    def test_deterministic(self):
+        assert rmat(8, 4, seed=5).to_edgelist() == rmat(8, 4, seed=5).to_edgelist()
+
+    def test_skewed_distribution(self):
+        s = compute_stats(rmat(11, 16, seed=0))
+        assert s.gini > 0.5
+        assert s.skewed
+
+    def test_has_isolated_nodes(self):
+        cc = classify_nodes(rmat(11, 8, a=0.7, b=0.12, c=0.12, seed=0))
+        assert cc.count(NodeClass.ISOLATED) > 0
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(DatasetError):
+            rmat(5, 4, a=0.9, b=0.1, c=0.1)
+
+    def test_kronecker_symmetric(self):
+        g = kronecker(9, 8, seed=0)
+        assert not g.directed
+        assert g.to_edgelist().is_symmetric()
+
+    def test_kronecker_all_nonisolated_regular(self):
+        cc = classify_nodes(kronecker(9, 8, seed=1))
+        assert cc.count(NodeClass.SEED) == 0
+        assert cc.count(NodeClass.SINK) == 0
+
+
+class TestPowerlaw:
+    def test_sizes(self):
+        g = powerlaw(300, 2000, seed=0)
+        assert g.num_nodes == 300
+        assert 0 < g.num_edges <= 2000
+
+    def test_skew(self):
+        s = compute_stats(powerlaw(1000, 10000, seed=1))
+        assert s.gini > 0.4
+
+
+class TestProfileGraph:
+    WIKI = GraphProfile(
+        num_nodes=2000,
+        num_edges=19000,
+        frac_regular=0.22,
+        frac_seed=0.33,
+        frac_sink=0.45,
+        frac_isolated=0.0,
+        beta=0.78,
+    )
+
+    def test_class_fractions_match(self):
+        g = profile_graph(self.WIKI, seed=0)
+        s = compute_stats(g)
+        assert s.class_fractions[0] == pytest.approx(0.22, abs=0.02)
+        assert s.class_fractions[1] == pytest.approx(0.33, abs=0.02)
+        assert s.class_fractions[2] == pytest.approx(0.45, abs=0.02)
+
+    def test_alpha_beta_match(self):
+        s = compute_stats(profile_graph(self.WIKI, seed=0))
+        assert s.alpha == pytest.approx(0.22, abs=0.02)
+        assert s.beta == pytest.approx(0.78, abs=0.05)
+
+    def test_edge_budget_hit(self):
+        g = profile_graph(self.WIKI, seed=0)
+        assert abs(g.num_edges - 19000) <= 19000 * 0.03
+
+    def test_deterministic(self):
+        a = profile_graph(self.WIKI, seed=9)
+        b = profile_graph(self.WIKI, seed=9)
+        assert a.to_edgelist() == b.to_edgelist()
+
+    def test_no_shuffle_orders_classes(self):
+        g = profile_graph(self.WIKI, seed=0, shuffle=False)
+        cc = classify_nodes(g)
+        # Without shuffling, classes appear in regular/seed/sink order.
+        boundaries = np.flatnonzero(np.diff(cc.classes.astype(int)) != 0)
+        assert np.all(np.diff(cc.classes.astype(int)) >= 0) or len(
+            boundaries
+        ) <= 3
+
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(DatasetError):
+            GraphProfile(100, 500, 0.5, 0.5, 0.5, 0.0, beta=0.5)
+
+    def test_rejects_infeasible_core(self):
+        with pytest.raises(DatasetError):
+            profile_graph(
+                GraphProfile(1000, 100000, 0.01, 0.99, 0.0, 0.0, beta=0.5)
+            )
+
+    def test_rejects_bad_beta(self):
+        with pytest.raises(DatasetError):
+            GraphProfile(100, 500, 1.0, 0.0, 0.0, 0.0, beta=1.5)
+
+    def test_all_regular_profile(self):
+        p = GraphProfile(500, 5000, 1.0, 0.0, 0.0, 0.0, beta=1.0)
+        cc = classify_nodes(profile_graph(p, seed=0))
+        assert cc.count(NodeClass.REGULAR) == 500

@@ -1,0 +1,95 @@
+"""Unit tests for repro.graphs.graph."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graphs import CSR, EdgeList, Graph
+
+
+class TestBasics:
+    def test_properties(self, tiny_graph):
+        assert tiny_graph.num_nodes == 6
+        assert tiny_graph.num_edges == 8
+        assert tiny_graph.average_degree() == pytest.approx(8 / 6)
+
+    def test_rejects_rectangular_adjacency(self):
+        csr = CSR.from_edges(2, [0], [3], num_cols=4)
+        with pytest.raises(GraphFormatError):
+            Graph(csr)
+
+    def test_degrees(self, tiny_graph):
+        assert tiny_graph.out_degrees().tolist() == [3, 2, 2, 0, 0, 1]
+        assert tiny_graph.in_degrees().tolist() == [3, 2, 0, 2, 0, 1]
+
+    def test_in_degrees_with_and_without_csc_agree(self, tiny_graph):
+        before = tiny_graph.in_degrees().copy()
+        tiny_graph.csc  # noqa: B018 - force CSC materialization
+        assert np.array_equal(before, tiny_graph.in_degrees())
+
+    def test_repr(self, tiny_graph):
+        assert "tiny" in repr(tiny_graph)
+        assert "n=6" in repr(tiny_graph)
+
+
+class TestCsc:
+    def test_csc_lazy(self, tiny_graph):
+        assert not tiny_graph.has_csc()
+        _ = tiny_graph.csc
+        assert tiny_graph.has_csc()
+
+    def test_csc_is_transpose(self, tiny_graph):
+        assert np.array_equal(
+            tiny_graph.csc.to_dense(), tiny_graph.csr.to_dense().T
+        )
+
+    def test_reversed_swaps_adjacency(self, tiny_graph):
+        rev = tiny_graph.reversed()
+        assert np.array_equal(
+            rev.csr.to_dense(), tiny_graph.csr.to_dense().T
+        )
+        # The reverse graph's CSC is the original CSR, already cached.
+        assert rev.has_csc()
+        assert rev.csc is tiny_graph.csr
+
+
+class TestTransforms:
+    def test_relabeled_preserves_structure(self, tiny_graph):
+        rng = np.random.default_rng(0)
+        perm = rng.permutation(tiny_graph.num_nodes)
+        relabeled = tiny_graph.relabeled(perm)
+        assert relabeled.num_edges == tiny_graph.num_edges
+        # Degree multiset is invariant under relabeling.
+        assert sorted(relabeled.out_degrees()) == sorted(
+            tiny_graph.out_degrees()
+        )
+        # And the dense adjacency is the permuted original.
+        dense = tiny_graph.csr.to_dense()
+        expect = np.zeros_like(dense)
+        n = tiny_graph.num_nodes
+        for i in range(n):
+            for j in range(n):
+                expect[perm[i], perm[j]] = dense[i, j]
+        assert np.array_equal(relabeled.csr.to_dense(), expect)
+
+    def test_to_edgelist_roundtrip(self, tiny_edges):
+        g = Graph.from_edgelist(tiny_edges)
+        assert g.to_edgelist().sorted() == tiny_edges.sorted()
+
+    def test_from_edges(self):
+        g = Graph.from_edges(3, [0, 1], [1, 2], name="x")
+        assert g.num_edges == 2
+        assert g.name == "x"
+        assert g.directed
+
+
+class TestEmptyGraph:
+    def test_zero_nodes(self):
+        g = Graph.from_edges(0, [], [])
+        assert g.num_nodes == 0
+        assert g.average_degree() == 0.0
+
+    def test_nodes_without_edges(self):
+        g = Graph.from_edges(5, [], [])
+        assert g.in_degrees().tolist() == [0] * 5
+        assert g.csc.num_edges == 0

@@ -1,0 +1,127 @@
+"""Unit tests for repro.graphs.io."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graphs import (
+    EdgeList,
+    Graph,
+    load_csr,
+    load_edgelist,
+    save_csr,
+    save_edgelist,
+)
+
+
+class TestEdgelistIO:
+    def test_roundtrip(self, tmp_path, tiny_edges):
+        path = tmp_path / "tiny.el"
+        save_edgelist(tiny_edges, path)
+        loaded = load_edgelist(path)
+        assert loaded == tiny_edges
+
+    def test_roundtrip_preserves_node_count_with_trailing_isolated(
+        self, tmp_path
+    ):
+        # Node 9 is isolated; without the header it would be lost.
+        e = EdgeList(10, np.array([0]), np.array([1]))
+        path = tmp_path / "iso.el"
+        save_edgelist(e, path)
+        assert load_edgelist(path).num_nodes == 10
+
+    def test_empty_edge_list(self, tmp_path):
+        e = EdgeList(4, np.array([]), np.array([]))
+        path = tmp_path / "empty.el"
+        save_edgelist(e, path)
+        loaded = load_edgelist(path)
+        assert loaded.num_edges == 0
+        assert loaded.num_nodes == 4
+
+    def test_load_without_header_infers_nodes(self, tmp_path):
+        path = tmp_path / "raw.el"
+        path.write_text("0 1\n2 3\n")
+        loaded = load_edgelist(path)
+        assert loaded.num_nodes == 4
+        assert loaded.num_edges == 2
+
+    def test_load_with_explicit_num_nodes(self, tmp_path):
+        path = tmp_path / "raw.el"
+        path.write_text("0 1\n")
+        assert load_edgelist(path, num_nodes=10).num_nodes == 10
+
+    def test_rejects_wrong_column_count(self, tmp_path):
+        path = tmp_path / "bad.el"
+        path.write_text("0 1 2\n")
+        with pytest.raises(GraphFormatError):
+            load_edgelist(path)
+
+
+class TestCsrIO:
+    def test_roundtrip(self, tmp_path, tiny_graph):
+        path = tmp_path / "tiny.csr.npz"
+        save_csr(tiny_graph, path)
+        loaded = load_csr(path)
+        assert loaded.csr == tiny_graph.csr
+        assert loaded.directed == tiny_graph.directed
+
+    def test_name_defaults_to_stem(self, tmp_path, tiny_graph):
+        path = tmp_path / "mygraph.npz"
+        save_csr(tiny_graph, path)
+        assert load_csr(path).name == "mygraph"
+
+    def test_undirected_flag_preserved(self, tmp_path):
+        g = Graph.from_edges(3, [0, 1], [1, 0], directed=False)
+        path = tmp_path / "u.npz"
+        save_csr(g, path)
+        assert load_csr(path).directed is False
+
+    def test_rejects_non_csr_archive(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, foo=np.arange(3))
+        with pytest.raises(GraphFormatError):
+            load_csr(path)
+
+
+class TestLigraAdjIO:
+    def test_roundtrip(self, tmp_path, tiny_graph):
+        from repro.graphs import load_ligra_adj, save_ligra_adj
+
+        path = tmp_path / "tiny.adj"
+        save_ligra_adj(tiny_graph, path)
+        loaded = load_ligra_adj(path)
+        assert loaded.csr == tiny_graph.csr
+
+    def test_header_layout(self, tmp_path, tiny_graph):
+        from repro.graphs import save_ligra_adj
+
+        path = tmp_path / "tiny.adj"
+        save_ligra_adj(tiny_graph, path)
+        lines = path.read_text().splitlines()
+        assert lines[0] == "AdjacencyGraph"
+        assert int(lines[1]) == tiny_graph.num_nodes
+        assert int(lines[2]) == tiny_graph.num_edges
+
+    def test_rejects_wrong_header(self, tmp_path):
+        from repro.graphs import load_ligra_adj
+
+        path = tmp_path / "bad.adj"
+        path.write_text("EdgeList\n1\n0\n0\n")
+        with pytest.raises(GraphFormatError):
+            load_ligra_adj(path)
+
+    def test_rejects_truncated_body(self, tmp_path):
+        from repro.graphs import load_ligra_adj
+
+        path = tmp_path / "short.adj"
+        path.write_text("AdjacencyGraph\n3\n2\n0\n1\n")
+        with pytest.raises(GraphFormatError):
+            load_ligra_adj(path)
+
+    def test_rejects_bad_sizes(self, tmp_path):
+        from repro.graphs import load_ligra_adj
+
+        path = tmp_path / "bad.adj"
+        path.write_text("AdjacencyGraph\nfoo\nbar\n")
+        with pytest.raises(GraphFormatError):
+            load_ligra_adj(path)

@@ -1,0 +1,136 @@
+"""Property-based tests (hypothesis) for the graph substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import CSR, EdgeList, Graph, classify_nodes
+from repro.types import NodeClass
+
+
+@st.composite
+def edge_lists(draw, max_nodes=30, max_edges=120):
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    src = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1),
+            min_size=m, max_size=m,
+        )
+    )
+    dst = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1),
+            min_size=m, max_size=m,
+        )
+    )
+    return EdgeList(n, np.array(src, np.int64), np.array(dst, np.int64))
+
+
+@st.composite
+def permutations(draw, n):
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    return np.random.default_rng(seed).permutation(n)
+
+
+class TestEdgeListProperties:
+    @given(edge_lists())
+    def test_double_reverse_is_identity(self, e):
+        assert e.reversed().reversed() == e
+
+    @given(edge_lists())
+    def test_dedup_is_idempotent(self, e):
+        d = e.deduplicated()
+        assert d.deduplicated() == d
+
+    @given(edge_lists())
+    def test_dedup_never_grows(self, e):
+        assert e.deduplicated().num_edges <= e.num_edges
+
+    @given(edge_lists())
+    def test_symmetrized_is_symmetric(self, e):
+        assert e.symmetrized().is_symmetric()
+
+    @given(edge_lists())
+    def test_degree_sums_match(self, e):
+        assert e.out_degrees().sum() == e.num_edges
+        assert e.in_degrees().sum() == e.num_edges
+
+    @given(edge_lists(), st.integers(0, 2**31 - 1))
+    def test_relabel_preserves_degree_multiset(self, e, seed):
+        perm = np.random.default_rng(seed).permutation(e.num_nodes)
+        r = e.relabeled(perm)
+        assert sorted(r.out_degrees()) == sorted(e.out_degrees())
+        assert sorted(r.in_degrees()) == sorted(e.in_degrees())
+
+
+class TestCsrProperties:
+    @given(edge_lists())
+    def test_csr_roundtrip_through_edgelist(self, e):
+        csr = CSR.from_edgelist(e)
+        assert csr.to_edgelist().sorted() == e.sorted()
+
+    @given(edge_lists())
+    def test_transpose_involution(self, e):
+        csr = CSR.from_edgelist(e)
+        assert csr.transposed().transposed() == csr
+
+    @given(edge_lists())
+    def test_transpose_preserves_edge_count(self, e):
+        csr = CSR.from_edgelist(e)
+        assert csr.transposed().num_edges == csr.num_edges
+
+    @given(edge_lists())
+    def test_row_and_col_degrees_swap_under_transpose(self, e):
+        csr = CSR.from_edgelist(e)
+        t = csr.transposed()
+        assert np.array_equal(csr.degrees(), t.col_degrees())
+        assert np.array_equal(csr.col_degrees(), t.degrees())
+
+    @given(edge_lists(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=50)
+    def test_permuted_dense_matches(self, e, seed):
+        csr = CSR.from_edgelist(e.deduplicated())
+        perm = np.random.default_rng(seed).permutation(e.num_nodes)
+        got = csr.permuted(perm).to_dense()
+        dense = csr.to_dense()
+        expect = np.zeros_like(dense)
+        expect[np.ix_(perm, perm)] = dense
+        assert np.array_equal(got, expect)
+
+
+class TestClassificationProperties:
+    @given(edge_lists())
+    def test_classes_partition_nodes(self, e):
+        cc = classify_nodes(Graph.from_edgelist(e))
+        assert cc.counts.sum() == e.num_nodes
+
+    @given(edge_lists())
+    def test_class_definitions_hold(self, e):
+        g = Graph.from_edgelist(e)
+        cc = classify_nodes(g)
+        out_deg, in_deg = g.out_degrees(), g.in_degrees()
+        for v in range(g.num_nodes):
+            c = NodeClass(cc.classes[v])
+            if c == NodeClass.REGULAR:
+                assert in_deg[v] > 0 and out_deg[v] > 0
+            elif c == NodeClass.SEED:
+                assert in_deg[v] == 0 and out_deg[v] > 0
+            elif c == NodeClass.SINK:
+                assert in_deg[v] > 0 and out_deg[v] == 0
+            else:
+                assert in_deg[v] == 0 and out_deg[v] == 0
+
+    @given(edge_lists(), st.integers(0, 2**31 - 1))
+    def test_class_counts_invariant_under_relabel(self, e, seed):
+        perm = np.random.default_rng(seed).permutation(e.num_nodes)
+        a = classify_nodes(Graph.from_edgelist(e))
+        b = classify_nodes(Graph.from_edgelist(e.relabeled(perm)))
+        assert np.array_equal(a.counts, b.counts)
+
+    @given(edge_lists())
+    def test_undirected_graphs_have_no_seed_or_sink(self, e):
+        g = Graph.from_edgelist(e.symmetrized())
+        cc = classify_nodes(g)
+        assert cc.count(NodeClass.SEED) == 0
+        assert cc.count(NodeClass.SINK) == 0

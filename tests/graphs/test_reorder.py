@@ -1,0 +1,114 @@
+"""Unit tests for the classic reordering strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.permutation import is_permutation
+from repro.errors import GraphFormatError
+from repro.graphs import (
+    Graph,
+    REORDERINGS,
+    bfs_order,
+    degree_sort,
+    hub_cluster_order,
+    load_dataset,
+    random_order,
+)
+
+
+@pytest.fixture(scope="module")
+def wiki():
+    return load_dataset("wiki", scale=0.25)
+
+
+@pytest.mark.parametrize("name", sorted(REORDERINGS))
+def test_all_strategies_produce_permutations(name, wiki):
+    perm = REORDERINGS[name](wiki)
+    assert is_permutation(perm)
+
+
+@pytest.mark.parametrize("name", sorted(REORDERINGS))
+def test_relabeling_preserves_spmv(name, wiki):
+    from repro.core.permutation import permute_values, unpermute_values
+    from repro.frameworks import PullEngine
+
+    perm = REORDERINGS[name](wiki)
+    base = PullEngine(wiki)
+    base.prepare()
+    relabeled = PullEngine(wiki.relabeled(perm))
+    relabeled.prepare()
+    x = np.random.default_rng(0).random(wiki.num_nodes)
+    expect = base.propagate(x)
+    got = unpermute_values(
+        relabeled.propagate(permute_values(x, perm)), perm
+    )
+    assert np.allclose(got, expect, atol=1e-9)
+
+
+class TestDegreeSort:
+    def test_descending_in_degree(self, wiki):
+        perm = degree_sort(wiki, by="in")
+        in_deg = wiki.in_degrees()
+        # New id 0 must hold the max in-degree node.
+        first = int(np.flatnonzero(perm == 0)[0])
+        assert in_deg[first] == in_deg.max()
+
+    def test_ascending(self, wiki):
+        perm = degree_sort(wiki, by="in", descending=False)
+        first = int(np.flatnonzero(perm == 0)[0])
+        assert wiki.in_degrees()[first] == wiki.in_degrees().min()
+
+    def test_out_and_total(self, wiki):
+        for by in ("out", "total"):
+            assert is_permutation(degree_sort(wiki, by=by))
+
+    def test_bad_kind(self, wiki):
+        with pytest.raises(GraphFormatError):
+            degree_sort(wiki, by="pagerank")
+
+    def test_stable_ties(self):
+        g = Graph.from_edges(4, [0, 1, 2, 3], [1, 0, 3, 2])
+        perm = degree_sort(g)  # all degrees equal -> identity
+        assert perm.tolist() == [0, 1, 2, 3]
+
+
+class TestRandomOrder:
+    def test_deterministic(self, wiki):
+        assert np.array_equal(
+            random_order(wiki, seed=5), random_order(wiki, seed=5)
+        )
+
+    def test_seeds_differ(self, wiki):
+        assert not np.array_equal(
+            random_order(wiki, seed=1), random_order(wiki, seed=2)
+        )
+
+
+class TestBfsOrder:
+    def test_source_first(self):
+        g = Graph.from_edges(4, [0, 1, 2], [1, 2, 3])
+        perm = bfs_order(g, source=0)
+        assert perm[0] == 0
+        assert perm.tolist() == [0, 1, 2, 3]
+
+    def test_unreached_nodes_appended(self):
+        g = Graph.from_edges(4, [0], [1])
+        perm = bfs_order(g, source=0)
+        assert perm[0] == 0 and perm[1] == 1
+        assert is_permutation(perm)
+
+    def test_bad_source(self, wiki):
+        with pytest.raises(GraphFormatError):
+            bfs_order(wiki, source=-1)
+
+
+class TestHubClusterOrder:
+    def test_hubs_lead(self, wiki):
+        from repro.graphs import classify_nodes
+
+        perm = hub_cluster_order(wiki)
+        hub_mask = classify_nodes(wiki).hub_mask
+        num_hubs = int(hub_mask.sum())
+        # Every hub receives a new id below num_hubs.
+        assert np.all(perm[hub_mask] < num_hubs)
+        assert np.all(perm[~hub_mask] >= num_hubs)

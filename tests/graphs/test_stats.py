@@ -1,0 +1,94 @@
+"""Unit tests for repro.graphs.stats."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    Graph,
+    classify_nodes,
+    compute_stats,
+    degree_histogram,
+    gini_coefficient,
+    regular_edge_count,
+)
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini_coefficient(np.full(100, 7)) == pytest.approx(0.0)
+
+    def test_single_owner_is_near_one(self):
+        values = np.zeros(1000)
+        values[0] = 100
+        assert gini_coefficient(values) == pytest.approx(0.999, abs=1e-3)
+
+    def test_empty_and_zero(self):
+        assert gini_coefficient(np.array([])) == 0.0
+        assert gini_coefficient(np.zeros(10)) == 0.0
+
+    def test_known_value(self):
+        # For [0, 1]: G = 0.5 exactly.
+        assert gini_coefficient(np.array([0.0, 1.0])) == pytest.approx(0.5)
+
+    def test_scale_invariant(self):
+        rng = np.random.default_rng(0)
+        v = rng.random(50)
+        assert gini_coefficient(v) == pytest.approx(gini_coefficient(10 * v))
+
+
+class TestRegularEdgeCount:
+    def test_tiny(self, tiny_graph):
+        cc = classify_nodes(tiny_graph)
+        # regular = {0,1,5}; edges among them: 0->1, 1->0, 5->0, 0->5.
+        assert regular_edge_count(tiny_graph, cc) == 4
+
+    def test_empty(self):
+        g = Graph.from_edges(3, [], [])
+        assert regular_edge_count(g, classify_nodes(g)) == 0
+
+
+class TestComputeStats:
+    def test_tiny_alpha_beta(self, tiny_graph):
+        s = compute_stats(tiny_graph)
+        assert s.alpha == pytest.approx(3 / 6)
+        assert s.beta == pytest.approx(4 / 8)
+        assert s.num_nodes == 6
+        assert s.num_edges == 8
+
+    def test_class_fractions_sum_to_one(self, tiny_graph):
+        s = compute_stats(tiny_graph)
+        assert sum(s.class_fractions) == pytest.approx(1.0)
+
+    def test_table1_row_shape(self, tiny_graph):
+        row = compute_stats(tiny_graph).table1_row()
+        assert set(row) == {
+            "graph", "V_hub", "E_hub", "Reg", "Seed", "Sink", "Iso",
+        }
+        assert row["Reg"] == 50
+
+    def test_table2_row_shape(self, tiny_graph):
+        row = compute_stats(tiny_graph).table2_row()
+        assert row["n"] == 6
+        assert row["m"] == 8
+        assert row["directed"] == "Yes"
+
+    def test_accepts_precomputed_classes(self, tiny_graph):
+        cc = classify_nodes(tiny_graph)
+        assert compute_stats(tiny_graph, cc) == compute_stats(tiny_graph)
+
+
+class TestDegreeHistogram:
+    def test_histogram(self):
+        vals, counts = degree_histogram(np.array([0, 2, 2, 5]))
+        assert vals.tolist() == [0, 2, 5]
+        assert counts.tolist() == [1, 2, 1]
+
+    def test_empty(self):
+        vals, counts = degree_histogram(np.array([]))
+        assert vals.size == 0 and counts.size == 0
+
+    def test_counts_sum_to_input_size(self):
+        rng = np.random.default_rng(1)
+        d = rng.integers(0, 10, 100)
+        _, counts = degree_histogram(d)
+        assert counts.sum() == 100

@@ -1,0 +1,147 @@
+"""Unit tests for the memory hierarchy and machine specs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MachineError
+from repro.machine import (
+    PAPER_MACHINE,
+    SCALED_MACHINE,
+    AccessTrace,
+    AddressSpace,
+    MachineSpec,
+    MemoryHierarchy,
+)
+
+
+class TestMachineSpec:
+    def test_paper_machine_matches_section_6(self):
+        assert PAPER_MACHINE.l1_bytes == 64 * 1024
+        assert PAPER_MACHINE.l2_bytes == 1024 * 1024
+        assert PAPER_MACHINE.cores == 20
+
+    def test_scaled_machine_grows_by_level(self):
+        s = SCALED_MACHINE
+        assert s.l1_bytes < s.l2_bytes < s.llc_bytes
+
+    def test_rejects_non_monotone_levels(self):
+        with pytest.raises(MachineError):
+            MachineSpec(l1_bytes=1024, l2_bytes=512, llc_bytes=2048)
+
+    def test_level_bytes_mapping(self):
+        assert set(SCALED_MACHINE.level_bytes()) == {"L1", "L2", "LLC"}
+
+
+class TestHierarchy:
+    def test_hits_plus_misses_equal_references(self):
+        h = MemoryHierarchy(SCALED_MACHINE)
+        rng = np.random.default_rng(0)
+        h.process(rng.integers(0, 10_000, 5000))
+        snap = h.snapshot()
+        for counters in snap.caches.values():
+            assert counters.hits + counters.misses == counters.references
+
+    def test_misses_propagate_down(self):
+        h = MemoryHierarchy(SCALED_MACHINE)
+        rng = np.random.default_rng(1)
+        h.process(rng.integers(0, 10_000, 5000))
+        snap = h.snapshot()
+        assert snap.caches["L2"].references == snap.caches["L1"].misses
+        assert snap.caches["LLC"].references == snap.caches["L2"].misses
+
+    def test_dram_bytes_are_llc_misses(self):
+        h = MemoryHierarchy(SCALED_MACHINE)
+        rng = np.random.default_rng(2)
+        h.process(rng.integers(0, 100_000, 3000))
+        snap = h.snapshot()
+        assert snap.dram_bytes == (
+            snap.caches["LLC"].misses * SCALED_MACHINE.line_bytes
+        )
+
+    def test_tiny_working_set_hits_l1(self):
+        h = MemoryHierarchy(SCALED_MACHINE)
+        h.process(np.tile(np.arange(4), 100))
+        snap = h.snapshot()
+        assert snap.caches["L1"].hit_ratio > 0.95
+
+    def test_streaming_misses_everywhere(self):
+        h = MemoryHierarchy(SCALED_MACHINE)
+        h.process(np.arange(100_000))
+        snap = h.snapshot()
+        assert snap.caches["L1"].hit_ratio == 0.0
+        assert snap.caches["LLC"].hit_ratio == 0.0
+
+    def test_exact_lru_variant(self):
+        h = MemoryHierarchy(SCALED_MACHINE, exact_lru=True)
+        h.process(np.tile(np.arange(4), 50))
+        assert h.snapshot().caches["L1"].hit_ratio > 0.9
+
+    def test_run_trace_merges_traffic(self):
+        sp = AddressSpace(64)
+        sp.register("x", 1000, 4)
+        tr = AccessTrace(sp)
+        tr.sequential("x", 0, 1000)
+        tr.gather("x", np.arange(0, 1000, 100))
+        h = MemoryHierarchy(SCALED_MACHINE)
+        mc = h.run_trace(tr)
+        assert mc.traffic.bytes_read == 4000 + 40
+        # Only the 10 gathered accesses are demand references; the scan is
+        # prefetcher-covered.
+        assert mc.caches["L1"].references == 10
+        # The scan still consumes DRAM bandwidth.
+        assert mc.dram_bytes >= 1000 * 4
+
+    def test_prefetched_streams_have_no_demand_references(self):
+        sp = AddressSpace(64)
+        sp.register("x", 10_000, 4)
+        tr = AccessTrace(sp)
+        tr.sequential("x", 0, 10_000)
+        h = MemoryHierarchy(SCALED_MACHINE)
+        mc = h.run_trace(tr)
+        assert mc.caches["L1"].references == 0
+        assert mc.dram_bytes > 0
+
+    def test_demand_mask_validation(self):
+        h = MemoryHierarchy(SCALED_MACHINE)
+        with pytest.raises(MachineError):
+            h.process(np.arange(5), np.ones(4, dtype=bool))
+
+    def test_streams_bypass_and_do_not_install(self):
+        # Streaming accesses bypass the caches (non-temporal semantics):
+        # a following demand gather to the same line is a cold miss, but
+        # repeated demand gathers hit.
+        sp = AddressSpace(64)
+        sp.register("x", 8, 4)  # one line
+        tr = AccessTrace(sp)
+        tr.sequential("x", 0, 8)
+        tr.gather("x", np.array([0]))
+        tr.gather("x", np.array([4]))
+        h = MemoryHierarchy(SCALED_MACHINE)
+        mc = h.run_trace(tr)
+        assert mc.caches["L1"].references == 2
+        assert mc.caches["L1"].hits == 1
+
+    def test_streams_do_not_evict_demand_working_set(self):
+        # A big stream between two demand touches must not evict the
+        # demand line (streaming bypass).
+        sp = AddressSpace(64)
+        sp.register("x", 8, 4)
+        sp.register("big", 100_000, 4)
+        tr = AccessTrace(sp)
+        tr.gather("x", np.array([0]))
+        tr.sequential("big", 0, 100_000)
+        tr.gather("x", np.array([0]))
+        h = MemoryHierarchy(SCALED_MACHINE)
+        mc = h.run_trace(tr)
+        assert mc.caches["L1"].hits == 1
+
+    def test_level_lookup(self):
+        h = MemoryHierarchy(SCALED_MACHINE)
+        assert h.level("L2").name == "L2"
+        with pytest.raises(MachineError):
+            h.level("L9")
+
+    def test_empty_stream(self):
+        h = MemoryHierarchy(SCALED_MACHINE)
+        h.process(np.array([], dtype=np.int64))
+        assert h.snapshot().caches["L1"].references == 0

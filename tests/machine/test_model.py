@@ -1,0 +1,105 @@
+"""Unit tests for the analytic cost models (Sections 3 and 5)."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.machine import (
+    MixenModel,
+    blocking_random_accesses,
+    blocking_traffic_bytes,
+    pull_random_accesses,
+    pull_traffic_bytes,
+)
+
+
+class TestMotivationModels:
+    def test_pull_traffic_formula(self):
+        assert pull_traffic_bytes(10, 100) == 2 * 100 + 2 * 10
+        assert pull_traffic_bytes(10, 100, property_bytes=4) == 4 * 220
+
+    def test_blocking_traffic_formula(self):
+        assert blocking_traffic_bytes(10, 100) == 4 * 100 + 3 * 10
+
+    def test_blocking_generates_more_traffic_than_pull(self):
+        assert blocking_traffic_bytes(10, 100) > pull_traffic_bytes(10, 100)
+
+    def test_pull_random_is_m(self):
+        assert pull_random_accesses(172_200_000) == 172_200_000
+
+    def test_blocking_random_formula(self):
+        # The paper's wiki example: n = 18.2M, c = 64KB -> ~285^2 blocks
+        # (the paper divides by a decimal 64K; we use binary KiB, hence the
+        # slightly loose tolerance).
+        n, c = 18_200_000, 64 * 1024
+        blocks = blocking_random_accesses(n, c)
+        assert blocks == pytest.approx(285**2, rel=0.06)
+
+    def test_wiki_example_crossover(self):
+        # Section 3: pull incurs ~172.2M random accesses, blocking ~80.9K.
+        m = 172_200_000
+        assert pull_random_accesses(m) / blocking_random_accesses(
+            18_200_000, 64 * 1024
+        ) > 1000
+
+    def test_rejects_negative(self):
+        with pytest.raises(MachineError):
+            pull_traffic_bytes(-1, 0)
+        with pytest.raises(MachineError):
+            blocking_random_accesses(10, 0)
+
+
+class TestMixenModel:
+    def make(self, alpha=0.22, beta=0.78, n=18_200_000, m=172_200_000,
+             c=64 * 1024):
+        return MixenModel(n, m, alpha, beta, c)
+
+    def test_eq1_traffic(self):
+        model = self.make()
+        expect = 4 * round(0.22 * 18_200_000) + 4 * round(0.78 * 172_200_000)
+        assert model.traffic_bytes() == expect
+
+    def test_eq2_random(self):
+        model = self.make()
+        b = -(-model.num_regular // model.c_nodes)
+        assert model.random_accesses() == b * b
+
+    def test_worst_case_alpha_beta_one(self):
+        # alpha = beta = 1: Mixen traffic (4n + 4m) exceeds blocking
+        # (4m + 3n) -- the paper's stated limitation.
+        model = self.make(alpha=1.0, beta=1.0)
+        assert model.traffic_bytes() > blocking_traffic_bytes(
+            model.num_nodes, model.num_edges
+        )
+        assert model.traffic_advantage_over_blocking() < 1.0
+
+    def test_advantage_grows_as_alpha_shrinks(self):
+        a_small = self.make(alpha=0.05, beta=0.2)
+        a_large = self.make(alpha=0.8, beta=0.9)
+        assert (
+            a_small.traffic_advantage_over_blocking()
+            > a_large.traffic_advantage_over_blocking()
+        )
+
+    def test_random_deteriorates_to_blocking_at_alpha_one(self):
+        model = self.make(alpha=1.0)
+        assert model.random_accesses() == blocking_random_accesses(
+            model.num_nodes, model.c_nodes
+        )
+
+    def test_validation(self):
+        with pytest.raises(MachineError):
+            MixenModel(10, 10, 2.0, 0.5, 4)
+        with pytest.raises(MachineError):
+            MixenModel(10, 10, 0.5, 0.5, 0)
+        with pytest.raises(MachineError):
+            MixenModel(-1, 10, 0.5, 0.5, 4)
+
+    def test_zero_regular_traffic_is_zero(self):
+        model = MixenModel(100, 1000, 0.0, 0.0, 16)
+        assert model.traffic_bytes() == 0
+        assert model.traffic_advantage_over_blocking() == float("inf")
+
+    def test_property_bytes_scaling(self):
+        a = MixenModel(100, 1000, 0.5, 0.5, 16, property_bytes=1)
+        b = MixenModel(100, 1000, 0.5, 0.5, 16, property_bytes=4)
+        assert b.traffic_bytes() == 4 * a.traffic_bytes()

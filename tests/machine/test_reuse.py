@@ -1,0 +1,128 @@
+"""Unit tests for reuse-distance analysis."""
+
+import numpy as np
+import pytest
+
+from repro.machine import (
+    COLD,
+    footprint_curve,
+    footprint_hit_ratio,
+    hits_from_distances,
+    miss_ratio_curve,
+    reuse_distances,
+    reuse_times,
+)
+
+
+class TestReuseDistances:
+    def test_hand_checked(self):
+        # trace: a b c a  -> distances: cold cold cold 2 (b and c between)
+        d = reuse_distances(np.array([0, 1, 2, 0]))
+        assert d.tolist() == [COLD, COLD, COLD, 2]
+
+    def test_immediate_reuse_is_zero(self):
+        d = reuse_distances(np.array([5, 5, 5]))
+        assert d.tolist() == [COLD, 0, 0]
+
+    def test_repeated_scan(self):
+        # Scanning k distinct lines twice gives distance k-1 on the rescan.
+        k = 6
+        stream = np.tile(np.arange(k), 2)
+        d = reuse_distances(stream)
+        assert np.all(d[:k] == COLD)
+        assert np.all(d[k:] == k - 1)
+
+    def test_empty(self):
+        assert reuse_distances(np.array([])).size == 0
+
+    def test_distance_counts_distinct_not_total(self):
+        # a b b b a: only one distinct line between the two a's.
+        d = reuse_distances(np.array([0, 1, 1, 1, 0]))
+        assert d[-1] == 1
+
+
+class TestHitsFromDistances:
+    def test_threshold(self):
+        d = np.array([0, 1, 2, COLD])
+        assert hits_from_distances(d, 2).tolist() == [True, True, False, False]
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(Exception):
+            hits_from_distances(np.array([0]), 0)
+
+    def test_matches_mattson_inclusion(self):
+        # Hits at capacity C are a superset of hits at capacity C' < C.
+        rng = np.random.default_rng(0)
+        d = reuse_distances(rng.integers(0, 50, 2000))
+        small = hits_from_distances(d, 8)
+        large = hits_from_distances(d, 32)
+        assert np.all(large[small])
+
+
+class TestMissRatioCurve:
+    def test_monotone_decreasing(self):
+        rng = np.random.default_rng(1)
+        d = reuse_distances(rng.integers(0, 100, 5000))
+        caps = np.array([1, 2, 4, 8, 16, 32, 64, 128])
+        curve = miss_ratio_curve(d, caps)
+        assert np.all(np.diff(curve) <= 0)
+
+    def test_matches_pointwise_hits(self):
+        rng = np.random.default_rng(2)
+        d = reuse_distances(rng.integers(0, 30, 1000))
+        for cap in (2, 8, 32):
+            expect = 1 - hits_from_distances(d, cap).mean()
+            got = miss_ratio_curve(d, np.array([cap]))[0]
+            assert got == pytest.approx(expect)
+
+    def test_empty_trace(self):
+        curve = miss_ratio_curve(np.array([], np.int64), np.array([4]))
+        assert curve.tolist() == [1.0]
+
+
+class TestReuseTimes:
+    def test_hand_checked(self):
+        rt = reuse_times(np.array([0, 1, 0, 0]))
+        assert rt.tolist() == [COLD, COLD, 2, 1]
+
+    def test_lower_bounds_distance(self):
+        # Reuse time >= reuse distance always.
+        rng = np.random.default_rng(3)
+        stream = rng.integers(0, 40, 1500)
+        rd = reuse_distances(stream)
+        rt = reuse_times(stream)
+        finite = rd != COLD
+        assert np.all(rt[finite] >= rd[finite])
+
+
+class TestFootprint:
+    def test_curve_monotone_in_window(self):
+        rng = np.random.default_rng(4)
+        stream = rng.integers(0, 64, 4000)
+        sizes = np.array([1, 8, 64, 512, 4000])
+        fp = footprint_curve(stream, sizes, seed=0)
+        assert np.all(np.diff(fp) >= -1e-9)
+
+    def test_window_one_has_footprint_one(self):
+        stream = np.arange(100)
+        fp = footprint_curve(stream, np.array([1]), seed=0)
+        assert fp[0] == pytest.approx(1.0)
+
+    def test_hit_ratio_within_tolerance_of_exact(self):
+        # The footprint estimate should track the exact LRU hit ratio.
+        rng = np.random.default_rng(5)
+        # Mixture: hot set of 8 lines + cold uniform tail over 256.
+        hot = rng.integers(0, 8, 3000)
+        cold = rng.integers(0, 256, 1000)
+        stream = np.concatenate([hot, cold])
+        rng.shuffle(stream)
+        exact = hits_from_distances(reuse_distances(stream), 16).mean()
+        approx = footprint_hit_ratio(stream, 16, seed=0)
+        assert approx == pytest.approx(exact, abs=0.15)
+
+    def test_zero_capacity_like_behaviour(self):
+        stream = np.arange(50)  # no reuse at all
+        assert footprint_hit_ratio(stream, 4) == 0.0
+
+    def test_empty(self):
+        assert footprint_hit_ratio(np.array([], np.int64), 8) == 0.0

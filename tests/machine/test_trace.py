@@ -1,0 +1,127 @@
+"""Unit tests for the address space and access traces."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MachineError
+from repro.machine import AccessTrace, AddressSpace
+
+
+class TestAddressSpace:
+    def test_line_aligned_bases(self):
+        sp = AddressSpace(64)
+        a = sp.register("a", 10, 4)
+        b = sp.register("b", 10, 4)
+        assert a.base % 64 == 0
+        assert b.base % 64 == 0
+        assert b.base >= a.base + 40
+
+    def test_arrays_never_share_lines(self):
+        sp = AddressSpace(64)
+        a = sp.register("a", 3, 4)  # 12 bytes, padded to 64
+        b = sp.register("b", 3, 4)
+        a_line = a.addresses(np.array([2]))[0] // 64
+        b_line = b.addresses(np.array([0]))[0] // 64
+        assert a_line != b_line
+
+    def test_duplicate_name_rejected(self):
+        sp = AddressSpace()
+        sp.register("x", 1, 4)
+        with pytest.raises(MachineError):
+            sp.register("x", 1, 4)
+
+    def test_unknown_region_rejected(self):
+        with pytest.raises(MachineError):
+            AddressSpace().region("ghost")
+
+    def test_contains(self):
+        sp = AddressSpace()
+        sp.register("x", 1, 4)
+        assert "x" in sp and "y" not in sp
+
+    def test_bad_specs_rejected(self):
+        sp = AddressSpace()
+        with pytest.raises(MachineError):
+            sp.register("neg", -1, 4)
+        with pytest.raises(MachineError):
+            sp.register("zero_item", 4, 0)
+        with pytest.raises(MachineError):
+            AddressSpace(0)
+
+
+class TestAccessTrace:
+    def make(self):
+        sp = AddressSpace(64)
+        sp.register("x", 100, 4)
+        sp.register("y", 100, 4)
+        return AccessTrace(sp)
+
+    def test_sequential_touches_each_line_once(self):
+        tr = self.make()
+        tr.sequential("x", 0, 100)  # 400 bytes = 7 lines (ceil 400/64)
+        lines = tr.lines()
+        assert lines.size == 7
+        assert np.all(np.diff(lines) == 1)
+
+    def test_sequential_counts_bytes(self):
+        tr = self.make()
+        tr.sequential("x", 0, 50)
+        assert tr.traffic.bytes_read == 200
+        tr.sequential("y", 0, 50, write=True)
+        assert tr.traffic.bytes_written == 200
+        assert tr.traffic.sequential_elements == 100
+        assert tr.traffic.stream_jumps == 2  # one jump per scan
+        assert tr.traffic.random_accesses == 0
+
+    def test_sequential_partial_segment(self):
+        tr = self.make()
+        tr.sequential("x", 16, 16)  # elements 16..31 -> one line
+        assert tr.lines().size == 1
+
+    def test_sequential_out_of_range(self):
+        tr = self.make()
+        with pytest.raises(MachineError):
+            tr.sequential("x", 90, 20)
+
+    def test_sequential_zero_count_noop(self):
+        tr = self.make()
+        tr.sequential("x", 0, 0)
+        assert tr.num_accesses == 0
+
+    def test_gather_records_per_access_lines(self):
+        tr = self.make()
+        tr.gather("x", np.array([0, 50, 0]))
+        assert tr.lines().size == 3
+        assert tr.traffic.bytes_read == 12
+        assert tr.traffic.random_accesses == 3
+
+    def test_scatter_counts_writes(self):
+        tr = self.make()
+        tr.scatter("y", np.array([1, 2]))
+        assert tr.traffic.bytes_written == 8
+
+    def test_gather_out_of_range(self):
+        tr = self.make()
+        with pytest.raises(MachineError):
+            tr.gather("x", np.array([100]))
+
+    def test_gather_empty_noop(self):
+        tr = self.make()
+        tr.gather("x", np.array([], dtype=np.int64))
+        assert tr.num_accesses == 0
+
+    def test_order_preserved_across_chunks(self):
+        tr = self.make()
+        tr.gather("x", np.array([0]))
+        tr.gather("y", np.array([0]))
+        lines = tr.lines()
+        x_line = tr.space.region("x").base // 64
+        y_line = tr.space.region("y").base // 64
+        assert lines.tolist() == [x_line, y_line]
+
+    def test_clear(self):
+        tr = self.make()
+        tr.gather("x", np.array([0, 1]))
+        tr.clear()
+        assert tr.num_accesses == 0
+        assert tr.traffic.total_bytes == 0

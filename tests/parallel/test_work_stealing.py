@@ -1,0 +1,65 @@
+"""Unit tests for the work-stealing scheduler model."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.parallel import (
+    dynamic_schedule,
+    static_schedule,
+    work_stealing_schedule,
+)
+
+
+class TestWorkStealing:
+    def test_balanced_input_stays_static(self):
+        res = work_stealing_schedule(np.ones(40), 4)
+        assert res.makespan == pytest.approx(10.0)
+        assert res.imbalance == pytest.approx(1.0)
+
+    def test_steals_from_hot_chunk(self):
+        # All heavy tasks in the first chunk: static would serialize them;
+        # stealing must spread them out.
+        loads = np.array([10.0] * 5 + [1.0] * 15)
+        sta = static_schedule(loads, 4)
+        ws = work_stealing_schedule(loads, 4)
+        assert ws.makespan < sta.makespan
+
+    def test_matches_dynamic_on_hot_chunk(self):
+        loads = np.array([10.0] * 5 + [1.0] * 15)
+        dyn = dynamic_schedule(loads, 4)
+        ws = work_stealing_schedule(loads, 4)
+        assert ws.makespan <= dyn.makespan * 1.5
+
+    def test_single_thread(self):
+        loads = np.array([1.0, 2.0, 3.0])
+        res = work_stealing_schedule(loads, 1)
+        assert res.makespan == pytest.approx(6.0)
+
+    def test_empty(self):
+        res = work_stealing_schedule(np.array([]), 4)
+        assert res.makespan == 0.0
+
+    @given(
+        st.lists(st.floats(0.01, 50), min_size=0, max_size=60),
+        st.integers(1, 12),
+    )
+    def test_invariants(self, loads, threads):
+        loads = np.array(loads)
+        res = work_stealing_schedule(loads, threads)
+        total = loads.sum()
+        assert res.thread_loads.sum() == pytest.approx(total)
+        assert res.makespan >= total / threads - 1e-9
+        assert res.makespan <= total + 1e-9
+
+    @given(
+        st.lists(st.floats(0.01, 50), min_size=1, max_size=60),
+        st.integers(1, 12),
+    )
+    def test_never_worse_than_serial_chunk(self, loads, threads):
+        # Stealing is a 2-approximation like any list scheduler.
+        loads = np.array(loads)
+        ws = work_stealing_schedule(loads, threads)
+        ideal = max(loads.sum() / threads, loads.max())
+        assert ws.makespan <= 2 * ideal + 1e-9

@@ -1,0 +1,91 @@
+"""Unit tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+def run_cli(*argv) -> tuple[int, str]:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "table1"])
+        assert args.name == "table1"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "table99"])
+
+
+class TestCommands:
+    def test_engines(self):
+        code, text = run_cli("engines")
+        assert code == 0
+        for name in ("mixen", "pull", "ligra"):
+            assert name in text
+
+    def test_datasets(self):
+        code, text = run_cli("datasets")
+        assert code == 0
+        assert "Table 1" in text and "Table 2" in text
+        assert "weibo" in text
+
+    def test_run_pagerank(self):
+        code, text = run_cli(
+            "run", "--graph", "road", "--engine", "pull",
+            "--algorithm", "pagerank", "--iterations", "5",
+            "--scale", "0.25", "--top", "2",
+        )
+        assert code == 0
+        assert "pagerank on road via pull" in text
+        assert "node" in text
+
+    def test_run_cf_rank_k_scores(self):
+        code, text = run_cli(
+            "run", "--graph", "road", "--engine", "mixen",
+            "--algorithm", "cf", "--iterations", "2", "--scale", "0.25",
+        )
+        assert code == 0
+
+    def test_bfs(self):
+        code, text = run_cli(
+            "bfs", "--graph", "road", "--engine", "ligra",
+            "--scale", "0.25",
+        )
+        assert code == 0
+        assert "reached" in text
+
+    def test_bfs_bad_source_is_clean_error(self):
+        code, _ = run_cli(
+            "bfs", "--graph", "road", "--source", "999999",
+            "--scale", "0.25",
+        )
+        assert code == 1
+
+    def test_experiment_table1(self, tmp_path):
+        code, text = run_cli(
+            "experiment", "table1", "--save", str(tmp_path)
+        )
+        assert code == 0
+        assert "Table 1" in text
+        assert (tmp_path / "table1_structure.txt").exists()
+
+    def test_experiment_registry_complete(self):
+        # Every paper artifact is reachable from the CLI.
+        for required in (
+            "table1", "table2", "table3", "table4",
+            "fig4", "fig5", "fig6", "fig7",
+        ):
+            assert required in EXPERIMENTS

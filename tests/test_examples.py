@@ -1,0 +1,77 @@
+"""The example scripts must stay runnable (they are documentation).
+
+``quickstart`` runs end to end; the heavier scenarios are executed with
+their workloads shrunk via monkeypatching where possible, or
+compile-checked.
+"""
+
+import py_compile
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+ALL_SCRIPTS = sorted(EXAMPLES.glob("*.py"))
+
+
+def test_examples_directory_has_expected_scripts():
+    names = {p.name for p in ALL_SCRIPTS}
+    assert {
+        "quickstart.py",
+        "webgraph_ranking.py",
+        "recommendation_cf.py",
+        "social_reachability.py",
+        "cache_study.py",
+        "weighted_links.py",
+    } <= names
+
+
+@pytest.mark.parametrize("script", ALL_SCRIPTS, ids=lambda p: p.name)
+def test_examples_compile(script):
+    py_compile.compile(str(script), doraise=True)
+
+
+def _run(script: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart_runs(capsys):
+    out = _run("quickstart.py", capsys)
+    assert "baseline agreement: OK" in out
+    assert "per-iteration time" in out
+
+
+def test_webgraph_ranking_runs(capsys):
+    out = _run("webgraph_ranking.py", capsys)
+    assert "rank correlation" in out
+
+
+def test_recommendation_cf_runs(capsys, monkeypatch):
+    # Shrink the planted-community workload for test speed.
+    module = runpy.run_path(str(EXAMPLES / "recommendation_cf.py"))
+    graph, user_group, item_group = module["build_interactions"](
+        num_users=400, num_items=80, seed=1
+    )
+    assert graph.num_nodes == 480
+    # Users are pure seeds, items pure sinks.
+    from repro.graphs import classify_nodes
+    from repro.types import NodeClass
+
+    cc = classify_nodes(graph)
+    assert cc.count(NodeClass.REGULAR) == 0
+    assert cc.count(NodeClass.SEED) > 0
+    assert cc.count(NodeClass.SINK) > 0
+
+
+def test_social_reachability_runs(capsys):
+    out = _run("social_reachability.py", capsys)
+    assert "influencer #1" in out
+    assert "BFS" in out
+
+
+def test_weighted_links_runs(capsys):
+    out = _run("weighted_links.py", capsys)
+    assert "weighted mixen == weighted pull: OK" in out

@@ -1,0 +1,119 @@
+"""Fuzz-style robustness: malformed inputs raise typed errors, never
+crash the interpreter or corrupt state."""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.graphs import (
+    CSR,
+    EdgeList,
+    Graph,
+    load_csr,
+    load_edgelist,
+    load_ligra_adj,
+)
+
+
+class TestLoaderFuzz:
+    @given(st.text(max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_edgelist_loader_never_crashes(self, text):
+        with tempfile.TemporaryDirectory() as d:
+            path = Path(d) / "f.el"
+            path.write_text(text, encoding="utf-8")
+            try:
+                load_edgelist(path)
+            except (ReproError, ValueError):
+                pass  # typed/parse errors are the contract
+
+    @given(st.text(max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_ligra_loader_never_crashes(self, text):
+        with tempfile.TemporaryDirectory() as d:
+            path = Path(d) / "f.adj"
+            path.write_text(text, encoding="utf-8")
+            try:
+                load_ligra_adj(path)
+            except (ReproError, ValueError):
+                pass
+
+    def test_csr_loader_rejects_corrupted_arrays(self, tmp_path):
+        # Structurally valid npz, semantically broken CSR.
+        path = tmp_path / "broken.npz"
+        np.savez(
+            path,
+            indptr=np.array([0, 5, 2]),  # decreasing
+            indices=np.array([0, 1]),
+            num_nodes=np.int64(2),
+            directed=np.bool_(True),
+        )
+        with pytest.raises(ReproError):
+            load_csr(path)
+
+
+class TestConstructorFuzz:
+    @given(
+        st.integers(-3, 10),
+        st.lists(st.integers(-5, 15), max_size=20),
+        st.lists(st.integers(-5, 15), max_size=20),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_edgelist_ctor_total(self, n, src, dst):
+        try:
+            e = EdgeList(n, np.array(src, np.int64), np.array(dst, np.int64))
+        except ReproError:
+            return
+        # If accepted, the invariants hold.
+        assert e.num_edges == len(src)
+        assert e.out_degrees().sum() == e.num_edges
+
+    @given(
+        st.integers(0, 8),
+        st.lists(st.integers(-2, 12), max_size=12),
+        st.lists(st.integers(-2, 12), max_size=12),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_csr_ctor_total(self, n, indptr, indices):
+        try:
+            csr = CSR(n, n, np.array(indptr, np.int64),
+                      np.array(indices, np.int64))
+        except ReproError:
+            return
+        assert csr.num_edges == len(indices)
+        assert np.all(csr.degrees() >= 0)
+
+
+class TestEngineStateIsolation:
+    def test_failed_propagate_leaves_engine_usable(self):
+        from repro.frameworks import PullEngine
+        from repro.graphs import load_dataset
+
+        g = load_dataset("wiki", scale=0.25)
+        e = PullEngine(g)
+        e.prepare()
+        with pytest.raises(ReproError):
+            e.propagate(np.ones(3))
+        # The engine still works after the rejected call.
+        y = e.propagate(np.ones(g.num_nodes))
+        assert np.array_equal(y, g.in_degrees().astype(float))
+
+    def test_graph_not_mutated_by_engines(self):
+        from repro.core import MixenEngine
+        from repro.frameworks import engine_names, make_engine
+        from repro.graphs import load_dataset
+
+        g = load_dataset("track", scale=0.25)
+        before_ptr = g.csr.indptr.copy()
+        before_idx = g.csr.indices.copy()
+        for name in sorted(set(engine_names()) - {"filtered"}):
+            engine = make_engine(name, g)
+            engine.prepare()
+            engine.propagate(np.ones(g.num_nodes))
+        assert np.array_equal(g.csr.indptr, before_ptr)
+        assert np.array_equal(g.csr.indices, before_idx)
