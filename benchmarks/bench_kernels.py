@@ -1,0 +1,203 @@
+"""SpMV kernel microbenchmark: bincount vs reduceat vs thread pool.
+
+Times every kernel backend on one R-MAT graph across the 1-D / rank-k and
+unweighted / weighted cases, and records the per-kernel timings (plus
+speedups over the serial bincount baseline) to
+``bench_results/kernels.json`` so later PRs have a perf trajectory to
+beat.  The default graph is the acceptance target: ``2**17`` ~ 100k nodes
+and ~1M edges.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py
+    PYTHONPATH=src python benchmarks/bench_kernels.py --quick  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+try:
+    import repro  # noqa: F401
+except ImportError:
+    sys.path.insert(0, str(ROOT / "src"))
+
+from repro.core.kernels import KERNELS, spmv  # noqa: E402
+from repro.core.partition import make_block_tasks  # noqa: E402
+from repro.frameworks.blocking import build_block_layout  # noqa: E402
+from repro.graphs.generators import rmat  # noqa: E402
+from repro.parallel.threadpool import default_workers  # noqa: E402
+
+BASELINE = "bincount"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale", type=int, default=17,
+        help="R-MAT scale (n = 2**scale nodes; default 17 ~ 100k)",
+    )
+    parser.add_argument(
+        "--edge-factor", type=int, default=8,
+        help="edges per node before dedup (default 8 ~ 1M edges)",
+    )
+    parser.add_argument("--block-nodes", type=int, default=512)
+    parser.add_argument(
+        "--rank", type=int, default=8, help="columns of the rank-k cases"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=7,
+        help="timed repetitions per case (the minimum is recorded)",
+    )
+    parser.add_argument(
+        "--out", default=str(ROOT / "bench_results" / "kernels.json")
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="tiny smoke configuration for CI (scale 10, 2 repeats)",
+    )
+    return parser
+
+
+def time_kernel(layout, x, *, repeats, tasks, **options) -> float:
+    spmv(layout, x, scatter_tasks=tasks, **options)  # warm-up
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        spmv(layout, x, scatter_tasks=tasks, **options)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_cases(args) -> dict:
+    graph = rmat(args.scale, args.edge_factor, seed=1)
+    csr = graph.csr
+    rng = np.random.default_rng(0)
+    weights = rng.random(graph.num_edges) + 0.5
+    kernels = tuple(KERNELS)
+    results = {
+        "graph": {
+            "generator": "rmat",
+            "scale": args.scale,
+            "edge_factor": args.edge_factor,
+            "num_nodes": graph.num_nodes,
+            "num_edges": graph.num_edges,
+        },
+        "block_nodes": args.block_nodes,
+        "rank": args.rank,
+        "repeats": args.repeats,
+        "workers": default_workers(),
+        "baseline": BASELINE,
+        "cases": {},
+    }
+    for weighted in (False, True):
+        layout = build_block_layout(
+            csr.row_ids(), csr.indices, graph.num_nodes,
+            args.block_nodes, values=weights if weighted else None,
+        )
+        tasks = make_block_tasks(layout)
+        for rank in (None, args.rank):
+            x = (
+                rng.random(graph.num_nodes)
+                if rank is None
+                else rng.random((graph.num_nodes, rank))
+            )
+            case = "{}-{}".format(
+                "1d" if rank is None else f"rank{rank}",
+                "weighted" if weighted else "unweighted",
+            )
+            timings = {
+                name: time_kernel(
+                    layout, x, kernel=name, repeats=args.repeats,
+                    tasks=tasks,
+                )
+                for name in kernels
+            }
+            speedups = {
+                f"speedup_{name}_vs_{BASELINE}":
+                    timings[BASELINE] / timings[name]
+                for name in kernels
+                if name != BASELINE
+            }
+            results["cases"][case] = {
+                "seconds": timings, **speedups
+            }
+    return results
+
+
+def render(results: dict) -> str:
+    lines = [
+        "kernel microbench on rmat(scale={scale}, ef={edge_factor}): "
+        "{num_nodes} nodes, {num_edges} edges, {workers} worker(s)".format(
+            **results["graph"], workers=results["workers"]
+        )
+    ]
+    for case, data in results["cases"].items():
+        parts = [
+            f"{name} {seconds * 1e3:8.3f} ms"
+            for name, seconds in data["seconds"].items()
+        ]
+        speedup = data[f"speedup_reduceat_vs_{BASELINE}"]
+        lines.append(
+            f"  {case:<20} " + "  ".join(parts)
+            + f"  (reduceat {speedup:.2f}x vs {BASELINE})"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.quick:
+        args.scale = min(args.scale, 10)
+        args.edge_factor = min(args.edge_factor, 4)
+        args.repeats = min(args.repeats, 2)
+    results = run_cases(args)
+    print(render(results))
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"[saved to {out}]")
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# pytest entry points (the suite-wide convention: micro-benchmarks plus
+# one smoke/report case)
+# --------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def bench_layout():
+    graph = rmat(12, 8, seed=1)
+    csr = graph.csr
+    layout = build_block_layout(
+        csr.row_ids(), csr.indices, graph.num_nodes, 512
+    )
+    return layout, make_block_tasks(layout)
+
+
+@pytest.mark.parametrize("kernel", sorted(KERNELS))
+def test_propagate_kernel(benchmark, bench_layout, kernel):
+    layout, tasks = bench_layout
+    x = np.random.default_rng(0).random(layout.num_nodes)
+    benchmark(spmv, layout, x, kernel=kernel, scatter_tasks=tasks)
+
+
+def test_report_kernels(tmp_path):
+    out = tmp_path / "kernels.json"
+    assert main(["--quick", "--out", str(out)]) == 0
+    data = json.loads(out.read_text())
+    assert data["cases"]
+    for case in data["cases"].values():
+        assert set(case["seconds"]) == set(KERNELS)
+        assert f"speedup_reduceat_vs_{BASELINE}" in case
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,9 +20,13 @@ import numpy as np
 from . import bench
 from .algorithms import ALGORITHMS
 from .algorithms.bfs import default_source, num_reached
+from .core.kernels import KERNEL_NAMES
 from .errors import ReproError
 from .frameworks import engine_names, make_engine
 from .graphs import DATASET_NAMES, load_dataset
+
+#: engines whose constructor understands the ``--kernel`` option.
+KERNEL_ENGINES = ("mixen", "block")
 
 #: experiment name -> zero-argument callable.
 EXPERIMENTS = {
@@ -71,12 +75,22 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--iterations", type=int, default=100)
     run.add_argument("--scale", type=float, default=1.0)
     run.add_argument("--top", type=int, default=5)
+    run.add_argument(
+        "--kernel", choices=KERNEL_NAMES, default=None,
+        help="SpMV backend for the blocked engines "
+        f"({', '.join(KERNEL_ENGINES)})",
+    )
 
     bfs = sub.add_parser("bfs", help="run BFS")
     bfs.add_argument("--graph", choices=DATASET_NAMES, default="wiki")
     bfs.add_argument("--engine", default="mixen")
     bfs.add_argument("--source", type=int, default=None)
     bfs.add_argument("--scale", type=float, default=1.0)
+    bfs.add_argument(
+        "--kernel", choices=KERNEL_NAMES, default=None,
+        help="SpMV backend for the blocked engines "
+        f"({', '.join(KERNEL_ENGINES)})",
+    )
 
     exp = sub.add_parser(
         "experiment", help="regenerate a paper table/figure"
@@ -105,9 +119,22 @@ def _cmd_engines(out) -> int:
     return 0
 
 
+def _engine_options(args) -> dict:
+    """Engine constructor options derived from CLI flags."""
+    options = {}
+    if getattr(args, "kernel", None) is not None:
+        if args.engine not in KERNEL_ENGINES:
+            raise ReproError(
+                f"engine {args.engine!r} has no kernel dispatch; "
+                f"--kernel applies to: {', '.join(KERNEL_ENGINES)}"
+            )
+        options["kernel"] = args.kernel
+    return options
+
+
 def _cmd_run(args, out) -> int:
     graph = load_dataset(args.graph, scale=args.scale)
-    engine = make_engine(args.engine, graph)
+    engine = make_engine(args.engine, graph, **_engine_options(args))
     prep = engine.prepare()
     algorithm = ALGORITHMS[args.algorithm]()
     start = time.perf_counter()
@@ -132,7 +159,7 @@ def _cmd_run(args, out) -> int:
 
 def _cmd_bfs(args, out) -> int:
     graph = load_dataset(args.graph, scale=args.scale)
-    engine = make_engine(args.engine, graph)
+    engine = make_engine(args.engine, graph, **_engine_options(args))
     engine.prepare()
     source = (
         args.source if args.source is not None else default_source(graph)

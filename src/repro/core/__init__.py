@@ -4,8 +4,23 @@ from .bins import DynamicBinStats, build_static_bins, dynamic_bin_stats
 from .engine import MixenEngine
 from .extension import FilteredEngine
 from .filtering import FilterPlan, filter_graph
+from .kernels import (
+    KERNEL_NAMES,
+    ReducePlan,
+    build_reduce_plan,
+    register_kernel,
+    resolve_kernel,
+    spmv_bincount,
+    spmv_parallel,
+    spmv_reduceat,
+)
 from .mixed_format import MixedGraph, build_mixed
-from .partition import BlockTask, RegularPartition, partition_regular
+from .partition import (
+    BlockTask,
+    RegularPartition,
+    make_block_tasks,
+    partition_regular,
+)
 from .perfmodel import measured_main_phase_counters, model_for_engine
 from .permutation import (
     compose,
@@ -23,25 +38,34 @@ __all__ = [
     "DynamicBinStats",
     "FilteredEngine",
     "FilterPlan",
+    "KERNEL_NAMES",
     "MIN_PLUS",
     "MixedGraph",
     "MixenEngine",
     "MixenRunResult",
     "PLUS_TIMES",
+    "ReducePlan",
     "RegularPartition",
     "ScgaKernel",
     "Semiring",
     "build_mixed",
+    "build_reduce_plan",
     "build_static_bins",
     "compose",
     "dynamic_bin_stats",
     "filter_graph",
     "invert",
     "is_permutation",
+    "make_block_tasks",
     "measured_main_phase_counters",
     "model_for_engine",
     "partition_regular",
     "permute_values",
+    "register_kernel",
+    "resolve_kernel",
     "run_schedule",
+    "spmv_bincount",
+    "spmv_parallel",
+    "spmv_reduceat",
     "unpermute_values",
 ]

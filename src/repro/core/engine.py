@@ -9,6 +9,9 @@ Options expose the paper's design knobs for the ablation benches:
 ``hub_reorder`` (step 2 of the filter), ``cache_step`` (the static-bin
 Cache step), ``balance`` (block splitting), ``compress`` (edge compression
 in the traced bins) and ``block_nodes`` (the Figure 6/7 sweep parameter).
+``kernel`` selects the Main-Phase SpMV backend
+(:mod:`repro.core.kernels`); the thread-pool kernel is the default,
+consuming the partition's balanced block tasks.
 """
 
 from __future__ import annotations
@@ -50,11 +53,20 @@ class MixenEngine(Engine):
         cache_step: bool = True,
         compress: bool = False,
         edge_values=None,
+        kernel: str = "parallel",
+        max_workers: int | None = None,
     ) -> None:
         super().__init__(graph, edge_values=edge_values)
         if block_nodes <= 0:
             raise PartitionError(
                 f"block_nodes must be positive, got {block_nodes}"
+            )
+        from .kernels import KERNEL_NAMES
+
+        if kernel not in KERNEL_NAMES:
+            raise EngineError(
+                f"unknown kernel {kernel!r}; "
+                f"available: {', '.join(KERNEL_NAMES)}"
             )
         self.block_nodes = block_nodes
         self.balance = balance
@@ -62,6 +74,8 @@ class MixenEngine(Engine):
         self.hub_reorder = hub_reorder
         self.cache_step = cache_step
         self.compress = compress
+        self.kernel = kernel
+        self.max_workers = max_workers
 
     # ------------------------------------------------------------------ #
     # preparation
@@ -97,6 +111,8 @@ class MixenEngine(Engine):
             self.mixed.seed_to_reg,
             cache_step=self.cache_step,
             seed_values=self.mixed.seed_values,
+            kernel=self.kernel,
+            max_workers=self.max_workers,
         )
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,381 @@
+"""Interchangeable SpMV kernels for blocked propagation (the dispatch layer).
+
+Every backend computes the same blocked propagation ``y = A^T x (+ static)``
+over a :class:`~repro.frameworks.blocking.BlockLayout`; they differ only in
+how the Gather accumulation is executed:
+
+* ``bincount`` — the original serial kernel: stream the bins in gather
+  order and accumulate with ``np.bincount`` (rank-k inputs go through one
+  flattened bincount over ``(dst, column)`` pairs instead of a per-column
+  Python loop).
+* ``reduceat`` — segmented reduce: destination run boundaries are
+  precomputed once at layout build time (:func:`build_reduce_plan`), and
+  the accumulation is a single ``np.add.reduceat`` over the run-sorted
+  message stream — O(m) work, no ``minlength=n`` zero-fill pass, no
+  ``astype`` copy, and native rank-k support via ``axis=0``.
+* ``parallel`` — thread-pool execution: the Scatter phase runs one pool
+  job per block task (e.g. Mixen's balanced
+  :class:`~repro.core.partition.BlockTask` slices), the Gather phase one
+  job per block-column, on top of either serial accumulation ``base``.
+  Worker count defaults to :func:`repro.parallel.threadpool.default_workers`.
+* ``auto`` — resolved per layout: ``parallel`` for graphs at or above
+  :data:`AUTO_PARALLEL_MIN_EDGES` edges on multicore hosts, ``reduceat``
+  otherwise.
+
+Numerical equivalence contract: serial and parallel execution of the same
+accumulation base are **bit-identical** (each thread owns the same
+contiguous run segments the serial kernel reduces).  ``bincount`` and
+``reduceat`` accumulate in different association orders (sequential vs
+NumPy's pairwise reduce), so on arbitrary floating-point inputs they agree
+to summation-order rounding (a few ulps); on integer-valued inputs —
+degrees, frontiers, unit vectors — all backends are bit-identical.
+
+Adding a backend: write a callable with the uniform kernel signature
+``fn(layout, x, *, static=None, max_workers=None, scatter_tasks=None)``
+and :func:`register_kernel` it; engines and the CLI pick it up by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..errors import EngineError
+from ..types import VALUE_DTYPE
+
+#: kernel names accepted by engines and the CLI ``--kernel`` flag.
+KERNEL_NAMES = ("bincount", "reduceat", "parallel", "auto")
+
+#: ``auto`` picks the thread-pool kernel at or above this edge count
+#: (below it, pool dispatch overhead beats the parallelism win).
+AUTO_PARALLEL_MIN_EDGES = 1 << 18
+
+#: rank-k bincount flattens ``(dst, column)`` into one bincount call up to
+#: this many messages; beyond it the per-column fallback caps the
+#: transient ``m * k`` index allocation.
+_FLAT_BINCOUNT_MAX_MSGS = 1 << 24
+
+
+@dataclass(frozen=True)
+class ReducePlan:
+    """Precomputed segmented-reduce schedule of one block layout.
+
+    ``order`` maps reduce position -> scatter slot such that the message
+    stream ``x[src]`` is grouped by destination (a stable sort of the
+    gather stream, so each destination's messages keep their blocked
+    order).  ``run_starts``/``run_dst`` delimit the per-destination runs;
+    ``col_edge_ptr``/``col_run_ptr`` give each block-column's contiguous
+    edge/run span, which is what lets the thread-pool kernel reduce
+    columns independently yet bit-identically to the serial reduce.
+    """
+
+    order: np.ndarray = field(repr=False)
+    src: np.ndarray = field(repr=False)
+    run_starts: np.ndarray = field(repr=False)
+    run_dst: np.ndarray = field(repr=False)
+    col_edge_ptr: np.ndarray = field(repr=False)
+    col_run_ptr: np.ndarray = field(repr=False)
+    #: per-edge weights in reduce order (weighted SpMV), or None.
+    values: np.ndarray | None = field(default=None, repr=False)
+
+    @property
+    def num_runs(self) -> int:
+        """Distinct destination runs (= nodes with in-edges)."""
+        return int(self.run_dst.size)
+
+
+def build_reduce_plan(layout) -> ReducePlan:
+    """Compute the segmented-reduce schedule of ``layout`` (done once at
+    layout build time; the per-SpMV cost is then one gather plus one
+    ``reduceat``)."""
+    dst = layout.dst_scatter
+    order = np.argsort(dst, kind="stable")
+    dst_sorted = dst[order]
+    if dst_sorted.size:
+        run_starts = np.concatenate(
+            ([0], np.flatnonzero(np.diff(dst_sorted)) + 1)
+        ).astype(np.int64)
+        run_dst = dst_sorted[run_starts]
+    else:
+        run_starts = np.empty(0, dtype=np.int64)
+        run_dst = np.empty(0, dtype=np.int64)
+    bounds = (
+        np.arange(layout.num_blocks_per_side + 1, dtype=np.int64)
+        * layout.block_nodes
+    )
+    values = layout.values_scatter
+    return ReducePlan(
+        order=order,
+        src=layout.src_scatter[order],
+        run_starts=run_starts,
+        run_dst=run_dst,
+        col_edge_ptr=np.searchsorted(dst_sorted, bounds, side="left"),
+        col_run_ptr=np.searchsorted(run_dst, bounds, side="left"),
+        values=None if values is None else values[order],
+    )
+
+
+# --------------------------------------------------------------------- #
+# serial kernels
+# --------------------------------------------------------------------- #
+def spmv_bincount(
+    layout, x, *, static=None, max_workers=None, scatter_tasks=None
+) -> np.ndarray:
+    """Serial bincount kernel (the original backend).
+
+    ``max_workers``/``scatter_tasks`` are accepted for signature
+    uniformity and ignored.
+    """
+    x = np.asarray(x, dtype=VALUE_DTYPE)
+    n = layout.num_nodes
+    # Scatter: stream x (block-row-confined gathers) into the bins;
+    # Gather: stream the bins in block-column order and accumulate.
+    bins = x[layout.src_scatter]
+    if layout.values_scatter is not None:
+        bins = (
+            bins * layout.values_scatter
+            if bins.ndim == 1
+            else bins * layout.values_scatter[:, None]
+        )
+    msgs = bins[layout.gather_perm]
+    if x.ndim == 1:
+        y = np.bincount(
+            layout.dst_gather, weights=msgs, minlength=n
+        ).astype(VALUE_DTYPE, copy=False)
+        if static is not None:
+            y += static
+        return y
+    k = x.shape[1]
+    if msgs.size <= _FLAT_BINCOUNT_MAX_MSGS:
+        # One bincount over (dst, column) pairs instead of k Python-level
+        # passes; accumulation order per pair matches the per-column loop.
+        flat = layout.dst_gather[:, None] * k + np.arange(k, dtype=np.int64)
+        out = np.bincount(
+            flat.ravel(), weights=msgs.ravel(), minlength=n * k
+        ).reshape(n, k).astype(VALUE_DTYPE, copy=False)
+    else:
+        out = np.empty((n, k), dtype=VALUE_DTYPE)
+        for col in range(k):
+            out[:, col] = np.bincount(
+                layout.dst_gather, weights=msgs[:, col], minlength=n
+            )
+    if static is not None:
+        out += static
+    return out
+
+
+def spmv_reduceat(
+    layout, x, *, static=None, max_workers=None, scatter_tasks=None
+) -> np.ndarray:
+    """Segmented-reduce kernel: one gather in reduce order plus one
+    ``np.add.reduceat`` over the precomputed destination runs.
+
+    With ``static`` the accumulation starts from a copy of the cached
+    seed contribution instead of a zero-filled array (the Cache step
+    without the ``minlength=n`` zero pass).  ``max_workers``/
+    ``scatter_tasks`` are accepted for signature uniformity and ignored.
+    """
+    x = np.asarray(x, dtype=VALUE_DTYPE)
+    plan = layout.reduce_plan
+    msgs = x[plan.src]
+    if plan.values is not None:
+        if msgs.ndim == 1:
+            msgs *= plan.values
+        else:
+            msgs *= plan.values[:, None]
+    if static is not None:
+        y = np.array(static, dtype=VALUE_DTYPE)
+        if plan.num_runs:
+            y[plan.run_dst] += np.add.reduceat(
+                msgs, plan.run_starts, axis=0
+            )
+        return y
+    n = layout.num_nodes
+    shape = (n,) if x.ndim == 1 else (n, x.shape[1])
+    y = np.zeros(shape, dtype=VALUE_DTYPE)
+    if plan.num_runs:
+        y[plan.run_dst] = np.add.reduceat(msgs, plan.run_starts, axis=0)
+    return y
+
+
+# --------------------------------------------------------------------- #
+# thread-pool kernel
+# --------------------------------------------------------------------- #
+def spmv_parallel(
+    layout,
+    x,
+    *,
+    static=None,
+    max_workers=None,
+    scatter_tasks=None,
+    base=None,
+) -> np.ndarray:
+    """Blocked propagation executed on a real thread pool.
+
+    The Scatter phase runs one pool job per task (a block edge slice,
+    e.g. Mixen's balanced :class:`~repro.core.partition.BlockTask` list;
+    default: one task per non-empty block), the Gather phase one job per
+    block-column.  NumPy releases the GIL inside the slice kernels, so
+    multicore hosts overlap the work; each thread owns disjoint output
+    ranges, making results bit-identical to the serial ``base``
+    accumulation (``bincount`` for 1-D inputs, the natively rank-k
+    ``reduceat`` otherwise).  With a single available worker the serial
+    base runs directly — same bits, no pool dispatch overhead.
+    """
+    from ..parallel.threadpool import parallel_for, recommended_workers
+
+    x = np.asarray(x, dtype=VALUE_DTYPE)
+    n = layout.num_nodes
+    m = layout.num_edges
+    rank_k = x.ndim != 1
+    if base is None:
+        base = "reduceat" if rank_k else "bincount"
+    if base not in ("bincount", "reduceat"):
+        raise EngineError(
+            f"unknown parallel base kernel {base!r}; "
+            "expected 'bincount' or 'reduceat'"
+        )
+    workers = recommended_workers(
+        max(len(scatter_tasks) if scatter_tasks is not None else m, 1),
+        max_workers,
+    )
+    if workers == 1:
+        # Single worker: pool dispatch adds overhead but no overlap, and
+        # the serial base produces bit-identical output anyway.
+        serial = spmv_reduceat if base == "reduceat" else spmv_bincount
+        return serial(layout, x, static=static)
+    shape = (m,) if not rank_k else (m, x.shape[1])
+    bins = np.empty(shape, dtype=VALUE_DTYPE)
+    if scatter_tasks is None:
+        ptr = layout.scatter_block_ptr
+        spans = [
+            (int(ptr[blk]), int(ptr[blk + 1]))
+            for blk in range(ptr.size - 1)
+            if ptr[blk + 1] > ptr[blk]
+        ]
+    else:
+        spans = [
+            (int(t[0]), int(t[1]))
+            if isinstance(t, tuple)
+            else (int(t.start), int(t.end))
+            for t in scatter_tasks
+        ]
+
+    def scatter(span):
+        lo, hi = span
+        bins[lo:hi] = x[layout.src_scatter[lo:hi]]
+        if layout.values_scatter is not None:
+            if rank_k:
+                bins[lo:hi] *= layout.values_scatter[lo:hi, None]
+            else:
+                bins[lo:hi] *= layout.values_scatter[lo:hi]
+
+    parallel_for(scatter, spans, max_workers=workers)
+
+    out_shape = (n,) if not rank_k else (n, x.shape[1])
+    y = np.zeros(out_shape, dtype=VALUE_DTYPE)
+    b = layout.num_blocks_per_side
+    c = layout.block_nodes
+
+    if base == "bincount":
+        gp = layout.gather_block_ptr
+
+        def gather(j):
+            lo, hi = int(gp[j * b]), int(gp[(j + 1) * b])
+            if hi <= lo:
+                return
+            col_lo = j * c
+            col_hi = min((j + 1) * c, n)
+            msgs = bins[layout.gather_perm[lo:hi]]
+            local_dst = layout.dst_gather[lo:hi] - col_lo
+            if not rank_k:
+                y[col_lo:col_hi] = np.bincount(
+                    local_dst, weights=msgs, minlength=col_hi - col_lo
+                )
+            else:
+                for col in range(x.shape[1]):
+                    y[col_lo:col_hi, col] = np.bincount(
+                        local_dst,
+                        weights=msgs[:, col],
+                        minlength=col_hi - col_lo,
+                    )
+
+    else:
+        plan = layout.reduce_plan
+        ep, rp = plan.col_edge_ptr, plan.col_run_ptr
+
+        def gather(j):
+            elo, ehi = int(ep[j]), int(ep[j + 1])
+            if ehi <= elo:
+                return
+            rlo, rhi = int(rp[j]), int(rp[j + 1])
+            msgs = bins[plan.order[elo:ehi]]
+            y[plan.run_dst[rlo:rhi]] = np.add.reduceat(
+                msgs, plan.run_starts[rlo:rhi] - elo, axis=0
+            )
+
+    parallel_for(gather, range(b), max_workers=workers)
+    if static is not None:
+        y += static
+    return y
+
+
+# --------------------------------------------------------------------- #
+# dispatch
+# --------------------------------------------------------------------- #
+#: name -> kernel callable with the uniform signature
+#: ``fn(layout, x, *, static, max_workers, scatter_tasks)``.
+KERNELS: dict[str, Callable] = {
+    "bincount": spmv_bincount,
+    "reduceat": spmv_reduceat,
+    "parallel": spmv_parallel,
+}
+
+
+def register_kernel(name: str, fn: Callable) -> None:
+    """Register a kernel backend under ``name`` (idempotent
+    re-register); ``auto`` is reserved for the size-based resolver."""
+    if name == "auto":
+        raise EngineError("'auto' is reserved for the kernel resolver")
+    KERNELS[name] = fn
+
+
+def resolve_kernel(name: str, layout=None) -> str:
+    """Resolve ``name`` to a concrete backend; ``auto`` picks by graph
+    size (thread pool for large multicore-worthy layouts, segmented
+    reduce otherwise)."""
+    if name == "auto":
+        from ..parallel.threadpool import default_workers
+
+        edges = 0 if layout is None else layout.num_edges
+        if edges >= AUTO_PARALLEL_MIN_EDGES and default_workers() > 1:
+            return "parallel"
+        return "reduceat"
+    if name not in KERNELS:
+        raise EngineError(
+            f"unknown kernel {name!r}; "
+            f"available: {', '.join((*KERNELS, 'auto'))}"
+        )
+    return name
+
+
+def spmv(
+    layout,
+    x,
+    *,
+    kernel: str = "auto",
+    static=None,
+    max_workers=None,
+    scatter_tasks=None,
+) -> np.ndarray:
+    """Dispatch one blocked propagation to the named kernel backend."""
+    fn = KERNELS[resolve_kernel(kernel, layout)]
+    return fn(
+        layout,
+        x,
+        static=static,
+        max_workers=max_workers,
+        scatter_tasks=scatter_tasks,
+    )

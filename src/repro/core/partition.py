@@ -90,13 +90,26 @@ def partition_regular(
     layout = build_block_layout(
         rr.row_ids(), rr.indices, rr.num_rows, block_nodes, values=values
     )
-    tasks = tuple(
-        _make_tasks(layout, balance=balance, max_load_factor=max_load_factor)
+    tasks = make_block_tasks(
+        layout, balance=balance, max_load_factor=max_load_factor
     )
     return RegularPartition(layout, tasks, balance, max_load_factor)
 
 
-def _make_tasks(
+def make_block_tasks(
+    layout: BlockLayout,
+    *,
+    balance: bool = True,
+    max_load_factor: float = 2.0,
+) -> tuple:
+    """Balanced :class:`BlockTask` list of a layout — the scheduling
+    units the thread-pool kernel's Scatter phase consumes."""
+    return tuple(
+        _iter_tasks(layout, balance=balance, max_load_factor=max_load_factor)
+    )
+
+
+def _iter_tasks(
     layout: BlockLayout, *, balance: bool, max_load_factor: float
 ):
     nnz = layout.block_nnz()

@@ -40,6 +40,11 @@ class ScgaKernel:
     cache_step:
         True: build static bins once (:meth:`set_seed_input`), reuse every
         iteration.  False: recompute the seed contribution per iteration.
+    kernel:
+        SpMV backend name (:mod:`repro.core.kernels`); the thread-pool
+        kernel consumes the partition's balanced block tasks.
+    max_workers:
+        Thread-pool width for the parallel kernel (None: host default).
     """
 
     def __init__(
@@ -49,11 +54,15 @@ class ScgaKernel:
         *,
         cache_step: bool = True,
         seed_values: np.ndarray | None = None,
+        kernel: str = "bincount",
+        max_workers: int | None = None,
     ) -> None:
         self.partition = partition
         self.seed_to_reg = seed_to_reg
         self.cache_step = cache_step
         self.seed_values = seed_values
+        self.kernel = kernel
+        self.max_workers = max_workers
         self.static: np.ndarray | None = None
         self._xs_seed: np.ndarray | None = None
 
@@ -76,12 +85,20 @@ class ScgaKernel:
             # clip to the regular range.
             self.static = self.static[: self.num_regular]
 
+    def _spmv(self, xs_reg: np.ndarray, static=None) -> np.ndarray:
+        return self.partition.layout.spmv(
+            xs_reg,
+            static=static,
+            kernel=self.kernel,
+            max_workers=self.max_workers,
+            scatter_tasks=self.partition.tasks,
+        )
+
     def iterate(self, xs_reg: np.ndarray) -> np.ndarray:
         """One Scatter-Cache-Gather pass: ``y = RR^T xs (+ seed cache)``."""
-        layout = self.partition.layout
         if self.cache_step:
-            return layout.spmv(xs_reg, static=self.static)
-        y = layout.spmv(xs_reg)
+            return self._spmv(xs_reg, static=self.static)
+        y = self._spmv(xs_reg)
         if self._xs_seed is not None and self.seed_to_reg.num_edges:
             contrib = build_static_bins(
                 self.seed_to_reg, self._xs_seed,

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from functools import cached_property
 
 import numpy as np
 
@@ -66,39 +67,41 @@ class BlockLayout:
         used by the paper's balancing scheme."""
         return np.diff(self.scatter_block_ptr)
 
-    def spmv(self, x: np.ndarray, *, static: np.ndarray | None = None
-             ) -> np.ndarray:
+    @cached_property
+    def reduce_plan(self):
+        """Segmented-reduce schedule of this layout (built eagerly by
+        :func:`build_block_layout`; see
+        :func:`repro.core.kernels.build_reduce_plan`)."""
+        from ..core.kernels import build_reduce_plan
+
+        return build_reduce_plan(self)
+
+    def spmv(
+        self,
+        x: np.ndarray,
+        *,
+        static: np.ndarray | None = None,
+        kernel: str = "bincount",
+        max_workers: int | None = None,
+        scatter_tasks=None,
+    ) -> np.ndarray:
         """Blocked propagation ``y = A^T x (+ static)`` over the layout.
 
         ``static`` is Mixen's cached seed contribution: the Gather
         accumulation starts from it instead of zero (the Cache step).
+        ``kernel`` selects the backend (:mod:`repro.core.kernels`);
+        ``max_workers``/``scatter_tasks`` feed the thread-pool backend.
         """
-        x = np.asarray(x, dtype=VALUE_DTYPE)
-        n = self.num_nodes
-        # Scatter: stream x (block-row-confined gathers) into the bins;
-        # Gather: stream the bins in block-column order and accumulate.
-        bins = x[self.src_scatter]
-        if self.values_scatter is not None:
-            bins = (
-                bins * self.values_scatter
-                if bins.ndim == 1
-                else bins * self.values_scatter[:, None]
-            )
-        msgs = bins[self.gather_perm]
-        if x.ndim == 1:
-            y = np.bincount(self.dst_gather, weights=msgs, minlength=n)
-            y = y.astype(VALUE_DTYPE)
-            if static is not None:
-                y += static
-            return y
-        out = np.empty((n, x.shape[1]), dtype=VALUE_DTYPE)
-        for k in range(x.shape[1]):
-            out[:, k] = np.bincount(
-                self.dst_gather, weights=msgs[:, k], minlength=n
-            )
-        if static is not None:
-            out += static
-        return out
+        from ..core.kernels import spmv as dispatch_spmv
+
+        return dispatch_spmv(
+            self,
+            x,
+            kernel=kernel,
+            static=static,
+            max_workers=max_workers,
+            scatter_tasks=scatter_tasks,
+        )
 
     def spmv_parallel(
         self,
@@ -107,75 +110,20 @@ class BlockLayout:
         static: np.ndarray | None = None,
         max_workers: int | None = None,
         scatter_tasks=None,
+        base: str | None = None,
     ) -> np.ndarray:
-        """Blocked propagation executed on a real thread pool.
+        """Blocked propagation on a real thread pool
+        (:func:`repro.core.kernels.spmv_parallel`)."""
+        from ..core.kernels import spmv_parallel
 
-        The Scatter phase runs one pool job per task (a block edge slice,
-        e.g. Mixen's balanced :class:`~repro.core.partition.BlockTask`
-        list), the Gather phase one job per block-column.  NumPy releases
-        the GIL inside the slice kernels, so multicore hosts overlap the
-        work; results are bit-identical to :meth:`spmv` (each thread owns
-        disjoint output ranges).
-        """
-        from ..parallel.threadpool import parallel_for
-        from ..types import VALUE_DTYPE as _VD
-
-        x = np.asarray(x, dtype=_VD)
-        if x.ndim != 1:
-            # Rank-k goes through the serial kernel per column.
-            out = np.empty((self.num_nodes, x.shape[1]), dtype=_VD)
-            for k in range(x.shape[1]):
-                out[:, k] = self.spmv_parallel(
-                    x[:, k],
-                    static=None if static is None else static[:, k],
-                    max_workers=max_workers,
-                    scatter_tasks=scatter_tasks,
-                )
-            return out
-        m = self.num_edges
-        bins = np.empty(m, dtype=_VD)
-        if scatter_tasks is None:
-            ptr = self.scatter_block_ptr
-            scatter_tasks = [
-                (int(ptr[b]), int(ptr[b + 1]))
-                for b in range(ptr.size - 1)
-                if ptr[b + 1] > ptr[b]
-            ]
-        else:
-            scatter_tasks = [
-                (int(t.start), int(t.end)) for t in scatter_tasks
-            ]
-
-        def scatter(span):
-            lo, hi = span
-            bins[lo:hi] = x[self.src_scatter[lo:hi]]
-            if self.values_scatter is not None:
-                bins[lo:hi] *= self.values_scatter[lo:hi]
-
-        parallel_for(scatter, scatter_tasks, max_workers=max_workers)
-
-        y = np.zeros(self.num_nodes, dtype=_VD)
-        c = self.block_nodes
-        b = self.num_blocks_per_side
-        gp = self.gather_block_ptr
-
-        def gather(j):
-            lo, hi = int(gp[j * b]), int(gp[(j + 1) * b])
-            if hi <= lo:
-                return
-            col_lo = j * c
-            col_hi = min((j + 1) * c, self.num_nodes)
-            msgs = bins[self.gather_perm[lo:hi]]
-            y[col_lo:col_hi] = np.bincount(
-                self.dst_gather[lo:hi] - col_lo,
-                weights=msgs,
-                minlength=col_hi - col_lo,
-            )
-
-        parallel_for(gather, range(b), max_workers=max_workers)
-        if static is not None:
-            y += static
-        return y
+        return spmv_parallel(
+            self,
+            x,
+            static=static,
+            max_workers=max_workers,
+            scatter_tasks=scatter_tasks,
+            base=base,
+        )
 
     def frontier_step(
         self, frontier: np.ndarray, visited_levels: np.ndarray, level: int
@@ -239,7 +187,7 @@ def build_block_layout(
     gather_ptr = _block_offsets(
         j_s[gather_perm] * b + i_s[gather_perm], b * b
     )
-    return BlockLayout(
+    layout = BlockLayout(
         num_nodes=num_nodes,
         block_nodes=c,
         num_blocks_per_side=b,
@@ -252,6 +200,10 @@ def build_block_layout(
         gather_block_ptr=gather_ptr,
         values_scatter=None if values is None else values[scatter_order],
     )
+    # Precompute the segmented-reduce schedule while the sort results are
+    # hot, so every later spmv pays only the gather + reduceat.
+    layout.reduce_plan
+    return layout
 
 
 def _block_offsets(sorted_block_ids: np.ndarray, num_blocks: int) -> np.ndarray:
@@ -347,20 +299,42 @@ class BlockingEngine(Engine):
     block_nodes:
         Block side length ``c`` in nodes (the paper sets 256 KB ~ 64K nodes
         on the real machine; the scaled default matches the simulated L2).
+    kernel:
+        SpMV backend (:data:`repro.core.kernels.KERNEL_NAMES`); the
+        thread-pool kernel is the default, running over load-balanced
+        block tasks with auto worker selection.
+    max_workers:
+        Thread-pool width for the parallel kernel (default: the host's
+        :func:`repro.parallel.threadpool.default_workers`).
     """
 
     name = "block"
     accepts_csr_binary = True
 
     def __init__(
-        self, graph, *, block_nodes: int = 512, edge_values=None
+        self,
+        graph,
+        *,
+        block_nodes: int = 512,
+        edge_values=None,
+        kernel: str = "parallel",
+        max_workers: int | None = None,
     ) -> None:
         super().__init__(graph, edge_values=edge_values)
         if block_nodes <= 0:
             raise PartitionError(
                 f"block_nodes must be positive, got {block_nodes}"
             )
+        from ..core.kernels import KERNEL_NAMES
+
+        if kernel not in KERNEL_NAMES:
+            raise PartitionError(
+                f"unknown kernel {kernel!r}; "
+                f"available: {', '.join(KERNEL_NAMES)}"
+            )
         self.block_nodes = block_nodes
+        self.kernel = kernel
+        self.max_workers = max_workers
 
     @property
     def num_blocks_per_side(self) -> int:
@@ -374,11 +348,19 @@ class BlockingEngine(Engine):
             csr.row_ids(), csr.indices, self.graph.num_nodes,
             self.block_nodes, values=self.edge_values,
         )
+        from ..core.partition import make_block_tasks
+
+        self.tasks = make_block_tasks(self.layout)
         return {"partition": time.perf_counter() - start}
 
     def propagate(self, x: np.ndarray) -> np.ndarray:
         self._require_prepared()
-        return self.layout.spmv(self._check_x(x))
+        return self.layout.spmv(
+            self._check_x(x),
+            kernel=self.kernel,
+            max_workers=self.max_workers,
+            scatter_tasks=self.tasks,
+        )
 
     def traced_propagate(self, x: np.ndarray, trace) -> np.ndarray:
         """Blocked GAS with its access pattern recorded."""

@@ -35,6 +35,19 @@ def default_workers() -> int:
     return os.cpu_count() or 1
 
 
+def recommended_workers(
+    num_tasks: int, max_workers: int | None = None
+) -> int:
+    """Worker count for a job of ``num_tasks`` units: the requested (or
+    host-default) width, clamped so no thread sits idle."""
+    workers = max_workers if max_workers is not None else default_workers()
+    if workers <= 0:
+        raise MachineError(
+            f"max_workers must be positive, got {workers}"
+        )
+    return max(1, min(workers, num_tasks))
+
+
 def chunked(items: Sequence, num_chunks: int) -> list:
     """Split a sequence into up to ``num_chunks`` contiguous chunks."""
     if num_chunks <= 0:
