@@ -9,7 +9,12 @@ import pytest
 
 from benchmarks.conftest import bench_scale, emit
 from repro.bench import table4
-from repro.core import MixenEngine, build_mixed, filter_graph, partition_regular
+from repro.core import (
+    MixenEngine,
+    build_mixed,
+    filter_graph,
+    partition_regular,
+)
 from repro.frameworks import make_engine
 from repro.graphs import load_dataset
 

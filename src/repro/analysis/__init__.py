@@ -1,0 +1,58 @@
+"""Static analysis of the parallel engines' structural invariants.
+
+Three layers, all operating on the layout metadata the engines already
+build (no new traversals of the edge structure):
+
+* :mod:`repro.analysis.races` — proves the thread-pool kernel's
+  Scatter/Gather tasks are race-free *before* dispatch by computing each
+  task's read/write sets as index intervals and checking pairwise
+  disjointness, plus an instrumented dynamic cross-check
+  (``REPRO_RACE_CHECK=1`` / ``--race-check``);
+* :mod:`repro.analysis.contracts` — validators for the mixed CSR/CSC
+  representation, the relabeling permutation, the class boundaries and
+  the 2-D block/bin layout (``python -m repro analyze``, ``--validate``);
+* :mod:`repro.analysis.lint` — project-specific AST lint rules over the
+  source tree (``tools/run_lint.py``).
+"""
+
+from .contracts import (
+    Check,
+    ContractReport,
+    analyze_graph,
+    check_bins,
+    check_class_boundaries,
+    check_csr,
+    check_layout,
+    check_permutation,
+)
+from .races import (
+    AccessInterval,
+    RaceProof,
+    TaskAccess,
+    dynamic_race_check,
+    gather_accesses,
+    prove_disjoint,
+    prove_schedule,
+    race_check_enabled,
+    scatter_accesses,
+)
+
+__all__ = [
+    "AccessInterval",
+    "Check",
+    "ContractReport",
+    "RaceProof",
+    "TaskAccess",
+    "analyze_graph",
+    "check_bins",
+    "check_class_boundaries",
+    "check_csr",
+    "check_layout",
+    "check_permutation",
+    "dynamic_race_check",
+    "gather_accesses",
+    "prove_disjoint",
+    "prove_schedule",
+    "race_check_enabled",
+    "scatter_accesses",
+]

@@ -1,0 +1,394 @@
+"""Project-specific AST lint rules for the repro source tree.
+
+Four rules encode conventions the kernels and engines depend on; each has
+a stable ID, and any finding can be suppressed in place with a trailing
+``# repro: noqa RULE`` comment (or ``# repro: noqa`` to silence every
+rule on that line):
+
+* :class:`PerEdgeLoopRule` (REP001) — no Python-level per-edge loops in
+  ``core/``/``frameworks/`` hot paths;
+* :class:`ImplicitDtypeRule` (REP002) — array coercions in the kernel
+  modules must pin an explicit ``dtype``;
+* :class:`SetToArrayRule` (REP003) — no ``set`` iteration feeding array
+  construction (nondeterministic order);
+* :class:`UngatedOptionalImportRule` (REP004) — optional backends must be
+  import-gated, never imported at module top level.
+
+Files are scoped by their path segments (``core``, ``frameworks``) so the
+rules work both on the real tree and on seeded test fixtures laid out the
+same way.  ``tools/run_lint.py`` is the CLI front end.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+#: array names whose element-wise traversal means a per-edge Python loop.
+EDGE_ARRAY_NAMES = frozenset(
+    {
+        "indices",
+        "src_scatter",
+        "dst_scatter",
+        "src_gather",
+        "dst_gather",
+        "gather_perm",
+        "num_edges",
+    }
+)
+
+#: path segments marking engine hot paths (REP001 scope).
+HOT_PATH_SEGMENTS = frozenset({"core", "frameworks"})
+
+#: kernel module file names (REP002 scope, inside a hot-path segment).
+KERNEL_FILES = frozenset({"kernels.py", "scga.py", "bins.py"})
+
+#: NumPy constructors that materialize an array from an iterable.
+ARRAY_CONSTRUCTORS = frozenset({"array", "asarray", "fromiter"})
+
+#: backends that must stay optional (import-gated) so the pure-NumPy
+#: install keeps working.
+OPTIONAL_BACKENDS = frozenset(
+    {
+        "numba",
+        "cython",
+        "cupy",
+        "torch",
+        "networkx",
+        "matplotlib",
+        "pandas",
+        "numexpr",
+    }
+)
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\s+(?P<rules>[A-Z]+\d+(?:[,\s]+[A-Z]+\d+)*))?"
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One lint finding."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        """``path:line:col: RULE message`` (editor-clickable)."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} {self.message}"
+        )
+
+
+def _names_in(node: ast.AST):
+    """All bare names and attribute terminals referenced under ``node``."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            yield sub.id
+        elif isinstance(sub, ast.Attribute):
+            yield sub.attr
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """True when ``node`` evaluates to a ``set`` (possibly via a one-level
+    ``list``/``tuple`` wrapper)."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id == "set":
+            return True
+        if node.func.id in ("list", "tuple", "iter") and node.args:
+            return _is_set_expr(node.args[0])
+    return False
+
+
+class Rule:
+    """Base class: subclasses define ``id``, a docstring, scoping and
+    the AST check itself."""
+
+    id = "REP000"
+
+    def applies_to(self, scope: tuple) -> bool:
+        """Whether this rule runs on a file with path parts ``scope``."""
+        return True
+
+    def check(self, tree: ast.AST, scope: tuple):
+        """Yield ``(node, message)`` findings."""
+        raise NotImplementedError
+
+
+class PerEdgeLoopRule(Rule):
+    """REP001: no Python per-edge loops in ``core/``/``frameworks/`` hot
+    paths.
+
+    A ``for`` statement (or comprehension) iterating over an edge array
+    (``indices``, ``src_scatter``, ``gather_perm``, ...) or over
+    ``range(num_edges)`` executes interpreter bytecode once per edge —
+    O(m) Python overhead on paths the kernels keep vectorized.  Stream
+    the edges through NumPy instead, or loop per *block* / per *task*.
+    """
+
+    id = "REP001"
+
+    def applies_to(self, scope: tuple) -> bool:
+        return bool(HOT_PATH_SEGMENTS.intersection(scope[:-1]))
+
+    def check(self, tree: ast.AST, scope: tuple):
+        for node in ast.walk(tree):
+            iters = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters = [node.iter]
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                       ast.GeneratorExp)
+            ):
+                iters = [gen.iter for gen in node.generators]
+            for it in iters:
+                hit = EDGE_ARRAY_NAMES.intersection(_names_in(it))
+                if hit:
+                    yield (
+                        node,
+                        "Python-level per-edge loop over "
+                        f"{'/'.join(sorted(hit))} in a hot path; "
+                        "vectorize with NumPy or loop per block",
+                    )
+                    break
+
+
+class ImplicitDtypeRule(Rule):
+    """REP002: array coercions in kernel modules must pin ``dtype``.
+
+    ``np.asarray(x)`` / ``np.array(x)`` without an explicit ``dtype=``
+    inherits the input's dtype, so an int or float32 input silently
+    changes the accumulation dtype (and NumPy upcasts on the first mixed
+    op), breaking the kernels' bit-identity contract.  Pass
+    ``dtype=VALUE_DTYPE`` (or the intended dtype) explicitly.
+    """
+
+    id = "REP002"
+
+    def applies_to(self, scope: tuple) -> bool:
+        return (
+            bool(HOT_PATH_SEGMENTS.intersection(scope[:-1]))
+            and scope[-1] in KERNEL_FILES
+        )
+
+    def check(self, tree: ast.AST, scope: tuple):
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Call) and node.args):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in ("array", "asarray")
+                and isinstance(func.value, ast.Name)
+                and func.value.id in ("np", "numpy")
+            ):
+                continue
+            if not any(kw.arg == "dtype" for kw in node.keywords):
+                yield (
+                    node,
+                    f"np.{func.attr} without an explicit dtype in a "
+                    "kernel module silently inherits/upcasts the input "
+                    "dtype; pass dtype=...",
+                )
+
+
+class SetToArrayRule(Rule):
+    """REP003: no ``set`` iteration feeding array construction.
+
+    ``np.array(set(...))``, ``np.fromiter(some_set, ...)`` and friends
+    materialize the set in hash-iteration order, which is not
+    deterministic across processes — results (and any layout built from
+    them) stop being reproducible.  Sort first (``sorted(...)``) or use
+    ``np.unique``.
+    """
+
+    id = "REP003"
+
+    def check(self, tree: ast.AST, scope: tuple):
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Call) and node.args):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in ARRAY_CONSTRUCTORS
+                and isinstance(func.value, ast.Name)
+                and func.value.id in ("np", "numpy")
+            ):
+                continue
+            if _is_set_expr(node.args[0]):
+                yield (
+                    node,
+                    f"np.{func.attr} over a set iterates in "
+                    "nondeterministic hash order; sort first or use "
+                    "np.unique",
+                )
+
+
+class UngatedOptionalImportRule(Rule):
+    """REP004: optional backends must be import-gated.
+
+    A module-level ``import numba`` (or networkx, matplotlib, ...) makes
+    the whole package unimportable on a pure-NumPy install.  Wrap the
+    import in ``try/except ImportError`` or move it inside the function
+    that needs it.
+    """
+
+    id = "REP004"
+
+    @staticmethod
+    def _imported_roots(node: ast.AST):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield alias.name.partition(".")[0]
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            if node.module:
+                yield node.module.partition(".")[0]
+
+    def check(self, tree: ast.AST, scope: tuple):
+        yield from self._scan(tree.body, gated=False)
+
+    def _scan(self, body, *, gated: bool):
+        for node in body:
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                if gated:
+                    continue
+                bad = OPTIONAL_BACKENDS.intersection(
+                    self._imported_roots(node)
+                )
+                if bad:
+                    yield (
+                        node,
+                        f"optional backend {'/'.join(sorted(bad))} "
+                        "imported at module top level; gate it behind "
+                        "try/except ImportError or a function",
+                    )
+            elif isinstance(node, ast.Try):
+                catches_import_error = any(
+                    h.type is not None
+                    and any(
+                        name in ("ImportError", "ModuleNotFoundError")
+                        for name in _names_in(h.type)
+                    )
+                    for h in node.handlers
+                )
+                yield from self._scan(
+                    node.body, gated=gated or catches_import_error
+                )
+                for handler in node.handlers:
+                    yield from self._scan(handler.body, gated=gated)
+                yield from self._scan(node.orelse, gated=gated)
+                yield from self._scan(node.finalbody, gated=gated)
+            elif isinstance(node, (ast.If, ast.With)):
+                yield from self._scan(node.body, gated=gated)
+                if isinstance(node, ast.If):
+                    yield from self._scan(node.orelse, gated=gated)
+            # Imports inside functions/classes are gated by definition.
+
+
+#: rule id -> rule instance, in reporting order.
+RULES: dict = {
+    rule.id: rule
+    for rule in (
+        PerEdgeLoopRule(),
+        ImplicitDtypeRule(),
+        SetToArrayRule(),
+        UngatedOptionalImportRule(),
+    )
+}
+
+
+def _suppressed(source_lines, lineno: int) -> frozenset | None:
+    """Rules silenced on ``lineno`` (frozenset of ids, empty = all), or
+    None when the line has no ``# repro: noqa`` marker."""
+    if not 1 <= lineno <= len(source_lines):
+        return None
+    match = _NOQA_RE.search(source_lines[lineno - 1])
+    if match is None:
+        return None
+    rules = match.group("rules")
+    if not rules:
+        return frozenset()
+    return frozenset(re.split(r"[,\s]+", rules.strip()))
+
+
+def lint_source(
+    source: str, path: str, *, scope: tuple | None = None, rules=None
+) -> list:
+    """Lint one source string; ``scope`` is the path-parts tuple used
+    for rule applicability (defaults to ``path``'s parts)."""
+    if scope is None:
+        scope = Path(path).parts
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                path, exc.lineno or 0, exc.offset or 0,
+                "REP999", f"syntax error: {exc.msg}",
+            )
+        ]
+    source_lines = source.splitlines()
+    violations = []
+    selected = RULES.values() if rules is None else [
+        RULES[r] for r in rules
+    ]
+    for rule in selected:
+        if not rule.applies_to(scope):
+            continue
+        for node, message in rule.check(tree, scope):
+            silenced = _suppressed(source_lines, node.lineno)
+            if silenced is not None and (
+                not silenced or rule.id in silenced
+            ):
+                continue
+            violations.append(
+                Violation(
+                    path, node.lineno, node.col_offset, rule.id, message
+                )
+            )
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return violations
+
+
+def lint_file(path, *, root=None, rules=None) -> list:
+    """Lint one file; scoping is computed relative to ``root`` (or to
+    the deepest ``repro``/``src`` segment when present)."""
+    path = Path(path)
+    scope = path.parts
+    if root is not None:
+        try:
+            scope = path.resolve().relative_to(Path(root).resolve()).parts
+        except ValueError:
+            pass
+    if "repro" in scope:
+        scope = scope[len(scope) - scope[::-1].index("repro"):]
+    return lint_source(
+        path.read_text(encoding="utf-8"), str(path),
+        scope=scope, rules=rules,
+    )
+
+
+def lint_paths(paths, *, rules=None) -> list:
+    """Lint files and/or directory trees; returns all violations."""
+    violations = []
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            for file in sorted(entry.rglob("*.py")):
+                violations.extend(
+                    lint_file(file, root=entry, rules=rules)
+                )
+        else:
+            violations.extend(
+                lint_file(entry, root=entry.parent, rules=rules)
+            )
+    return violations

@@ -152,7 +152,10 @@ def table3(
     times: dict = {PAPER_FRAMEWORKS.get(f, f): {} for f in frameworks}
     for alg_name, factory in algorithms.items():
         for fw in frameworks:
-            row = {"algorithm": alg_name, "framework": PAPER_FRAMEWORKS.get(fw, fw)}
+            row = {
+                "algorithm": alg_name,
+                "framework": PAPER_FRAMEWORKS.get(fw, fw),
+            }
             for gname in graphs:
                 g = load_dataset(gname, scale=scale)
                 engine = _engine(fw, g)

@@ -5,8 +5,14 @@ Commands:
 * ``datasets`` — print the proxy datasets' Table 1/2 structure;
 * ``run`` — run one algorithm on one graph with one engine;
 * ``bfs`` — run BFS and report reach/levels;
+* ``analyze`` — check every layout contract and the race-freedom proof
+  of a dataset's prepared structures (:mod:`repro.analysis`);
 * ``experiment`` — regenerate one paper table/figure (or ``all``);
 * ``engines`` — list the registered engines.
+
+``run`` and ``bfs`` accept ``--validate`` (contract checks after
+prepare) and ``--race-check`` (instrumented schedule replay) on the
+blocked engines.
 """
 
 from __future__ import annotations
@@ -75,21 +81,27 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--iterations", type=int, default=100)
     run.add_argument("--scale", type=float, default=1.0)
     run.add_argument("--top", type=int, default=5)
-    run.add_argument(
-        "--kernel", choices=KERNEL_NAMES, default=None,
-        help="SpMV backend for the blocked engines "
-        f"({', '.join(KERNEL_ENGINES)})",
-    )
+    _add_kernel_options(run)
 
     bfs = sub.add_parser("bfs", help="run BFS")
     bfs.add_argument("--graph", choices=DATASET_NAMES, default="wiki")
     bfs.add_argument("--engine", default="mixen")
     bfs.add_argument("--source", type=int, default=None)
     bfs.add_argument("--scale", type=float, default=1.0)
-    bfs.add_argument(
-        "--kernel", choices=KERNEL_NAMES, default=None,
-        help="SpMV backend for the blocked engines "
-        f"({', '.join(KERNEL_ENGINES)})",
+    _add_kernel_options(bfs)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="check layout contracts and the race-freedom proof",
+    )
+    analyze.add_argument(
+        "--graph", choices=DATASET_NAMES, default="wiki"
+    )
+    analyze.add_argument("--scale", type=float, default=1.0)
+    analyze.add_argument("--block-nodes", type=int, default=512)
+    analyze.add_argument(
+        "--dynamic", action="store_true",
+        help="also replay the schedule with instrumentation",
     )
 
     exp = sub.add_parser(
@@ -104,6 +116,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write .txt/.json under DIR",
     )
     return parser
+
+
+def _add_kernel_options(parser) -> None:
+    """Shared blocked-engine options of the ``run``/``bfs`` commands."""
+    parser.add_argument(
+        "--kernel", choices=KERNEL_NAMES, default=None,
+        help="SpMV backend for the blocked engines "
+        f"({', '.join(KERNEL_ENGINES)})",
+    )
+    parser.add_argument(
+        "--validate", action="store_true",
+        help="check the layout/format contracts after prepare "
+        f"({', '.join(KERNEL_ENGINES)})",
+    )
+    parser.add_argument(
+        "--race-check", action="store_true",
+        help="replay the parallel schedule with instrumentation and "
+        "cross-check it against the static race proof",
+    )
 
 
 def _cmd_datasets(out) -> int:
@@ -122,13 +153,21 @@ def _cmd_engines(out) -> int:
 def _engine_options(args) -> dict:
     """Engine constructor options derived from CLI flags."""
     options = {}
-    if getattr(args, "kernel", None) is not None:
+    flags = (
+        ("kernel", "--kernel", None),
+        ("validate", "--validate", False),
+        ("race_check", "--race-check", False),
+    )
+    for attr, flag, default in flags:
+        value = getattr(args, attr, default)
+        if value == default:
+            continue
         if args.engine not in KERNEL_ENGINES:
             raise ReproError(
                 f"engine {args.engine!r} has no kernel dispatch; "
-                f"--kernel applies to: {', '.join(KERNEL_ENGINES)}"
+                f"{flag} applies to: {', '.join(KERNEL_ENGINES)}"
             )
-        options["kernel"] = args.kernel
+        options[attr] = value
     return options
 
 
@@ -178,6 +217,19 @@ def _cmd_bfs(args, out) -> int:
     return 0
 
 
+def _cmd_analyze(args, out) -> int:
+    from .analysis.contracts import analyze_graph
+
+    graph = load_dataset(args.graph, scale=args.scale)
+    report = analyze_graph(
+        graph,
+        block_nodes=args.block_nodes,
+        dynamic=args.dynamic,
+    )
+    print(report.render(), file=out)
+    return 0 if report.ok else 1
+
+
 def _cmd_experiment(args, out) -> int:
     names = sorted(EXPERIMENTS) if args.name == "all" else [args.name]
     for name in names:
@@ -203,6 +255,8 @@ def main(argv=None, out=None) -> int:
             return _cmd_run(args, out)
         if args.command == "bfs":
             return _cmd_bfs(args, out)
+        if args.command == "analyze":
+            return _cmd_analyze(args, out)
         if args.command == "experiment":
             return _cmd_experiment(args, out)
     except ReproError as exc:

@@ -55,6 +55,8 @@ class MixenEngine(Engine):
         edge_values=None,
         kernel: str = "parallel",
         max_workers: int | None = None,
+        validate: bool = False,
+        race_check: bool | None = None,
     ) -> None:
         super().__init__(graph, edge_values=edge_values)
         if block_nodes <= 0:
@@ -76,6 +78,8 @@ class MixenEngine(Engine):
         self.compress = compress
         self.kernel = kernel
         self.max_workers = max_workers
+        self.validate = validate
+        self.race_check = race_check
 
     # ------------------------------------------------------------------ #
     # preparation
@@ -99,11 +103,55 @@ class MixenEngine(Engine):
         self.bin_stats: DynamicBinStats = dynamic_bin_stats(
             self.partition.layout
         )
+        # Static race-freedom proof of the Scatter/Gather task schedule —
+        # always on; its O(m) metadata reductions amortize against the
+        # layout's own O(m log m) sorts (see repro.analysis.races).
+        from ..analysis.races import (
+            dynamic_race_check,
+            prove_schedule,
+            race_check_enabled,
+        )
+
+        self.race_proof = prove_schedule(
+            self.partition.layout, self.partition.tasks
+        )
+        if self.race_check or (
+            self.race_check is None and race_check_enabled()
+        ):
+            dynamic_race_check(
+                self.partition.layout, self.partition.tasks
+            )
+        if self.validate:
+            self._validate_contracts()
         t_partition = time.perf_counter()
         return {
             "filter": t_filter - t0,
             "partition": t_partition - t_filter,
         }
+
+    def _validate_contracts(self) -> None:
+        """Check every layout/format contract of the prepared structures
+        (the ``--validate`` path); raises ContractError on violation."""
+        from ..analysis.contracts import (
+            ContractReport,
+            check_bins,
+            check_class_boundaries,
+            check_csr,
+            check_permutation,
+        )
+
+        report = ContractReport(
+            "mixen prepare",
+            (
+                check_permutation(self.plan.perm, name="permutation"),
+                check_class_boundaries(self.plan, self.graph),
+                check_csr(self.mixed.rr, name="csr:regular"),
+                check_csr(self.mixed.seed_to_reg, name="csr:seed"),
+                check_csr(self.mixed.sink_csc, name="csc:sink"),
+                check_bins(self.partition.layout),
+            ),
+        )
+        report.raise_on_failure()
 
     def _make_kernel(self) -> ScgaKernel:
         return ScgaKernel(

@@ -370,8 +370,22 @@ def spmv(
     max_workers=None,
     scatter_tasks=None,
 ) -> np.ndarray:
-    """Dispatch one blocked propagation to the named kernel backend."""
-    fn = KERNELS[resolve_kernel(kernel, layout)]
+    """Dispatch one blocked propagation to the named kernel backend.
+
+    With ``REPRO_RACE_CHECK`` set, the first parallel dispatch of each
+    layout replays the schedule with instrumentation and cross-checks it
+    against the static race proof (:mod:`repro.analysis.races`).
+    """
+    resolved = resolve_kernel(kernel, layout)
+    if resolved == "parallel":
+        from ..analysis.races import (
+            ensure_layout_checked,
+            race_check_enabled,
+        )
+
+        if race_check_enabled():
+            ensure_layout_checked(layout, scatter_tasks)
+    fn = KERNELS[resolved]
     return fn(
         layout,
         x,

@@ -17,7 +17,7 @@ boundary metadata lives in the :class:`~repro.core.filtering.FilterPlan`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -39,7 +39,8 @@ class MixedGraph:
     plan: FilterPlan
     rr: CSR  #: regular -> regular (r x r)
     seed_to_reg: CSR  #: seed rows (local) -> regular columns (n_seed x r)
-    sink_csc: CSR  #: sink rows (local) -> in-neighbor columns (n_sink x (r + n_seed))
+    #: sink rows (local) -> in-neighbor columns (n_sink x (r + n_seed))
+    sink_csc: CSR
     rr_values: np.ndarray | None = None
     seed_values: np.ndarray | None = None
     sink_values: np.ndarray | None = None

@@ -23,6 +23,7 @@ import numpy as np
 
 from ..frameworks.blocking import trace_blocked_iteration
 from ..graphs.csr import CSR
+from ..types import VALUE_DTYPE
 from .bins import build_static_bins
 from .partition import RegularPartition
 
@@ -75,7 +76,7 @@ class ScgaKernel:
         """Pre-Phase: push the (pre-scaled) seed values into the static
         bins (Algorithm 3, line 3).  With ``cache_step=False`` the values
         are kept and re-accumulated on every iteration instead."""
-        self._xs_seed = np.asarray(xs_seed)
+        self._xs_seed = np.asarray(xs_seed, dtype=VALUE_DTYPE)
         if self.cache_step and self.num_regular:
             self.static = build_static_bins(
                 self.seed_to_reg, self._xs_seed,

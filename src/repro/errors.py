@@ -29,3 +29,37 @@ class ConvergenceError(ReproError):
 
 class EngineError(ReproError):
     """An engine was used before :meth:`prepare` or with bad inputs."""
+
+
+class AnalysisError(ReproError):
+    """A static-analysis pass failed or was misconfigured."""
+
+
+class ContractError(AnalysisError):
+    """A layout/format contract does not hold (see
+    :mod:`repro.analysis.contracts`)."""
+
+
+class RaceError(AnalysisError):
+    """Two parallel tasks have conflicting accesses to the same array.
+
+    Structured fields identify the conflict: ``task_a``/``task_b`` are the
+    labels of the offending task pair, ``array`` the shared array name,
+    ``overlap`` the half-open index range ``(lo, hi)`` both tasks touch
+    (``None`` for coverage violations, where ``task_b`` is also ``None``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        task_a: str | None = None,
+        task_b: str | None = None,
+        array: str | None = None,
+        overlap: tuple[int, int] | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.task_a = task_a
+        self.task_b = task_b
+        self.array = array
+        self.overlap = overlap

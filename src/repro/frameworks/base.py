@@ -234,7 +234,10 @@ class Engine(abc.ABC):
     # ------------------------------------------------------------------ #
     def __repr__(self) -> str:
         state = "prepared" if self.prepared else "unprepared"
-        return f"<{type(self).__name__} {self.name!r} on {self.graph!r} ({state})>"
+        return (
+            f"<{type(self).__name__} {self.name!r} on "
+            f"{self.graph!r} ({state})>"
+        )
 
 
 def render_edgelist_text(graph: Graph) -> str:

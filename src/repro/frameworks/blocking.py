@@ -206,7 +206,9 @@ def build_block_layout(
     return layout
 
 
-def _block_offsets(sorted_block_ids: np.ndarray, num_blocks: int) -> np.ndarray:
+def _block_offsets(
+    sorted_block_ids: np.ndarray, num_blocks: int
+) -> np.ndarray:
     """Offsets of each block's slice inside a block-sorted edge array."""
     counts = np.bincount(sorted_block_ids, minlength=num_blocks)
     ptr = np.zeros(num_blocks + 1, dtype=np.int64)
@@ -319,6 +321,8 @@ class BlockingEngine(Engine):
         edge_values=None,
         kernel: str = "parallel",
         max_workers: int | None = None,
+        validate: bool = False,
+        race_check: bool | None = None,
     ) -> None:
         super().__init__(graph, edge_values=edge_values)
         if block_nodes <= 0:
@@ -335,6 +339,8 @@ class BlockingEngine(Engine):
         self.block_nodes = block_nodes
         self.kernel = kernel
         self.max_workers = max_workers
+        self.validate = validate
+        self.race_check = race_check
 
     @property
     def num_blocks_per_side(self) -> int:
@@ -351,6 +357,23 @@ class BlockingEngine(Engine):
         from ..core.partition import make_block_tasks
 
         self.tasks = make_block_tasks(self.layout)
+        # Static race-freedom proof of the task schedule — always on;
+        # O(m) metadata reductions amortized against the layout sorts.
+        from ..analysis.races import (
+            dynamic_race_check,
+            prove_schedule,
+            race_check_enabled,
+        )
+
+        self.race_proof = prove_schedule(self.layout, self.tasks)
+        if self.race_check or (
+            self.race_check is None and race_check_enabled()
+        ):
+            dynamic_race_check(self.layout, self.tasks)
+        if self.validate:
+            from ..analysis.contracts import check_layout
+
+            check_layout(self.layout, self.tasks).raise_on_failure()
         return {"partition": time.perf_counter() - start}
 
     def propagate(self, x: np.ndarray) -> np.ndarray:

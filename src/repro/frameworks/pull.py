@@ -11,7 +11,6 @@ from __future__ import annotations
 import numpy as np
 
 from ..graphs.csr import CSR
-from ..types import VALUE_DTYPE
 from .base import Engine, segment_sum
 
 

@@ -60,7 +60,9 @@ class CSR:
         if indices.size and (
             int(indices.min()) < 0 or int(indices.max()) >= self.num_cols
         ):
-            raise GraphFormatError(f"indices fall outside [0, {self.num_cols})")
+            raise GraphFormatError(
+                f"indices fall outside [0, {self.num_cols})"
+            )
 
     # ------------------------------------------------------------------ #
     # construction

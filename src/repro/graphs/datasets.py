@@ -91,7 +91,11 @@ def _profile_builder(
 
 def _rmat_builder(base_scale: int, edge_factor: int, a: float, bc: float):
     def build(scale: float, seed: int) -> Graph:
-        extra = max(int(round(_log2(scale))), -base_scale + 4) if scale != 1 else 0
+        extra = (
+            max(int(round(_log2(scale))), -base_scale + 4)
+            if scale != 1
+            else 0
+        )
         return rmat(
             base_scale + extra, edge_factor, a=a, b=bc, c=bc, seed=seed,
             name="rmat",
@@ -102,7 +106,11 @@ def _rmat_builder(base_scale: int, edge_factor: int, a: float, bc: float):
 
 def _kron_builder(base_scale: int, edge_factor: int, a: float, bc: float):
     def build(scale: float, seed: int) -> Graph:
-        extra = max(int(round(_log2(scale))), -base_scale + 4) if scale != 1 else 0
+        extra = (
+            max(int(round(_log2(scale))), -base_scale + 4)
+            if scale != 1
+            else 0
+        )
         return kronecker(
             base_scale + extra, edge_factor, a=a, b=bc, c=bc, seed=seed,
             name="kron",

@@ -38,19 +38,23 @@ class EdgeList:
         object.__setattr__(self, "src", as_vids(self.src))
         object.__setattr__(self, "dst", as_vids(self.dst))
         if self.num_nodes < 0:
-            raise GraphFormatError(f"num_nodes must be >= 0, got {self.num_nodes}")
+            raise GraphFormatError(
+                f"num_nodes must be >= 0, got {self.num_nodes}"
+            )
         if self.src.ndim != 1 or self.dst.ndim != 1:
             raise GraphFormatError("src and dst must be 1-D arrays")
         if self.src.shape != self.dst.shape:
             raise GraphFormatError(
-                f"src and dst lengths differ: {self.src.size} vs {self.dst.size}"
+                f"src and dst lengths differ: "
+                f"{self.src.size} vs {self.dst.size}"
             )
         if self.src.size:
             lo = min(int(self.src.min()), int(self.dst.min()))
             hi = max(int(self.src.max()), int(self.dst.max()))
             if lo < 0 or hi >= self.num_nodes:
                 raise GraphFormatError(
-                    f"edge endpoints [{lo}, {hi}] fall outside [0, {self.num_nodes})"
+                    f"edge endpoints [{lo}, {hi}] fall outside "
+                    f"[0, {self.num_nodes})"
                 )
 
     # ------------------------------------------------------------------ #
@@ -90,7 +94,9 @@ class EdgeList:
         elif by == "dst":
             order = np.lexsort((self.src, self.dst))
         else:
-            raise GraphFormatError(f"unknown sort key {by!r}; use 'src' or 'dst'")
+            raise GraphFormatError(
+                f"unknown sort key {by!r}; use 'src' or 'dst'"
+            )
         return EdgeList(self.num_nodes, self.src[order], self.dst[order])
 
     def deduplicated(self) -> "EdgeList":
@@ -127,12 +133,14 @@ class EdgeList:
         perm = np.asarray(perm)
         if perm.shape != (self.num_nodes,):
             raise GraphFormatError(
-                f"permutation has shape {perm.shape}, expected ({self.num_nodes},)"
+                f"permutation has shape {perm.shape}, expected "
+                f"({self.num_nodes},)"
             )
         return EdgeList(self.num_nodes, perm[self.src], perm[self.dst])
 
     def concatenated(self, other: "EdgeList") -> "EdgeList":
-        """Union of two edge lists over the same node set (keeps duplicates)."""
+        """Union of two edge lists over the same node set (keeps
+        duplicates)."""
         if other.num_nodes != self.num_nodes:
             raise GraphFormatError(
                 f"cannot concatenate edge lists over {self.num_nodes} and "
@@ -149,11 +157,13 @@ class EdgeList:
     # ------------------------------------------------------------------ #
     def out_degrees(self) -> np.ndarray:
         """Out-degree of every node."""
-        return np.bincount(self.src, minlength=self.num_nodes).astype(EID_DTYPE)
+        counts = np.bincount(self.src, minlength=self.num_nodes)
+        return counts.astype(EID_DTYPE)
 
     def in_degrees(self) -> np.ndarray:
         """In-degree of every node."""
-        return np.bincount(self.dst, minlength=self.num_nodes).astype(EID_DTYPE)
+        counts = np.bincount(self.dst, minlength=self.num_nodes)
+        return counts.astype(EID_DTYPE)
 
     def is_symmetric(self) -> bool:
         """True if for every edge (u, v) the reverse edge (v, u) exists."""

@@ -188,7 +188,9 @@ def powerlaw(
     of web/social crawls the paper targets.
     """
     rng = _rng(seed)
-    dst = _weighted_sample(rng, zipf_weights(num_nodes, in_exponent), num_edges)
+    dst = _weighted_sample(
+        rng, zipf_weights(num_nodes, in_exponent), num_edges
+    )
     src = _weighted_sample(
         rng, zipf_weights(num_nodes, out_exponent), num_edges
     )

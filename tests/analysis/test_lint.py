@@ -1,0 +1,262 @@
+"""Unit tests for the project AST lint (`repro.analysis.lint`) and its
+CLI front end (`tools/run_lint.py`)."""
+
+import io
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import (
+    RULES,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+
+ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(ROOT / "tools"))
+
+import run_lint  # noqa: E402
+
+
+def rules_of(violations):
+    return [v.rule for v in violations]
+
+
+class TestPerEdgeLoopRule:
+    CODE = (
+        "def scatter(layout):\n"
+        "    total = 0\n"
+        "    for s in layout.src_scatter:\n"
+        "        total += s\n"
+        "    return total\n"
+    )
+
+    def test_flagged_in_core(self):
+        violations = lint_source(
+            self.CODE, "core/kernels.py", scope=("core", "kernels.py")
+        )
+        assert "REP001" in rules_of(violations)
+
+    def test_flagged_in_frameworks(self):
+        violations = lint_source(
+            self.CODE,
+            "frameworks/blocking.py",
+            scope=("frameworks", "blocking.py"),
+        )
+        assert "REP001" in rules_of(violations)
+
+    def test_not_flagged_outside_hot_paths(self):
+        violations = lint_source(
+            self.CODE, "bench/tables.py", scope=("bench", "tables.py")
+        )
+        assert "REP001" not in rules_of(violations)
+
+    def test_comprehension_flagged(self):
+        code = "vals = [x + 1 for x in layout.gather_perm]\n"
+        violations = lint_source(
+            code, "core/bins.py", scope=("core", "bins.py")
+        )
+        assert "REP001" in rules_of(violations)
+
+    def test_range_num_edges_flagged(self):
+        code = "for e in range(csr.num_edges):\n    pass\n"
+        violations = lint_source(
+            code, "core/scga.py", scope=("core", "scga.py")
+        )
+        assert "REP001" in rules_of(violations)
+
+    def test_block_loop_allowed(self):
+        code = "for blk in range(b * b):\n    pass\n"
+        violations = lint_source(
+            code, "core/scga.py", scope=("core", "scga.py")
+        )
+        assert "REP001" not in rules_of(violations)
+
+
+class TestImplicitDtypeRule:
+    def test_flagged_in_kernel_module(self):
+        code = "import numpy as np\nxs = np.asarray(raw)\n"
+        violations = lint_source(
+            code, "core/kernels.py", scope=("core", "kernels.py")
+        )
+        assert "REP002" in rules_of(violations)
+
+    def test_explicit_dtype_allowed(self):
+        code = "import numpy as np\nxs = np.asarray(raw, dtype=np.float64)\n"
+        violations = lint_source(
+            code, "core/kernels.py", scope=("core", "kernels.py")
+        )
+        assert "REP002" not in rules_of(violations)
+
+    def test_not_flagged_outside_kernel_files(self):
+        code = "import numpy as np\nxs = np.asarray(raw)\n"
+        violations = lint_source(
+            code, "core/engine.py", scope=("core", "engine.py")
+        )
+        assert "REP002" not in rules_of(violations)
+
+
+class TestSetToArrayRule:
+    def test_np_array_of_set_flagged(self):
+        code = "import numpy as np\nids = np.array({1, 2, 3})\n"
+        violations = lint_source(code, "x.py", scope=("x.py",))
+        assert "REP003" in rules_of(violations)
+
+    def test_fromiter_of_set_call_flagged(self):
+        code = (
+            "import numpy as np\n"
+            "ids = np.fromiter(set(nodes), dtype=int)\n"
+        )
+        violations = lint_source(code, "x.py", scope=("x.py",))
+        assert "REP003" in rules_of(violations)
+
+    def test_list_wrapped_set_flagged(self):
+        code = "import numpy as np\nids = np.array(list({1, 2}))\n"
+        violations = lint_source(code, "x.py", scope=("x.py",))
+        assert "REP003" in rules_of(violations)
+
+    def test_sorted_set_allowed(self):
+        code = "import numpy as np\nids = np.array(sorted({1, 2}))\n"
+        violations = lint_source(code, "x.py", scope=("x.py",))
+        assert "REP003" not in rules_of(violations)
+
+
+class TestUngatedOptionalImportRule:
+    def test_top_level_import_flagged(self):
+        violations = lint_source(
+            "import networkx\n", "x.py", scope=("x.py",)
+        )
+        assert "REP004" in rules_of(violations)
+
+    def test_from_import_flagged(self):
+        violations = lint_source(
+            "from matplotlib import pyplot\n", "x.py", scope=("x.py",)
+        )
+        assert "REP004" in rules_of(violations)
+
+    def test_try_except_gate_allowed(self):
+        code = (
+            "try:\n"
+            "    import numba\n"
+            "except ImportError:\n"
+            "    numba = None\n"
+        )
+        violations = lint_source(code, "x.py", scope=("x.py",))
+        assert "REP004" not in rules_of(violations)
+
+    def test_function_scope_allowed(self):
+        code = "def plot():\n    import matplotlib\n"
+        violations = lint_source(code, "x.py", scope=("x.py",))
+        assert "REP004" not in rules_of(violations)
+
+    def test_required_deps_allowed(self):
+        violations = lint_source(
+            "import numpy\nimport scipy\n", "x.py", scope=("x.py",)
+        )
+        assert "REP004" not in rules_of(violations)
+
+
+class TestSuppression:
+    def test_noqa_silences_matching_rule(self):
+        code = (
+            "import networkx  # repro: noqa REP004\n"
+        )
+        assert lint_source(code, "x.py", scope=("x.py",)) == []
+
+    def test_bare_noqa_silences_all(self):
+        code = "import networkx  # repro: noqa\n"
+        assert lint_source(code, "x.py", scope=("x.py",)) == []
+
+    def test_noqa_for_other_rule_keeps_finding(self):
+        code = "import networkx  # repro: noqa REP001\n"
+        violations = lint_source(code, "x.py", scope=("x.py",))
+        assert "REP004" in rules_of(violations)
+
+
+class TestLintFilesAndPaths:
+    def test_syntax_error_reported(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        violations = lint_file(bad)
+        assert rules_of(violations) == ["REP999"]
+
+    def test_fixture_tree_scoped_like_package(self, tmp_path):
+        core = tmp_path / "core"
+        core.mkdir()
+        (core / "kernels.py").write_text(
+            "import numpy as np\n"
+            "for s in layout.src_scatter:\n"
+            "    pass\n"
+            "xs = np.asarray(raw)\n"
+        )
+        (tmp_path / "plot.py").write_text("import matplotlib\n")
+        violations = lint_paths([str(tmp_path)])
+        assert sorted(set(rules_of(violations))) == [
+            "REP001", "REP002", "REP004",
+        ]
+
+    def test_rule_filter(self, tmp_path):
+        (tmp_path / "plot.py").write_text(
+            "import matplotlib\nimport numpy as np\n"
+            "ids = np.array({1})\n"
+        )
+        violations = lint_paths([str(tmp_path)], rules=["REP003"])
+        assert rules_of(violations) == ["REP003"]
+
+    def test_src_repro_is_clean(self):
+        assert lint_paths([str(ROOT / "src" / "repro")]) == []
+
+    def test_violation_render_is_clickable(self, tmp_path):
+        target = tmp_path / "plot.py"
+        target.write_text("import matplotlib\n")
+        (violation,) = lint_paths([str(target)])
+        assert violation.render().startswith(f"{target}:1:")
+        assert "REP004" in violation.render()
+
+
+class TestRunLintCli:
+    def run(self, *argv):
+        out = io.StringIO()
+        code = run_lint.main(list(argv), out=out)
+        return code, out.getvalue()
+
+    def test_clean_tree_exits_zero(self):
+        code, text = self.run(str(ROOT / "src" / "repro"))
+        assert code == 0
+        assert "lint clean" in text
+
+    def test_seeded_fixtures_exit_nonzero(self, tmp_path):
+        core = tmp_path / "core"
+        core.mkdir()
+        (core / "kernels.py").write_text(
+            "import numpy as np\n"
+            "for s in layout.src_scatter:\n"
+            "    pass\n"
+            "xs = np.asarray(raw)\n"
+            "ids = np.array({1, 2})\n"
+        )
+        (tmp_path / "plot.py").write_text("import networkx\n")
+        code, text = self.run(str(tmp_path))
+        assert code == 1
+        for rule in ("REP001", "REP002", "REP003", "REP004"):
+            assert rule in text
+        assert "violation(s) found" in text
+
+    def test_unknown_rule_exits_two(self):
+        code, _ = self.run("--rules", "REP777")
+        assert code == 2
+
+    def test_list_rules(self):
+        code, text = self.run("--list-rules")
+        assert code == 0
+        for rule_id in RULES:
+            assert rule_id in text
+
+
+@pytest.mark.parametrize("rule_id", sorted(RULES))
+def test_every_rule_documented(rule_id):
+    doc = RULES[rule_id].__doc__ or ""
+    assert rule_id in doc
+    assert len(doc.strip()) > 40

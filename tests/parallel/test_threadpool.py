@@ -1,0 +1,90 @@
+"""Unit tests for the thread-pool helper functions
+(`repro.parallel.threadpool`)."""
+
+import os
+
+import pytest
+
+from repro.errors import MachineError
+from repro.parallel.threadpool import (
+    chunked,
+    default_workers,
+    recommended_workers,
+)
+
+
+class TestDefaultWorkersEnv:
+    def test_env_overrides_cpu_count(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NUM_THREADS", "7")
+        assert default_workers() == 7
+
+    def test_unset_falls_back_to_cpu_count(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NUM_THREADS", raising=False)
+        assert default_workers() == (os.cpu_count() or 1)
+
+    def test_empty_string_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NUM_THREADS", "")
+        assert default_workers() == (os.cpu_count() or 1)
+
+    @pytest.mark.parametrize("value", ["four", "3.5", "2x", " "])
+    def test_non_integer_raises(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_NUM_THREADS", value)
+        with pytest.raises(MachineError, match="must be an integer"):
+            default_workers()
+
+    @pytest.mark.parametrize("value", ["0", "-1", "-64"])
+    def test_non_positive_raises(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_NUM_THREADS", value)
+        with pytest.raises(MachineError, match="must be positive"):
+            default_workers()
+
+
+class TestRecommendedWorkers:
+    def test_clamps_to_task_count(self):
+        assert recommended_workers(3, max_workers=16) == 3
+
+    def test_respects_narrow_request(self):
+        assert recommended_workers(100, max_workers=2) == 2
+
+    def test_zero_tasks_still_one_worker(self):
+        assert recommended_workers(0, max_workers=8) == 1
+
+    def test_single_task(self):
+        assert recommended_workers(1, max_workers=8) == 1
+
+    def test_default_width_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NUM_THREADS", "5")
+        assert recommended_workers(100) == 5
+        assert recommended_workers(2) == 2
+
+    @pytest.mark.parametrize("workers", [0, -3])
+    def test_non_positive_request_raises(self, workers):
+        with pytest.raises(MachineError):
+            recommended_workers(10, max_workers=workers)
+
+
+class TestChunkedEdgeCases:
+    def test_single_chunk_is_whole_sequence(self):
+        assert chunked([1, 2, 3], 1) == [[1, 2, 3]]
+
+    def test_chunks_partition_without_loss(self):
+        for n in (1, 5, 16, 17):
+            for k in (1, 2, 3, 7, 40):
+                chunks = chunked(list(range(n)), k)
+                assert sum(chunks, []) == list(range(n))
+                assert len(chunks) == min(k, n)
+
+    def test_chunk_sizes_balanced(self):
+        sizes = [len(c) for c in chunked(list(range(10)), 3)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_empty_sequence(self):
+        assert chunked([], 4) == []
+
+    def test_works_on_tuples(self):
+        assert chunked((1, 2, 3, 4), 2) == [(1, 2), (3, 4)]
+
+    @pytest.mark.parametrize("k", [0, -1])
+    def test_non_positive_chunks_raise(self, k):
+        with pytest.raises(MachineError):
+            chunked([1], k)

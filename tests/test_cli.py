@@ -89,3 +89,54 @@ class TestCommands:
             "fig4", "fig5", "fig6", "fig7",
         ):
             assert required in EXPERIMENTS
+
+
+class TestAnalyzeCommand:
+    def test_analyze_report(self):
+        code, text = run_cli(
+            "analyze", "--graph", "wiki", "--scale", "0.25"
+        )
+        assert code == 0
+        assert "contract report" in text
+        assert "race-proof" in text
+        assert "all passed" in text
+
+    def test_analyze_dynamic(self):
+        code, text = run_cli(
+            "analyze", "--graph", "road", "--scale", "0.25",
+            "--block-nodes", "256", "--dynamic",
+        )
+        assert code == 0
+        assert "race-replay" in text
+
+
+class TestValidationFlags:
+    def test_run_with_validate_and_race_check(self):
+        code, text = run_cli(
+            "run", "--graph", "wiki", "--engine", "mixen",
+            "--algorithm", "pagerank", "--iterations", "2",
+            "--scale", "0.25", "--validate", "--race-check",
+        )
+        assert code == 0
+        assert "pagerank on wiki via mixen" in text
+
+    def test_bfs_with_validate(self):
+        code, _ = run_cli(
+            "bfs", "--graph", "wiki", "--engine", "block",
+            "--scale", "0.25", "--validate",
+        )
+        assert code == 0
+
+    def test_validate_rejected_for_plain_engines(self):
+        code, _ = run_cli(
+            "run", "--graph", "road", "--engine", "pull",
+            "--scale", "0.25", "--validate",
+        )
+        assert code == 1
+
+    def test_race_check_rejected_for_plain_engines(self):
+        code, _ = run_cli(
+            "bfs", "--graph", "road", "--engine", "ligra",
+            "--scale", "0.25", "--race-check",
+        )
+        assert code == 1

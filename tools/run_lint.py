@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Run the project-specific AST lint (`repro.analysis.lint`) from the CLI.
+
+Usage::
+
+    python tools/run_lint.py                  # lint src/repro (default)
+    python tools/run_lint.py path/ other.py   # lint explicit targets
+    python tools/run_lint.py --list-rules     # show every rule + docs
+    python tools/run_lint.py --rules REP003,REP004 src/repro
+
+Exits nonzero when any violation is found.  Rule scoping follows path
+segments (``core/``, ``frameworks/``), so fixture trees laid out like the
+package are linted identically.  Suppress a finding in place with
+``# repro: noqa RULE``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+try:
+    import repro  # noqa: F401
+except ImportError:
+    sys.path.insert(0, str(ROOT / "src"))
+
+from repro.analysis.lint import RULES, lint_paths  # noqa: E402
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule with its documentation and exit",
+    )
+    return parser
+
+
+def list_rules(out) -> int:
+    for rule_id, rule in sorted(RULES.items()):
+        doc = (rule.__doc__ or "").strip()
+        print(f"{rule_id}: {doc}", file=out)
+        print(file=out)
+    return 0
+
+
+def main(argv=None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        return list_rules(out)
+    rules = None
+    if args.rules:
+        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+        unknown = [r for r in rules if r not in RULES]
+        if unknown:
+            print(
+                f"error: unknown rule(s): {', '.join(unknown)}; "
+                f"available: {', '.join(sorted(RULES))}",
+                file=sys.stderr,
+            )
+            return 2
+    paths = args.paths or [str(ROOT / "src" / "repro")]
+    violations = lint_paths(paths, rules=rules)
+    for violation in violations:
+        print(violation.render(), file=out)
+    if violations:
+        print(f"{len(violations)} violation(s) found", file=out)
+        return 1
+    print("lint clean", file=out)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
