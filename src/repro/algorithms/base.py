@@ -53,6 +53,17 @@ class Algorithm(abc.ABC):
         """Optional per-source multiplier; ``None`` = propagate x as is."""
         return None
 
+    def norm_limit(self, graph: Graph) -> float | None:
+        """Healthy upper bound on the L1 norm of the evolving ``x``.
+
+        Used by the numerical-health guards
+        (:mod:`repro.resilience.guards`) as the divergence threshold;
+        ``None`` (the default) falls back to a relative-growth
+        heuristic.  Mass-conserving algorithms (PageRank's ranks sum
+        to at most 1) should return a small constant bound.
+        """
+        return None
+
     def apply(
         self, y: np.ndarray, iteration: int, nodes: np.ndarray | None = None
     ) -> np.ndarray:

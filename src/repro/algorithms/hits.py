@@ -32,11 +32,16 @@ def hits(
     *,
     max_iterations: int = 50,
     tolerance: float = 1e-10,
+    guard=None,
 ) -> HitsResult:
     """Run HITS on a prepared engine.
 
     Per iteration: ``a' = normalize(A^T h)``, ``h' = normalize(A a')``,
-    with L2 normalization (Kleinberg's formulation).
+    with L2 normalization (Kleinberg's formulation).  ``guard`` (a
+    :class:`~repro.resilience.guards.NumericalGuard`) polices the
+    hub/authority vectors per iteration: under its ``raise`` policy a
+    poisoned run aborts, under ``clamp`` it is repaired in place, and
+    a ``rollback`` verdict restores the previous iterate and stops.
     """
     if max_iterations <= 0:
         raise ConvergenceError(
@@ -50,6 +55,11 @@ def hits(
     for it in range(max_iterations):
         a_new = _l2_normalized(engine.propagate(h))
         h_new = _l2_normalized(engine.propagate_out(a_new))
+        if guard is not None:
+            verdict = guard.check(a, a_new, it)
+            if verdict.action == "rollback":
+                break
+            a_new = verdict.x
         iterations = it + 1
         if (
             np.abs(a_new - a).sum() + np.abs(h_new - h).sum()

@@ -75,5 +75,11 @@ class PageRank(Algorithm):
     def apply(self, y, iteration, nodes=None):
         return self._teleport + self.damping * y
 
+    def norm_limit(self, graph: Graph) -> float:
+        """Total rank mass never exceeds 1 (teleport + damped
+        propagation of a unit distribution); 4.0 leaves generous
+        headroom before the divergence guard calls it unhealthy."""
+        return 4.0
+
     def converged(self, x_old: np.ndarray, x_new: np.ndarray) -> bool:
         return float(np.abs(x_new - x_old).sum()) < self.tolerance

@@ -33,8 +33,14 @@ def salsa(
     *,
     max_iterations: int = 50,
     tolerance: float = 1e-10,
+    guard=None,
 ) -> SalsaResult:
-    """Run SALSA on a prepared engine (L1-normalized per step)."""
+    """Run SALSA on a prepared engine (L1-normalized per step).
+
+    ``guard`` (a :class:`~repro.resilience.guards.NumericalGuard`)
+    polices the authority vector per iteration — same semantics as
+    :func:`repro.algorithms.hits.hits`.
+    """
     if max_iterations <= 0:
         raise ConvergenceError(
             f"max_iterations must be positive, got {max_iterations}"
@@ -53,6 +59,11 @@ def salsa(
     for it in range(max_iterations):
         a_new = _l1_normalized(engine.propagate(h * inv_out))
         h_new = _l1_normalized(engine.propagate_out(a_new * inv_in))
+        if guard is not None:
+            verdict = guard.check(a, a_new, it)
+            if verdict.action == "rollback":
+                break
+            a_new = verdict.x
         iterations = it + 1
         if (
             np.abs(a_new - a).sum() + np.abs(h_new - h).sum()

@@ -35,12 +35,16 @@ def time_algorithm(
     *,
     iterations: int = 10,
     warmup: int = 2,
+    resilience=None,
 ) -> Timing:
     """Per-iteration time of an algorithm on a prepared engine.
 
     ``algorithm_factory`` is called fresh for each run (algorithms may
     carry per-run state).  Convergence checking is disabled, matching the
-    paper's measurement protocol.
+    paper's measurement protocol.  ``resilience`` (a
+    :class:`~repro.resilience.ResilienceContext`) supervises the timed
+    run only — warmup stays unsupervised so injected faults fire in the
+    measured window, letting the bench quantify degradation overhead.
     """
     if iterations <= 0:
         raise EngineError(
@@ -55,7 +59,7 @@ def time_algorithm(
     start = time.perf_counter()
     result = engine.run(
         algorithm_factory(), max_iterations=iterations,
-        check_convergence=False,
+        check_convergence=False, resilience=resilience,
     )
     elapsed = time.perf_counter() - start
     return Timing(elapsed, result.iterations)

@@ -12,7 +12,16 @@ Commands:
 
 ``run`` and ``bfs`` accept ``--validate`` (contract checks after
 prepare) and ``--race-check`` (instrumented schedule replay) on the
-blocked engines.
+blocked engines.  ``run`` additionally exposes the resilience runtime
+(:mod:`repro.resilience`): ``--fault-inject`` for deterministic fault
+drills, ``--checkpoint-dir``/``--checkpoint-every``/``--resume`` for
+crash recovery, and ``--guard`` for the numerical-health policies.
+
+Failures exit with structured codes (see
+:func:`repro.errors.exit_code_for`): contract violations 3, data races
+4, ingestion errors 5, guard trips 6, checkpoint problems 7, stalls 8,
+other resilience faults 9, any other :class:`~repro.errors.ReproError`
+1 — each with a one-line ``error[Type]: ...`` summary on stderr.
 """
 
 from __future__ import annotations
@@ -27,9 +36,11 @@ from . import bench
 from .algorithms import ALGORITHMS
 from .algorithms.bfs import default_source, num_reached
 from .core.kernels import KERNEL_NAMES
-from .errors import ReproError
+from .errors import ReproError, exit_code_for
 from .frameworks import engine_names, make_engine
 from .graphs import DATASET_NAMES, load_dataset
+from .resilience import ResilienceContext, ResilienceOptions
+from .resilience.guards import GUARD_POLICIES
 
 #: engines whose constructor understands the ``--kernel`` option.
 KERNEL_ENGINES = ("mixen", "block")
@@ -82,6 +93,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--scale", type=float, default=1.0)
     run.add_argument("--top", type=int, default=5)
     _add_kernel_options(run)
+    _add_resilience_options(run)
 
     bfs = sub.add_parser("bfs", help="run BFS")
     bfs.add_argument("--graph", choices=DATASET_NAMES, default="wiki")
@@ -137,6 +149,72 @@ def _add_kernel_options(parser) -> None:
     )
 
 
+def _add_resilience_options(parser) -> None:
+    """Resilience-runtime options of the ``run`` command."""
+    group = parser.add_argument_group("resilience")
+    group.add_argument(
+        "--fault-inject", metavar="SPEC", default=None,
+        help="deterministic fault drill, e.g. "
+        "'crash:task=0,times=1;fail:kernel=reduceat,times=-1' "
+        "(also via the REPRO_FAULTS env var)",
+    )
+    group.add_argument(
+        "--retries", type=int, default=2,
+        help="per-iteration retries before degrading (default 2)",
+    )
+    group.add_argument(
+        "--retry-backoff", type=float, default=0.05,
+        help="base backoff seconds, doubled per retry (default 0.05)",
+    )
+    group.add_argument(
+        "--deadline", type=float, default=None,
+        help="watchdog seconds per propagation; a stalled parallel "
+        "dispatch degrades to the next backend",
+    )
+    group.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="write atomic per-iteration snapshots under DIR",
+    )
+    group.add_argument(
+        "--checkpoint-every", type=int, default=1,
+        help="snapshot every N iterations (default 1)",
+    )
+    group.add_argument(
+        "--resume", action="store_true",
+        help="resume from the newest checkpoint in --checkpoint-dir",
+    )
+    group.add_argument(
+        "--guard", choices=GUARD_POLICIES, default=None,
+        help="numerical-health policy for the evolving vector",
+    )
+
+
+def _resilience_context(args) -> ResilienceContext | None:
+    """Build the supervision context from ``run`` flags (or ``None``)."""
+    wanted = (
+        args.fault_inject is not None
+        or args.deadline is not None
+        or args.checkpoint_dir is not None
+        or args.resume
+        or args.guard is not None
+    )
+    if not wanted:
+        return None
+    if args.resume and args.checkpoint_dir is None:
+        raise ReproError("--resume requires --checkpoint-dir")
+    options = ResilienceOptions(
+        fault_spec=args.fault_inject,
+        max_retries=args.retries,
+        retry_backoff=args.retry_backoff,
+        deadline=args.deadline,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
+        guard_policy=args.guard,
+    )
+    return ResilienceContext(options)
+
+
 def _cmd_datasets(out) -> int:
     print(bench.table1().render(), file=out)
     print(file=out)
@@ -176,8 +254,17 @@ def _cmd_run(args, out) -> int:
     engine = make_engine(args.engine, graph, **_engine_options(args))
     prep = engine.prepare()
     algorithm = ALGORITHMS[args.algorithm]()
+    resilience = _resilience_context(args)
     start = time.perf_counter()
-    result = engine.run(algorithm, max_iterations=args.iterations)
+    try:
+        result = engine.run(
+            algorithm,
+            max_iterations=args.iterations,
+            resilience=resilience,
+        )
+    finally:
+        if resilience is not None:
+            resilience.close()
     elapsed = time.perf_counter() - start
     print(
         f"{args.algorithm} on {args.graph} via {args.engine}: "
@@ -187,6 +274,8 @@ def _cmd_run(args, out) -> int:
         f"converged={result.converged}",
         file=out,
     )
+    if resilience is not None and resilience.report.num_events:
+        print(resilience.report.render(), file=out)
     scores = result.scores
     if scores.ndim > 1:
         scores = np.linalg.norm(scores, axis=1)
@@ -260,6 +349,6 @@ def main(argv=None, out=None) -> int:
         if args.command == "experiment":
             return _cmd_experiment(args, out)
     except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
+        print(f"error[{type(exc).__name__}]: {exc}", file=sys.stderr)
+        return exit_code_for(exc)
     raise AssertionError(f"unhandled command {args.command!r}")

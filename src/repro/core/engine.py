@@ -259,6 +259,7 @@ class MixenEngine(Engine):
         *,
         max_iterations: int = 20,
         check_convergence: bool = True,
+        resilience=None,
     ) -> MixenRunResult:
         self._require_prepared()
         return run_schedule(
@@ -268,6 +269,7 @@ class MixenEngine(Engine):
             graph=self.graph,
             max_iterations=max_iterations,
             check_convergence=check_convergence,
+            resilience=resilience,
         )
 
     # ------------------------------------------------------------------ #

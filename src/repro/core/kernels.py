@@ -225,7 +225,11 @@ def spmv_parallel(
     base runs directly — same bits, no pool dispatch overhead.
     """
     from ..parallel.threadpool import parallel_for, recommended_workers
+    from ..resilience import faults
 
+    injector = faults.active()
+    if injector is not None:
+        injector.parallel_call()
     x = np.asarray(x, dtype=VALUE_DTYPE)
     n = layout.num_nodes
     m = layout.num_edges
@@ -241,9 +245,11 @@ def spmv_parallel(
         max(len(scatter_tasks) if scatter_tasks is not None else m, 1),
         max_workers,
     )
-    if workers == 1:
+    if workers == 1 and injector is None:
         # Single worker: pool dispatch adds overhead but no overlap, and
-        # the serial base produces bit-identical output anyway.
+        # the serial base produces bit-identical output anyway.  An
+        # armed fault injector disables the shortcut — drills must hit
+        # the real task/bins structure on any host width.
         serial = spmv_reduceat if base == "reduceat" else spmv_bincount
         return serial(layout, x, static=static)
     shape = (m,) if not rank_k else (m, x.shape[1])
@@ -263,8 +269,10 @@ def spmv_parallel(
             for t in scatter_tasks
         ]
 
-    def scatter(span):
-        lo, hi = span
+    def scatter(task):
+        task_index, (lo, hi) = task
+        if injector is not None:
+            injector.task_event(task_index)
         bins[lo:hi] = x[layout.src_scatter[lo:hi]]
         if layout.values_scatter is not None:
             if rank_k:
@@ -272,7 +280,9 @@ def spmv_parallel(
             else:
                 bins[lo:hi] *= layout.values_scatter[lo:hi]
 
-    parallel_for(scatter, spans, max_workers=workers)
+    parallel_for(scatter, enumerate(spans), max_workers=workers)
+    if injector is not None:
+        injector.corrupt_bins(bins)
 
     out_shape = (n,) if not rank_k else (n, x.shape[1])
     y = np.zeros(out_shape, dtype=VALUE_DTYPE)
@@ -385,6 +395,11 @@ def spmv(
 
         if race_check_enabled():
             ensure_layout_checked(layout, scatter_tasks)
+    from ..resilience import faults
+
+    injector = faults.active()
+    if injector is not None:
+        injector.kernel_call(resolved)
     fn = KERNELS[resolved]
     return fn(
         layout,

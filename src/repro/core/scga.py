@@ -43,7 +43,11 @@ class ScgaKernel:
         iteration.  False: recompute the seed contribution per iteration.
     kernel:
         SpMV backend name (:mod:`repro.core.kernels`); the thread-pool
-        kernel consumes the partition's balanced block tasks.
+        kernel consumes the partition's balanced block tasks.  The
+        attribute stays writable mid-run: the resilient runtime
+        (:mod:`repro.resilience.executor`) downgrades it one rung at a
+        time (``parallel -> reduceat -> bincount``) when a backend
+        keeps failing, and the next :meth:`iterate` picks it up.
     max_workers:
         Thread-pool width for the parallel kernel (None: host default).
     """

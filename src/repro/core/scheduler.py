@@ -11,6 +11,13 @@ structures:
   zero-input update.
 
 Results are assembled in the relabeled space and unpermuted at the end.
+
+With a :class:`~repro.resilience.executor.ResilienceContext` the
+Main-Phase loop runs supervised: kernel calls retry and degrade
+(``parallel -> reduceat -> bincount``), the rank state checkpoints on a
+cadence (and resumes bit-identically after a kill), and the
+numerical-health guards police every post-apply state — see
+DESIGN.md, "Resilience runtime".
 """
 
 from __future__ import annotations
@@ -44,8 +51,16 @@ def run_schedule(
     graph,
     max_iterations: int = 20,
     check_convergence: bool = True,
+    resilience=None,
 ) -> MixenRunResult:
-    """Execute ``algorithm`` under Mixen's three-phase schedule."""
+    """Execute ``algorithm`` under Mixen's three-phase schedule.
+
+    ``resilience`` (a
+    :class:`~repro.resilience.executor.ResilienceContext`) supervises
+    the Main-Phase loop; the run's
+    :class:`~repro.resilience.report.ResilienceReport` is attached to
+    the result.
+    """
     plan: FilterPlan = mixed.plan
     r = plan.num_regular
 
@@ -70,20 +85,42 @@ def run_schedule(
     iterations = 0
     converged = False
     reg_slice = slice(0, r)
-    for it in range(max_iterations):
+    supervisor = None
+    it = 0
+    if resilience is not None:
+        supervisor = resilience.supervisor(
+            kernel,
+            kernel.iterate,
+            fingerprint=_run_fingerprint(plan, algorithm, x_reg),
+            norm_limit=_norm_limit(algorithm, graph),
+            watch_stall=check_convergence and not algorithm.x_constant,
+        )
+        it, x_reg = supervisor.resume(x_reg)
+    while it < max_iterations:
         xs_reg = _scaled(x_reg, scale_p, reg_slice)
-        y_reg = kernel.iterate(xs_reg)
+        y_reg = (
+            kernel.iterate(xs_reg)
+            if supervisor is None
+            else supervisor.propagate(xs_reg, it)
+        )
         x_new = (
             x_reg
             if algorithm.x_constant
             else algorithm.apply(y_reg, it, nodes=plan.inverse[:r])
         )
         iterations = it + 1
+        if supervisor is not None:
+            outcome = supervisor.after_apply(it, x_reg, x_new)
+            if outcome.action == "rollback":
+                it, x_reg = outcome.iteration, outcome.x
+                continue
+            x_new = outcome.x
         if check_convergence and algorithm.converged(x_reg, x_new):
             x_reg = x_new
             converged = True
             break
         x_reg = x_new
+        it += 1
     t_main = time.perf_counter()
 
     # ---- Post-Phase --------------------------------------------------- #
@@ -141,6 +178,7 @@ def run_schedule(
         iterations=iterations,
         converged=converged,
         seconds=t_post - t0,
+        resilience=None if resilience is None else resilience.report,
         phases={
             "pre": t_pre - t0,
             "main": t_main - t_pre,
@@ -148,6 +186,26 @@ def run_schedule(
         },
     )
     return result
+
+
+def _run_fingerprint(plan: FilterPlan, algorithm, x0: np.ndarray) -> str:
+    """Checkpoint identity of one Mixen run: the relabeling, the
+    regular-segment shape and the algorithm."""
+    from ..resilience.checkpoint import state_fingerprint
+
+    return state_fingerprint(
+        plan.perm,
+        plan.num_regular,
+        algorithm.name,
+        getattr(algorithm, "rank", 1),
+        x0.shape,
+    )
+
+
+def _norm_limit(algorithm, graph) -> float | None:
+    """The algorithm's declared healthy norm bound, if any."""
+    limit_fn = getattr(algorithm, "norm_limit", None)
+    return limit_fn(graph) if callable(limit_fn) else None
 
 
 def _scaled(x: np.ndarray, scale_p: np.ndarray | None, sel: slice):

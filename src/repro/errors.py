@@ -31,6 +31,28 @@ class EngineError(ReproError):
     """An engine was used before :meth:`prepare` or with bad inputs."""
 
 
+class IngestError(GraphFormatError):
+    """A strict edge-list ingestion hit a malformed or out-of-range row.
+
+    ``path`` names the offending file, ``line`` the 1-based line number
+    and ``reason`` the machine-readable category (``malformed`` /
+    ``out-of-range``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: str | None = None,
+        line: int | None = None,
+        reason: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.path = path
+        self.line = line
+        self.reason = reason
+
+
 class AnalysisError(ReproError):
     """A static-analysis pass failed or was misconfigured."""
 
@@ -63,3 +85,83 @@ class RaceError(AnalysisError):
         self.task_b = task_b
         self.array = array
         self.overlap = overlap
+
+
+class ResilienceError(ReproError):
+    """The resilient execution runtime hit an unrecoverable condition
+    (bad fault spec, degradation chain exhausted, ...)."""
+
+
+class InjectedFault(ResilienceError):
+    """A deterministic fault fired by :mod:`repro.resilience.faults`.
+
+    ``site`` identifies the injection point (``task``, ``bins``,
+    ``kernel``), ``call`` the site's invocation index at firing time.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        site: str | None = None,
+        call: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.site = site
+        self.call = call
+
+
+class StallError(ResilienceError):
+    """A dispatched kernel exceeded its watchdog deadline."""
+
+    def __init__(
+        self, message: str, *, deadline: float | None = None
+    ) -> None:
+        super().__init__(message)
+        self.deadline = deadline
+
+
+class CheckpointError(ResilienceError):
+    """A checkpoint is unreadable or belongs to a different run
+    (layout-fingerprint mismatch)."""
+
+
+class GuardError(ResilienceError):
+    """A numerical-health guard tripped under the ``raise`` policy.
+
+    ``kind`` names the detector (``nan``/``inf``/``overflow``/
+    ``divergence``/``stall``), ``iteration`` the iteration it fired on.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        kind: str | None = None,
+        iteration: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.iteration = iteration
+
+
+#: structured CLI failure semantics: one distinct nonzero exit code per
+#: error family (most specific class wins; plain ReproError maps to 1,
+#: argparse keeps its conventional 2).
+_EXIT_CODE_TABLE: tuple[tuple[type, int], ...] = (
+    (ContractError, 3),
+    (RaceError, 4),
+    (IngestError, 5),
+    (GuardError, 6),
+    (CheckpointError, 7),
+    (StallError, 8),
+    (ResilienceError, 9),
+)
+
+
+def exit_code_for(exc: BaseException) -> int:
+    """Process exit code for ``exc`` (see :data:`_EXIT_CODE_TABLE`)."""
+    for etype, code in _EXIT_CODE_TABLE:
+        if isinstance(exc, etype):
+            return code
+    return 1

@@ -46,6 +46,9 @@ class AlgorithmResult:
     iterations: int
     converged: bool
     seconds: float
+    #: what the resilient runtime did (None for unsupervised runs); see
+    #: :class:`repro.resilience.report.ResilienceReport`.
+    resilience: object | None = None
 
     @property
     def seconds_per_iteration(self) -> float:
@@ -178,11 +181,19 @@ class Engine(abc.ABC):
         *,
         max_iterations: int = 20,
         check_convergence: bool = True,
+        resilience=None,
     ) -> AlgorithmResult:
         """Generic iterative loop shared by the baseline engines.
 
         Per iteration: ``x' = apply(A^T pre_propagate(x))``; Mixen replaces
         this with its Pre/Main/Post schedule.
+
+        ``resilience`` (a
+        :class:`~repro.resilience.executor.ResilienceContext`)
+        supervises the loop: kernel calls retry (and, on engines with a
+        ``kernel`` attribute, degrade down the serial fallback chain),
+        state checkpoints on a cadence and the numerical-health guards
+        police every iterate.
         """
         self._require_prepared()
         graph = self.graph
@@ -191,19 +202,56 @@ class Engine(abc.ABC):
         start = time.perf_counter()
         iterations = 0
         converged = False
-        for it in range(max_iterations):
+        supervisor = None
+        it = 0
+        if resilience is not None:
+            from ..resilience.checkpoint import state_fingerprint
+
+            limit_fn = getattr(algorithm, "norm_limit", None)
+            supervisor = resilience.supervisor(
+                self,
+                self.propagate,
+                fingerprint=state_fingerprint(
+                    graph.num_nodes,
+                    graph.num_edges,
+                    self.name,
+                    algorithm.name,
+                    x.shape,
+                ),
+                norm_limit=limit_fn(graph) if callable(limit_fn) else None,
+                watch_stall=check_convergence and not algorithm.x_constant,
+            )
+            it, x = supervisor.resume(x)
+        while it < max_iterations:
             xs = algorithm.pre_propagate(x, graph)
-            y = self.propagate(xs)
+            y = (
+                self.propagate(xs)
+                if supervisor is None
+                else supervisor.propagate(xs, it)
+            )
             x_new = x if algorithm.x_constant else algorithm.apply(y, it)
             iterations = it + 1
+            if supervisor is not None:
+                outcome = supervisor.after_apply(it, x, x_new)
+                if outcome.action == "rollback":
+                    it, x = outcome.iteration, outcome.x
+                    continue
+                x_new = outcome.x
             if check_convergence and algorithm.converged(x, x_new):
                 x = x_new
                 converged = True
                 break
             x = x_new
+            it += 1
         elapsed = time.perf_counter() - start
         scores = x if algorithm.scores_from == "x" else y
-        return AlgorithmResult(scores, iterations, converged, elapsed)
+        return AlgorithmResult(
+            scores,
+            iterations,
+            converged,
+            elapsed,
+            resilience=None if resilience is None else resilience.report,
+        )
 
     def run_bfs(self, source: int) -> np.ndarray:
         """Level-synchronous BFS; returns per-node levels (UNREACHED

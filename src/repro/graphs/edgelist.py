@@ -19,6 +19,44 @@ from ..types import EID_DTYPE, VID_DTYPE, as_vids
 
 
 @dataclass(frozen=True)
+class IngestReport:
+    """Outcome of one tolerant edge-list ingestion pass.
+
+    Produced by :func:`repro.graphs.io.read_edgelist`.  ``offenders``
+    holds the first few rejected rows as ``(line_number, reason,
+    text)`` triples so error messages can quote the actual input; the
+    counters cover *all* rejections, not just the quoted ones.
+    """
+
+    path: str
+    total_lines: int
+    accepted: int
+    malformed: int = 0
+    out_of_range: int = 0
+    duplicates: int = 0
+    skipped: int = 0
+    offenders: tuple[tuple[int, str, str], ...] = ()
+
+    @property
+    def clean(self) -> bool:
+        """True when every non-empty row was accepted verbatim."""
+        return (
+            self.malformed == 0
+            and self.out_of_range == 0
+            and self.duplicates == 0
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"{self.path}: accepted {self.accepted} edges"
+            f" ({self.malformed} malformed, "
+            f"{self.out_of_range} out-of-range, "
+            f"{self.duplicates} duplicate; {self.skipped} skipped)"
+        )
+
+
+@dataclass(frozen=True)
 class EdgeList:
     """A directed edge list over nodes ``0..num_nodes-1``.
 

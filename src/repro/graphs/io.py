@@ -17,10 +17,10 @@ from pathlib import Path
 
 import numpy as np
 
-from ..errors import GraphFormatError
+from ..errors import GraphFormatError, IngestError
 from ..types import EID_DTYPE, VID_DTYPE
 from .csr import CSR
-from .edgelist import EdgeList
+from .edgelist import EdgeList, IngestReport
 from .graph import Graph
 
 
@@ -32,53 +32,153 @@ def save_edgelist(edges: EdgeList, path: str | os.PathLike) -> None:
     np.savetxt(path, pairs, fmt="%d", header=header, comments="")
 
 
-def load_edgelist(
-    path: str | os.PathLike, *, num_nodes: int | None = None
-) -> EdgeList:
-    """Read a text edge list.
+def read_edgelist(
+    path: str | os.PathLike,
+    *,
+    num_nodes: int | None = None,
+    strict: bool = True,
+    max_offenders: int = 8,
+) -> tuple[EdgeList, IngestReport]:
+    """Read a text edge list with per-line validation.
 
     The node count comes from the ``# nodes=...`` header when present,
     otherwise from ``num_nodes`` or ``max id + 1``.
+
+    In strict mode a malformed or out-of-range row raises
+    :class:`~repro.errors.IngestError` carrying the 1-based line number
+    (duplicates are kept, as before — deduplication is an explicit
+    transform).  With ``strict=False`` malformed, out-of-range and
+    duplicate rows are skipped instead, and the accompanying
+    :class:`~repro.graphs.edgelist.IngestReport` records category
+    counts plus the first ``max_offenders`` offending lines.
     """
     path = Path(path)
-    header_nodes = None
-    with open(path, "r", encoding="utf-8") as fh:
-        first = fh.readline()
-        if first.startswith("#"):
-            for token in first[1:].split():
-                if token.startswith("nodes="):
-                    header_nodes = int(token.split("=", 1)[1])
-        body = first if not first.startswith("#") else ""
-        text = body + fh.read()
-    tokens: list[str] = []
-    for raw in text.splitlines():
-        line = raw.split("#", 1)[0].strip()
-        if not line:
-            continue
-        parts = line.split()
-        if len(parts) != 2:
-            raise GraphFormatError(
-                f"edge list rows must have 2 columns, got {len(parts)}: "
-                f"{raw!r}"
+    offenders: list[tuple[int, str, str]] = []
+    malformed = 0
+
+    def reject(lineno: int, reason: str, text: str) -> None:
+        if strict:
+            raise IngestError(
+                f"{path}:{lineno}: {reason}",
+                path=str(path),
+                line=lineno,
+                reason=reason,
             )
-        tokens.extend(parts)
-    if tokens:
-        # NumPy's text reader (np.loadtxt) can crash on adversarial
-        # input; converting pre-split tokens raises cleanly instead.
-        try:
-            flat = np.array(tokens, dtype=np.int64)
-        except (ValueError, OverflowError) as exc:
-            raise GraphFormatError(
-                f"edge list contains non-integer tokens: {exc}"
-            ) from exc
-        src, dst = flat[0::2], flat[1::2]
-    else:
-        src = dst = np.empty(0, dtype=np.int64)
+        if len(offenders) < max_offenders:
+            offenders.append((lineno, reason, text))
+
+    header_nodes = None
+    srcs: list[int] = []
+    dsts: list[int] = []
+    line_nos: list[int] = []
+    total_lines = 0
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            total_lines += 1
+            if lineno == 1 and raw.startswith("#"):
+                for token in raw[1:].split():
+                    if token.startswith("nodes="):
+                        try:
+                            header_nodes = int(token.split("=", 1)[1])
+                        except ValueError:
+                            header_nodes = None
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                malformed += 1
+                reject(
+                    lineno,
+                    f"expected 2 columns, got {len(parts)}",
+                    line,
+                )
+                continue
+            try:
+                u, v = int(parts[0]), int(parts[1])
+            except ValueError:
+                malformed += 1
+                reject(lineno, "non-integer endpoint", line)
+                continue
+            srcs.append(u)
+            dsts.append(v)
+            line_nos.append(lineno)
     if num_nodes is None:
         num_nodes = header_nodes
+    src = np.asarray(srcs, dtype=np.int64)
+    dst = np.asarray(dsts, dtype=np.int64)
+    nums = np.asarray(line_nos, dtype=np.int64)
+
+    # Out-of-range rows: negative endpoints always, ids >= num_nodes
+    # only when a node count was declared (header or argument) — a
+    # derived count, by construction, covers every id.
+    bad = (src < 0) | (dst < 0)
+    if num_nodes is not None:
+        bad |= (src >= num_nodes) | (dst >= num_nodes)
+    out_of_range = int(bad.sum())
+    if out_of_range:
+        for idx in np.flatnonzero(bad)[:max_offenders]:
+            reject(
+                int(nums[idx]),
+                "endpoint outside "
+                f"[0, {num_nodes if num_nodes is not None else '?'})",
+                f"{src[idx]} {dst[idx]}",
+            )
+        keep = ~bad
+        src, dst, nums = src[keep], dst[keep], nums[keep]
     if num_nodes is None:
-        num_nodes = int(max(src.max(), dst.max()) + 1) if src.size else 0
-    return EdgeList(num_nodes, src, dst)
+        num_nodes = (
+            int(max(src.max(), dst.max()) + 1) if src.size else 0
+        )
+
+    # Duplicate rows: counted in both modes, dropped (first occurrence
+    # wins, original order preserved) only in tolerant mode.
+    duplicates = 0
+    if src.size:
+        keys = src * np.int64(max(num_nodes, 1)) + dst
+        _, first = np.unique(keys, return_index=True)
+        duplicates = int(src.size - first.size)
+        if duplicates and not strict:
+            dup_mask = np.ones(src.size, dtype=bool)
+            dup_mask[first] = False
+            for idx in np.flatnonzero(dup_mask)[:max_offenders]:
+                if len(offenders) < max_offenders:
+                    offenders.append(
+                        (
+                            int(nums[idx]),
+                            "duplicate edge",
+                            f"{src[idx]} {dst[idx]}",
+                        )
+                    )
+            first.sort()
+            src, dst = src[first], dst[first]
+    skipped = malformed + out_of_range
+    if not strict:
+        skipped += duplicates
+    report = IngestReport(
+        path=str(path),
+        total_lines=total_lines,
+        accepted=int(src.size),
+        malformed=malformed,
+        out_of_range=out_of_range,
+        duplicates=duplicates,
+        skipped=skipped if not strict else 0,
+        offenders=tuple(sorted(offenders)),
+    )
+    return EdgeList(num_nodes, src, dst), report
+
+
+def load_edgelist(
+    path: str | os.PathLike,
+    *,
+    num_nodes: int | None = None,
+    strict: bool = True,
+) -> EdgeList:
+    """Read a text edge list (see :func:`read_edgelist`)."""
+    edges, _ = read_edgelist(
+        path, num_nodes=num_nodes, strict=strict
+    )
+    return edges
 
 
 def save_csr(graph: Graph, path: str | os.PathLike) -> None:

@@ -11,10 +11,11 @@ benchmarks use the deterministic model in
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence
 
-from ..errors import MachineError
+from ..errors import MachineError, StallError
 
 
 def default_workers() -> int:
@@ -77,3 +78,43 @@ def parallel_for(
         return [fn(item) for item in items]
     with ThreadPoolExecutor(max_workers=workers) as pool:
         return list(pool.map(fn, items))
+
+
+def call_with_deadline(fn: Callable, deadline: float | None):
+    """Run ``fn()`` under a watchdog: raise :class:`StallError` when it
+    has not returned within ``deadline`` seconds.
+
+    ``deadline=None`` calls ``fn`` directly (no watchdog thread).  A
+    stalled call cannot be killed — its daemon thread keeps running
+    against buffers the caller has abandoned — but the caller regains
+    control and can fall back to a serial kernel (the degradation
+    ladder in :mod:`repro.resilience.executor`).
+    """
+    if deadline is None:
+        return fn()
+    if deadline <= 0:
+        raise MachineError(
+            f"deadline must be positive, got {deadline}"
+        )
+    outcome: dict = {}
+
+    def target() -> None:
+        try:
+            outcome["result"] = fn()
+        except BaseException as exc:  # delivered to the caller below
+            outcome["error"] = exc
+
+    worker = threading.Thread(
+        target=target, name="repro-watchdog-call", daemon=True
+    )
+    worker.start()
+    worker.join(deadline)
+    if worker.is_alive():
+        raise StallError(
+            f"dispatched call exceeded its {deadline:g}s watchdog "
+            "deadline",
+            deadline=deadline,
+        )
+    if "error" in outcome:
+        raise outcome["error"]
+    return outcome["result"]

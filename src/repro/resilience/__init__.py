@@ -1,0 +1,84 @@
+"""Resilient execution runtime: fault injection, retry + graceful
+degradation, checkpoints and numerical-health guards.
+
+The reliability boundary of the blocked runtime (see DESIGN.md,
+"Resilience runtime"): long iterative jobs on the parallel engines
+survive crashed pool tasks, corrupted bins slots, stalled workers and
+NaN-poisoned state instead of dying mid-run.
+
+* :mod:`repro.resilience.faults` — deterministic fault injection
+  (``--fault-inject`` / ``REPRO_FAULTS``);
+* :mod:`repro.resilience.retry` — per-task retry with capped
+  exponential backoff plus a dispatch watchdog;
+* :mod:`repro.resilience.checkpoint` — atomic per-iteration snapshots
+  with layout fingerprints (``--checkpoint-dir`` / ``--resume``);
+* :mod:`repro.resilience.guards` — NaN/Inf/overflow/divergence/stall
+  detection with raise / clamp / rollback policies;
+* :mod:`repro.resilience.executor` — the degradation ladder
+  ``parallel -> reduceat -> bincount`` and the run supervisor;
+* :mod:`repro.resilience.report` — the structured
+  :class:`ResilienceReport` attached to engine results.
+"""
+
+from .checkpoint import (
+    CheckpointInfo,
+    CheckpointManager,
+    state_fingerprint,
+)
+from .executor import (
+    DEGRADATION_CHAIN,
+    LoopSupervisor,
+    ResilienceContext,
+    ResilienceOptions,
+    ResilientExecutor,
+    next_backend,
+)
+from .faults import (
+    FAULTS_ENV,
+    FaultInjector,
+    FaultSpec,
+    FiredFault,
+    active,
+    clear,
+    install,
+    parse_fault_spec,
+)
+from .guards import GUARD_POLICIES, GuardVerdict, NumericalGuard
+from .report import (
+    CheckpointEvent,
+    DowngradeEvent,
+    GuardEvent,
+    ResilienceReport,
+    RetryEvent,
+)
+from .retry import RetryPolicy, run_with_retry
+
+__all__ = [
+    "CheckpointEvent",
+    "CheckpointInfo",
+    "CheckpointManager",
+    "DEGRADATION_CHAIN",
+    "DowngradeEvent",
+    "FAULTS_ENV",
+    "FaultInjector",
+    "FaultSpec",
+    "FiredFault",
+    "GUARD_POLICIES",
+    "GuardEvent",
+    "GuardVerdict",
+    "LoopSupervisor",
+    "NumericalGuard",
+    "ResilienceContext",
+    "ResilienceOptions",
+    "ResilienceReport",
+    "ResilientExecutor",
+    "RetryEvent",
+    "RetryPolicy",
+    "active",
+    "clear",
+    "install",
+    "next_backend",
+    "parse_fault_spec",
+    "run_with_retry",
+    "state_fingerprint",
+]

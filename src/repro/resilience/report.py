@@ -1,0 +1,131 @@
+"""Structured record of everything the resilient runtime did to a run.
+
+A :class:`ResilienceReport` is attached to the engine result
+(``result.resilience``) whenever a run executes under a
+:class:`~repro.resilience.executor.ResilienceContext`; it is the
+machine-readable account of every retry, kernel downgrade, guard
+action and checkpoint event — the evidence the acceptance tests and
+the CLI summary line are built on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class RetryEvent:
+    """One failed attempt that was retried."""
+
+    iteration: int | None
+    attempt: int
+    error: str
+    delay: float
+
+
+@dataclass(frozen=True)
+class DowngradeEvent:
+    """One step down the kernel degradation ladder."""
+
+    iteration: int
+    from_kernel: str
+    to_kernel: str
+    reason: str
+
+
+@dataclass(frozen=True)
+class GuardEvent:
+    """One numerical-health guard firing."""
+
+    iteration: int
+    kind: str  #: nan / inf / overflow / divergence / stall
+    action: str  #: raised / clamped / rollback / recorded
+    detail: str
+
+
+@dataclass(frozen=True)
+class CheckpointEvent:
+    """One checkpoint interaction."""
+
+    iteration: int
+    action: str  #: save / resume / rollback
+    path: str | None = None
+
+
+@dataclass
+class ResilienceReport:
+    """Everything the resilient runtime did during one run."""
+
+    retries: list = field(default_factory=list)
+    downgrades: list = field(default_factory=list)
+    guard_events: list = field(default_factory=list)
+    checkpoint_events: list = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """True when the run left its requested kernel backend."""
+        return bool(self.downgrades)
+
+    @property
+    def final_kernel(self) -> str | None:
+        """Backend the run ended on (None = never downgraded)."""
+        return self.downgrades[-1].to_kernel if self.downgrades else None
+
+    @property
+    def num_events(self) -> int:
+        """Total recorded events across all categories."""
+        return (
+            len(self.retries)
+            + len(self.downgrades)
+            + len(self.guard_events)
+            + len(self.checkpoint_events)
+        )
+
+    def summary(self) -> str:
+        """One-line human summary (empty when nothing happened)."""
+        parts = []
+        if self.retries:
+            parts.append(f"{len(self.retries)} retries")
+        for d in self.downgrades:
+            parts.append(
+                f"downgrade {d.from_kernel}->{d.to_kernel} "
+                f"@ iter {d.iteration} ({d.reason})"
+            )
+        for g in self.guard_events:
+            parts.append(
+                f"guard {g.kind}:{g.action} @ iter {g.iteration}"
+            )
+        for c in self.checkpoint_events:
+            if c.action != "save":
+                parts.append(f"checkpoint {c.action} @ iter {c.iteration}")
+        saves = sum(
+            1 for c in self.checkpoint_events if c.action == "save"
+        )
+        if saves:
+            parts.append(f"{saves} checkpoints saved")
+        return "; ".join(parts)
+
+    def render(self) -> str:
+        """Multi-line rendering of every recorded event."""
+        lines = [f"resilience report ({self.num_events} events)"]
+        for r in self.retries:
+            lines.append(
+                f"  retry    iter={r.iteration} attempt={r.attempt} "
+                f"delay={r.delay:.3g}s error={r.error}"
+            )
+        for d in self.downgrades:
+            lines.append(
+                f"  downgrade iter={d.iteration} "
+                f"{d.from_kernel}->{d.to_kernel}: {d.reason}"
+            )
+        for g in self.guard_events:
+            lines.append(
+                f"  guard    iter={g.iteration} {g.kind} "
+                f"action={g.action}: {g.detail}"
+            )
+        for c in self.checkpoint_events:
+            where = f" ({c.path})" if c.path else ""
+            lines.append(
+                f"  ckpt     iter={c.iteration} {c.action}{where}"
+            )
+        return "\n".join(lines)

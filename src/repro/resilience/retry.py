@@ -1,0 +1,86 @@
+"""Per-task retry with capped exponential backoff and a dispatch
+watchdog.
+
+The first rung of the degradation ladder: before the runtime gives up
+on a kernel backend it re-attempts the failed call a bounded number of
+times (transient faults — a crashed pool task, a spurious allocation
+failure — often clear on retry), sleeping a capped exponential backoff
+between attempts.  Every attempt runs under an optional watchdog
+deadline (:func:`repro.parallel.threadpool.call_with_deadline`) so a
+stalled worker surfaces as a :class:`~repro.errors.StallError` instead
+of hanging the run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import ResilienceError
+from ..parallel.threadpool import call_with_deadline
+from .report import ResilienceReport, RetryEvent
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/backoff/watchdog configuration of one run."""
+
+    #: re-attempts after the first failure (0 = fail immediately).
+    max_retries: int = 2
+    #: first backoff delay in seconds; doubles per attempt.
+    backoff: float = 0.05
+    #: backoff ceiling in seconds.
+    backoff_cap: float = 1.0
+    #: watchdog deadline per attempt in seconds (None = no watchdog).
+    deadline: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ResilienceError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff < 0 or self.backoff_cap < 0:
+            raise ResilienceError(
+                "backoff delays must be >= 0, got "
+                f"{self.backoff}/{self.backoff_cap}"
+            )
+        if self.deadline is not None and self.deadline <= 0:
+            raise ResilienceError(
+                f"deadline must be positive, got {self.deadline}"
+            )
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based), capped."""
+        return min(self.backoff * (2 ** (attempt - 1)), self.backoff_cap)
+
+
+def run_with_retry(
+    fn: Callable,
+    *,
+    policy: RetryPolicy,
+    report: ResilienceReport | None = None,
+    iteration: int | None = None,
+):
+    """Call ``fn`` under ``policy``: each attempt watchdogged, failures
+    retried with backoff, every retry recorded in ``report``.
+
+    Raises the last failure once ``policy.max_retries`` re-attempts are
+    exhausted — the caller (the degradation ladder) decides what falls
+    back next.
+    """
+    attempt = 0
+    while True:
+        try:
+            return call_with_deadline(fn, policy.deadline)
+        except Exception as exc:
+            attempt += 1
+            if attempt > policy.max_retries:
+                raise
+            delay = policy.delay(attempt)
+            if report is not None:
+                report.retries.append(
+                    RetryEvent(iteration, attempt, repr(exc), delay)
+                )
+            if delay > 0:
+                time.sleep(delay)

@@ -1,0 +1,158 @@
+"""Tests for hardened edge-list ingestion (strict and tolerant modes)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError, IngestError
+from repro.graphs.io import load_edgelist, read_edgelist
+
+
+def write(tmp_path, text, name="graph.el"):
+    path = tmp_path / name
+    path.write_text(text)
+    return path
+
+
+CLEAN = "# nodes=4\n0 1\n1 2\n2 3\n"
+MESSY = (
+    "# nodes=4\n"    # line 1
+    "0 1\n"          # line 2
+    "1 2\n"          # line 3
+    "1 2 7\n"        # line 4: malformed, 3 columns
+    "banana 2\n"     # line 5: malformed, non-integer
+    "0 9\n"          # line 6: out of range (nodes=4)
+    "-1 2\n"         # line 7: out of range (negative)
+    "0 1\n"          # line 8: duplicate
+    "2 3\n"          # line 9
+)
+
+
+class TestStrictMode:
+    def test_clean_file(self, tmp_path):
+        edges, report = read_edgelist(write(tmp_path, CLEAN))
+        assert edges.num_nodes == 4
+        assert edges.num_edges == 3
+        assert report.clean
+        assert report.accepted == 3
+
+    def test_malformed_raises_with_line_number(self, tmp_path):
+        path = write(tmp_path, "0 1\n1 2 7\n")
+        with pytest.raises(IngestError) as excinfo:
+            read_edgelist(path)
+        assert excinfo.value.line == 2
+        assert "2 columns" in excinfo.value.reason
+        assert str(path) in str(excinfo.value)
+
+    def test_non_integer_raises(self, tmp_path):
+        path = write(tmp_path, "0 1\n\nx y\n")
+        with pytest.raises(IngestError) as excinfo:
+            read_edgelist(path)
+        assert excinfo.value.line == 3
+
+    def test_out_of_range_raises(self, tmp_path):
+        path = write(tmp_path, "# nodes=3\n0 1\n0 5\n")
+        with pytest.raises(IngestError) as excinfo:
+            read_edgelist(path)
+        assert excinfo.value.line == 3
+
+    def test_negative_id_raises(self, tmp_path):
+        path = write(tmp_path, "0 1\n-2 1\n")
+        with pytest.raises(IngestError) as excinfo:
+            read_edgelist(path)
+        assert excinfo.value.line == 2
+
+    def test_duplicates_kept(self, tmp_path):
+        edges, report = read_edgelist(
+            write(tmp_path, "0 1\n0 1\n1 0\n")
+        )
+        assert edges.num_edges == 3
+        assert report.duplicates == 1
+
+    def test_ingest_error_is_graph_format_error(self, tmp_path):
+        # Callers catching the historical error type keep working.
+        path = write(tmp_path, "garbage line here\n")
+        with pytest.raises(GraphFormatError):
+            load_edgelist(path)
+
+
+class TestTolerantMode:
+    def test_skips_and_reports(self, tmp_path):
+        edges, report = read_edgelist(
+            write(tmp_path, MESSY), strict=False
+        )
+        assert edges.num_nodes == 4
+        assert edges.num_edges == 3  # 0->1, 1->2, 2->3
+        assert report.malformed == 2
+        assert report.out_of_range == 2
+        assert report.duplicates == 1
+        assert report.skipped == 5
+        assert not report.clean
+        assert np.array_equal(edges.src, [0, 1, 2])
+        assert np.array_equal(edges.dst, [1, 2, 3])
+
+    def test_offenders_quote_lines(self, tmp_path):
+        _, report = read_edgelist(
+            write(tmp_path, MESSY), strict=False
+        )
+        lines = [line for line, _, _ in report.offenders]
+        assert lines == sorted(lines)
+        assert 4 in lines  # "1 2 7"
+        reasons = {line: reason for line, reason, _ in report.offenders}
+        assert "columns" in reasons[4]
+        assert "outside" in reasons[6]
+
+    def test_max_offenders_caps_quotes_not_counts(self, tmp_path):
+        body = "".join(f"{i} {i} {i}\n" for i in range(20))
+        _, report = read_edgelist(
+            write(tmp_path, "0 1\n" + body),
+            strict=False,
+            max_offenders=4,
+        )
+        assert len(report.offenders) == 4
+        assert report.malformed == 20
+
+    def test_derived_node_count_ignores_skipped_rows(self, tmp_path):
+        # The dropped row's endpoints must not inflate num_nodes.
+        edges, _ = read_edgelist(
+            write(tmp_path, "0 1\n-1 99\n"), strict=False
+        )
+        assert edges.num_nodes == 2
+
+    def test_summary_line(self, tmp_path):
+        _, report = read_edgelist(
+            write(tmp_path, MESSY), strict=False
+        )
+        text = report.summary()
+        assert "accepted 3 edges" in text
+        assert "2 malformed" in text
+
+    def test_empty_file(self, tmp_path):
+        edges, report = read_edgelist(
+            write(tmp_path, ""), strict=False
+        )
+        assert edges.num_edges == 0
+        assert report.total_lines == 0
+
+    def test_comments_and_blanks_not_counted(self, tmp_path):
+        _, report = read_edgelist(
+            write(tmp_path, "# nodes=2\n\n0 1  # trailing comment\n\n"),
+            strict=False,
+        )
+        assert report.accepted == 1
+        assert report.clean
+
+
+class TestRoundTrip:
+    def test_save_load_round_trip(self, tmp_path, tiny_edges):
+        from repro.graphs.io import save_edgelist
+
+        path = tmp_path / "tiny.el"
+        save_edgelist(tiny_edges, path)
+        loaded = load_edgelist(path)
+        assert loaded == tiny_edges
+
+    def test_explicit_num_nodes_still_wins(self, tmp_path):
+        edges = load_edgelist(
+            write(tmp_path, "0 1\n"), num_nodes=10
+        )
+        assert edges.num_nodes == 10

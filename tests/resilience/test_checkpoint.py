@@ -1,0 +1,92 @@
+"""Unit tests for atomic checkpoints and layout fingerprints."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CheckpointError
+from repro.resilience.checkpoint import (
+    CheckpointManager,
+    state_fingerprint,
+)
+
+
+class TestStateFingerprint:
+    def test_stable(self):
+        perm = np.arange(10)
+        a = state_fingerprint(perm, 5, "pagerank")
+        b = state_fingerprint(np.arange(10), 5, "pagerank")
+        assert a == b
+
+    def test_sensitive_to_every_part(self):
+        perm = np.arange(10)
+        base = state_fingerprint(perm, 5, "pagerank")
+        assert state_fingerprint(perm[::-1], 5, "pagerank") != base
+        assert state_fingerprint(perm, 6, "pagerank") != base
+        assert state_fingerprint(perm, 5, "hits") != base
+
+
+class TestCheckpointManager:
+    def test_save_load_roundtrip(self, tmp_path):
+        mgr = CheckpointManager(tmp_path, fingerprint="abc")
+        x = np.linspace(0.0, 1.0, 32)
+        path = mgr.save(4, x)
+        assert path.exists()
+        iteration, loaded = mgr.load_latest()
+        assert iteration == 4
+        assert np.array_equal(loaded, x)
+
+    def test_atomic_no_temp_left_behind(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        mgr.save(0, np.ones(4))
+        leftovers = [
+            p.name for p in tmp_path.iterdir()
+            if p.name.startswith(".")
+        ]
+        assert leftovers == []
+
+    def test_latest_picks_newest(self, tmp_path):
+        mgr = CheckpointManager(tmp_path, keep=None)
+        for it in (1, 5, 3):
+            mgr.save(it, np.full(4, float(it)))
+        assert mgr.latest().iteration == 5
+        _, x = mgr.load_latest()
+        assert x[0] == 5.0
+
+    def test_prune_keeps_newest(self, tmp_path):
+        mgr = CheckpointManager(tmp_path, keep=2)
+        for it in range(5):
+            mgr.save(it, np.zeros(2))
+        iterations = [info.iteration for info in mgr.list()]
+        assert iterations == [3, 4]
+
+    def test_fingerprint_mismatch_refused(self, tmp_path):
+        CheckpointManager(tmp_path, fingerprint="aaa").save(
+            0, np.ones(4)
+        )
+        other = CheckpointManager(tmp_path, fingerprint="bbb")
+        with pytest.raises(CheckpointError, match="different run"):
+            other.load_latest()
+
+    def test_unreadable_checkpoint(self, tmp_path):
+        (tmp_path / "ckpt-00000007.npz").write_bytes(b"garbage")
+        mgr = CheckpointManager(tmp_path)
+        with pytest.raises(CheckpointError, match="unreadable"):
+            mgr.load_latest()
+
+    def test_empty_directory(self, tmp_path):
+        assert CheckpointManager(tmp_path).load_latest() is None
+
+    def test_due_cadence(self, tmp_path):
+        mgr = CheckpointManager(tmp_path, every=3)
+        assert [it for it in range(9) if mgr.due(it)] == [2, 5, 8]
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            CheckpointManager(tmp_path, every=0)
+        with pytest.raises(CheckpointError):
+            CheckpointManager(tmp_path, keep=0)
+
+    def test_foreign_files_ignored(self, tmp_path):
+        (tmp_path / "notes.txt").write_text("hi")
+        mgr = CheckpointManager(tmp_path)
+        assert mgr.list() == []

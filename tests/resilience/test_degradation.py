@@ -1,0 +1,195 @@
+"""Degradation-chain acceptance tests: every injected failure mode must
+end in a completed run, and a run degraded to the serial floor must be
+bit-identical to a fault-free serial ``bincount`` run."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.pagerank import PageRank
+from repro.core.engine import MixenEngine
+from repro.errors import InjectedFault
+from repro.resilience import (
+    ResilienceContext,
+    ResilienceOptions,
+    faults,
+)
+
+ITERATIONS = 8
+
+
+@pytest.fixture(autouse=True)
+def disarm():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def run_serial_reference(graph):
+    engine = MixenEngine(graph, kernel="bincount")
+    engine.prepare()
+    return engine.run(
+        PageRank(), max_iterations=ITERATIONS, check_convergence=False
+    )
+
+
+def run_faulted(graph, options, *, kernel="parallel"):
+    with ResilienceContext(options) as ctx:
+        engine = MixenEngine(graph, kernel=kernel, max_workers=2)
+        engine.prepare()
+        result = engine.run(
+            PageRank(),
+            max_iterations=ITERATIONS,
+            check_convergence=False,
+            resilience=ctx,
+        )
+    return result, ctx.report
+
+
+class TestDegradationChain:
+    def test_task_crash_walks_full_chain_bit_exact(self, random_graph):
+        reference = run_serial_reference(random_graph)
+        options = ResilienceOptions(
+            fault_spec=(
+                "crash:task=0,times=-1;fail:kernel=reduceat,times=-1"
+            ),
+            retry_backoff=0.0,
+        )
+        result, report = run_faulted(random_graph, options)
+        steps = [(d.from_kernel, d.to_kernel) for d in report.downgrades]
+        assert steps == [
+            ("parallel", "reduceat"),
+            ("reduceat", "bincount"),
+        ]
+        assert report.final_kernel == "bincount"
+        assert np.array_equal(result.scores, reference.scores)
+        assert result.resilience is report
+
+    def test_all_three_faults_together_bit_exact(self, random_graph):
+        # The acceptance drill: a crashing task, a corrupted bins slot
+        # and a stalling worker all armed at once, plus a poisoned
+        # reduceat rung — the run must land on the serial floor and
+        # match the fault-free serial result bit for bit.
+        reference = run_serial_reference(random_graph)
+        options = ResilienceOptions(
+            fault_spec=(
+                "crash:task=0,times=1;corrupt:slot=2,times=1;"
+                "stall:task=0,seconds=0.4,times=1;"
+                "fail:kernel=reduceat,times=-1"
+            ),
+            deadline=0.15,
+            retry_backoff=0.0,
+            max_retries=1,
+        )
+        result, report = run_faulted(random_graph, options)
+        assert report.final_kernel == "bincount"
+        assert np.array_equal(result.scores, reference.scores)
+
+    def test_transient_crash_recovers_by_retry(self, random_graph):
+        # One crash, two retries allowed: the retry absorbs the fault,
+        # no downgrade happens, and the parallel result still matches
+        # the serial reference bit for bit (1-D parallel runs on the
+        # bincount base).
+        reference = run_serial_reference(random_graph)
+        options = ResilienceOptions(
+            fault_spec="crash:task=0,times=1",
+            retry_backoff=0.0,
+        )
+        result, report = run_faulted(random_graph, options)
+        assert report.downgrades == []
+        assert len(report.retries) == 1
+        assert np.array_equal(result.scores, reference.scores)
+
+    def test_corrupted_bins_detected_and_downgraded(self, random_graph):
+        options = ResilienceOptions(
+            fault_spec="corrupt:slot=3,times=1",
+            retry_backoff=0.0,
+        )
+        result, report = run_faulted(random_graph, options)
+        (downgrade,) = report.downgrades
+        assert downgrade.reason == "non-finite output"
+        assert np.isfinite(result.scores).all()
+
+    def test_stalled_worker_hits_watchdog(self, random_graph):
+        options = ResilienceOptions(
+            fault_spec="stall:task=0,seconds=0.5,times=-1",
+            deadline=0.1,
+            max_retries=0,
+            retry_backoff=0.0,
+        )
+        result, report = run_faulted(random_graph, options)
+        assert report.degraded
+        assert "StallError" in report.downgrades[0].reason
+        assert np.isfinite(result.scores).all()
+
+    def test_floor_failure_raises(self, random_graph):
+        # Nothing below bincount: a fault on the serial floor must
+        # surface, not loop.
+        options = ResilienceOptions(
+            fault_spec="fail:kernel=bincount,times=-1",
+            max_retries=0,
+            retry_backoff=0.0,
+        )
+        with pytest.raises(InjectedFault):
+            run_faulted(random_graph, options, kernel="bincount")
+
+
+class TestCheckpointResume:
+    def test_kill_and_resume_bit_identical(self, random_graph, tmp_path):
+        with ResilienceContext(ResilienceOptions()) as ctx:
+            engine = MixenEngine(random_graph, kernel="bincount")
+            engine.prepare()
+            uninterrupted = engine.run(
+                PageRank(),
+                max_iterations=ITERATIONS,
+                check_convergence=False,
+                resilience=ctx,
+            )
+        # Killed run: the serial kernel dies mid-run with no rung left.
+        kill_options = ResilienceOptions(
+            fault_spec="fail:kernel=bincount,call=5,times=-1",
+            max_retries=0,
+            retry_backoff=0.0,
+            checkpoint_dir=str(tmp_path),
+        )
+        with pytest.raises(InjectedFault):
+            run_faulted(random_graph, kill_options, kernel="bincount")
+        assert list(tmp_path.glob("ckpt-*.npz"))
+        # Fresh process resumes from the newest snapshot.
+        resume_options = ResilienceOptions(
+            checkpoint_dir=str(tmp_path), resume=True
+        )
+        resumed, report = run_faulted(
+            random_graph, resume_options, kernel="bincount"
+        )
+        resumes = [
+            c for c in report.checkpoint_events if c.action == "resume"
+        ]
+        assert len(resumes) == 1
+        assert np.array_equal(resumed.scores, uninterrupted.scores)
+
+    def test_resume_refuses_foreign_fingerprint(
+        self, random_graph, tiny_graph, tmp_path
+    ):
+        from repro.errors import CheckpointError
+
+        options = ResilienceOptions(checkpoint_dir=str(tmp_path))
+        run_faulted(random_graph, options, kernel="bincount")
+        resume_options = ResilienceOptions(
+            checkpoint_dir=str(tmp_path), resume=True
+        )
+        with pytest.raises(CheckpointError):
+            run_faulted(tiny_graph, resume_options, kernel="bincount")
+
+    def test_checkpoint_cadence(self, random_graph, tmp_path):
+        options = ResilienceOptions(
+            checkpoint_dir=str(tmp_path),
+            checkpoint_every=3,
+            checkpoint_keep=None,
+        )
+        _, report = run_faulted(random_graph, options, kernel="bincount")
+        saves = [
+            c.iteration
+            for c in report.checkpoint_events
+            if c.action == "save"
+        ]
+        assert saves == [2, 5]

@@ -1,0 +1,168 @@
+"""Unit tests for the deterministic fault-injection registry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InjectedFault, ResilienceError
+from repro.resilience import faults
+from repro.resilience.faults import (
+    FAULTS_ENV,
+    FaultInjector,
+    FaultSpec,
+    parse_fault_spec,
+)
+
+
+@pytest.fixture(autouse=True)
+def disarm():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+class TestSpecGrammar:
+    def test_single_entry(self):
+        inj = parse_fault_spec("crash:task=0,times=-1")
+        (spec,) = inj.specs
+        assert spec.kind == "crash"
+        assert spec.task == 0
+        assert spec.times == -1
+
+    def test_multiple_entries(self):
+        inj = parse_fault_spec(
+            "crash:task=1; fail:kernel=reduceat,times=2;"
+            "corrupt:slot=5,value=3.5"
+        )
+        assert [s.kind for s in inj.specs] == ["crash", "fail", "corrupt"]
+        assert inj.specs[1].kernel == "reduceat"
+        assert inj.specs[2].value == 3.5
+
+    def test_stall_fields(self):
+        (spec,) = parse_fault_spec("stall:task=2,seconds=0.5").specs
+        assert spec.seconds == 0.5
+
+    def test_unknown_kind(self):
+        with pytest.raises(ResilienceError):
+            parse_fault_spec("explode:task=0")
+
+    def test_unknown_field(self):
+        with pytest.raises(ResilienceError):
+            parse_fault_spec("crash:task=0,frequency=2")
+
+    def test_bad_value(self):
+        with pytest.raises(ResilienceError):
+            parse_fault_spec("crash:task=zero")
+
+    def test_missing_key_value(self):
+        with pytest.raises(ResilienceError):
+            parse_fault_spec("crash:task")
+
+    def test_empty_spec(self):
+        with pytest.raises(ResilienceError):
+            parse_fault_spec("  ;  ")
+
+    def test_fail_needs_kernel(self):
+        with pytest.raises(ResilienceError):
+            FaultSpec("fail")
+
+    def test_crash_needs_task(self):
+        with pytest.raises(ResilienceError):
+            FaultSpec("crash")
+
+
+class TestInjectorDeterminism:
+    def test_kernel_fail_on_exact_call(self):
+        inj = FaultInjector([FaultSpec("fail", kernel="bincount", call=2)])
+        inj.kernel_call("bincount")
+        inj.kernel_call("bincount")
+        with pytest.raises(InjectedFault) as excinfo:
+            inj.kernel_call("bincount")
+        assert excinfo.value.call == 2
+        inj.kernel_call("bincount")  # budget spent: no further firing
+
+    def test_kernel_fail_only_named_backend(self):
+        inj = FaultInjector([FaultSpec("fail", kernel="reduceat")])
+        inj.kernel_call("bincount")
+        inj.kernel_call("parallel")
+        with pytest.raises(InjectedFault):
+            inj.kernel_call("reduceat")
+
+    def test_times_budget(self):
+        inj = FaultInjector(
+            [FaultSpec("fail", kernel="bincount", times=2)]
+        )
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                inj.kernel_call("bincount")
+        inj.kernel_call("bincount")
+
+    def test_unlimited_times(self):
+        inj = FaultInjector(
+            [FaultSpec("fail", kernel="bincount", times=-1)]
+        )
+        for _ in range(5):
+            with pytest.raises(InjectedFault):
+                inj.kernel_call("bincount")
+
+    def test_task_crash(self):
+        inj = FaultInjector([FaultSpec("crash", task=3, times=-1)])
+        inj.parallel_call()
+        inj.task_event(0)
+        inj.task_event(2)
+        with pytest.raises(InjectedFault):
+            inj.task_event(3)
+
+    def test_corrupt_bins_in_place(self):
+        inj = FaultInjector([FaultSpec("corrupt", slot=1)])
+        inj.parallel_call()
+        bins = np.ones(4)
+        inj.corrupt_bins(bins)
+        assert np.isnan(bins[1])
+        assert np.isfinite(bins[[0, 2, 3]]).all()
+        # budget of 1: second call leaves the bins alone
+        fresh = np.ones(4)
+        inj.corrupt_bins(fresh)
+        assert np.isfinite(fresh).all()
+
+    def test_corrupt_slot_wraps(self):
+        inj = FaultInjector(
+            [FaultSpec("corrupt", slot=7, value=-2.5)]
+        )
+        inj.parallel_call()
+        bins = np.zeros(3)
+        inj.corrupt_bins(bins)
+        assert bins[7 % 3] == -2.5
+
+    def test_fired_log(self):
+        inj = FaultInjector([FaultSpec("fail", kernel="bincount")])
+        with pytest.raises(InjectedFault):
+            inj.kernel_call("bincount")
+        (fired,) = inj.fired
+        assert fired.kind == "fail"
+        assert fired.call == 0
+
+
+class TestActivation:
+    def test_inactive_by_default(self):
+        assert faults.active() is None
+
+    def test_install_and_clear(self):
+        inj = parse_fault_spec("crash:task=0")
+        faults.install(inj)
+        assert faults.active() is inj
+        faults.clear()
+        assert faults.active() is None
+
+    def test_env_var_arms_lazily(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "fail:kernel=reduceat")
+        inj = faults.active()
+        assert inj is not None
+        assert inj.specs[0].kernel == "reduceat"
+        # same text -> same cached injector (counters persist)
+        assert faults.active() is inj
+
+    def test_installed_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "fail:kernel=reduceat")
+        mine = parse_fault_spec("crash:task=0")
+        faults.install(mine)
+        assert faults.active() is mine

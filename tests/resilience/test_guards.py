@@ -1,0 +1,241 @@
+"""Unit and integration tests for the numerical-health guards."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.algorithms.hits import hits
+from repro.algorithms.pagerank import PageRank
+from repro.core.engine import MixenEngine
+from repro.errors import GuardError, ResilienceError
+from repro.resilience import ResilienceContext, ResilienceOptions
+from repro.resilience.guards import NumericalGuard
+from repro.resilience.report import ResilienceReport
+
+ITERATIONS = 8
+
+
+class PoisonOncePageRank(PageRank):
+    """PageRank whose apply injects one NaN on its ``poison_call``-th
+    invocation — a transient numerical fault the guards must handle."""
+
+    def __init__(self, *args, poison_call=4, value=np.nan, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.poison_call = poison_call
+        self.poison_value = value
+        self.calls = 0
+
+    def apply(self, y, iteration, nodes=None):
+        x = super().apply(y, iteration, nodes=nodes)
+        self.calls += 1
+        if self.calls == self.poison_call:
+            x = np.array(x, copy=True)
+            x[0] = self.poison_value
+        return x
+
+
+def run_guarded(graph, algorithm, policy, **option_kwargs):
+    options = ResilienceOptions(guard_policy=policy, **option_kwargs)
+    with ResilienceContext(options) as ctx:
+        engine = MixenEngine(graph, kernel="bincount")
+        engine.prepare()
+        result = engine.run(
+            algorithm,
+            max_iterations=ITERATIONS,
+            check_convergence=False,
+            resilience=ctx,
+        )
+    return result, ctx.report
+
+
+class TestNumericalGuardUnit:
+    def test_unknown_policy(self):
+        with pytest.raises(ResilienceError):
+            NumericalGuard("panic")
+
+    def test_clean_vector_passes(self):
+        guard = NumericalGuard("raise")
+        x = np.ones(8)
+        verdict = guard.check(x, x * 0.5, 0)
+        assert verdict.action == "ok"
+
+    def test_nan_raises(self):
+        guard = NumericalGuard("raise")
+        bad = np.ones(8)
+        bad[2] = np.nan
+        with pytest.raises(GuardError) as excinfo:
+            guard.check(np.ones(8), bad, 3)
+        assert excinfo.value.kind == "nan"
+        assert excinfo.value.iteration == 3
+
+    def test_inf_raises(self):
+        guard = NumericalGuard("raise")
+        bad = np.ones(8)
+        bad[0] = np.inf
+        with pytest.raises(GuardError) as excinfo:
+            guard.check(np.ones(8), bad, 0)
+        assert excinfo.value.kind == "inf"
+
+    def test_overflow_raises(self):
+        guard = NumericalGuard("raise", max_value=100.0)
+        bad = np.ones(8)
+        bad[5] = 1e6
+        with pytest.raises(GuardError) as excinfo:
+            guard.check(np.ones(8), bad, 0)
+        assert excinfo.value.kind == "overflow"
+
+    def test_norm_limit_divergence(self):
+        guard = NumericalGuard("raise", norm_limit=4.0)
+        with pytest.raises(GuardError) as excinfo:
+            guard.check(np.ones(8), np.ones(8), 0)
+        assert excinfo.value.kind == "divergence"
+
+    def test_relative_growth_divergence(self):
+        guard = NumericalGuard("raise", diverge_factor=10.0)
+        x = np.ones(8)
+        guard.check(x, x, 0)  # baseline norm = 8
+        with pytest.raises(GuardError) as excinfo:
+            guard.check(x, x * 100.0, 1)
+        assert excinfo.value.kind == "divergence"
+
+    def test_stall_detector(self):
+        guard = NumericalGuard("raise", stall_patience=3)
+        x = np.zeros(4)
+        step = np.full(4, 0.25)
+        with pytest.raises(GuardError) as excinfo:
+            for it in range(10):
+                guard.check(x, x + step, it)
+                x = x + step
+        assert excinfo.value.kind == "stall"
+
+    def test_stall_detector_off(self):
+        guard = NumericalGuard(
+            "raise", stall_patience=3, watch_stall=False
+        )
+        x = np.zeros(4)
+        step = np.full(4, 0.25)
+        for it in range(10):
+            guard.check(x, x + step, it)
+            x = x + step
+
+    def test_clamp_repairs(self):
+        report = ResilienceReport()
+        guard = NumericalGuard(
+            "clamp", max_value=10.0, report=report
+        )
+        bad = np.array([1.0, np.nan, np.inf, -np.inf, 50.0])
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            verdict = guard.check(np.ones(5), bad, 2)
+        assert verdict.action == "clamped"
+        assert np.array_equal(
+            verdict.x, np.array([1.0, 0.0, 10.0, -10.0, 10.0])
+        )
+        assert report.guard_events[0].action == "clamped"
+
+    def test_clamp_warns(self):
+        guard = NumericalGuard("clamp")
+        bad = np.ones(4)
+        bad[0] = np.nan
+        with pytest.warns(RuntimeWarning, match="clamped nan"):
+            guard.check(np.ones(4), bad, 0)
+
+    def test_rollback_verdict(self):
+        guard = NumericalGuard("rollback")
+        bad = np.ones(4)
+        bad[0] = np.nan
+        verdict = guard.check(np.ones(4), bad, 0)
+        assert verdict.action == "rollback"
+
+
+class TestGuardedEngineRuns:
+    def test_raise_policy_aborts(self, random_graph):
+        with pytest.raises(GuardError) as excinfo:
+            run_guarded(random_graph, PoisonOncePageRank(), "raise")
+        assert excinfo.value.kind == "nan"
+        assert excinfo.value.iteration == 3
+
+    def test_clamp_policy_finishes_finite(self, random_graph):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            result, report = run_guarded(
+                random_graph, PoisonOncePageRank(), "clamp"
+            )
+        assert np.isfinite(result.scores).all()
+        assert [g.action for g in report.guard_events] == ["clamped"]
+
+    def test_rollback_policy_recovers_bit_exact(self, random_graph):
+        clean_engine = MixenEngine(random_graph, kernel="bincount")
+        clean_engine.prepare()
+        clean = clean_engine.run(
+            PageRank(),
+            max_iterations=ITERATIONS,
+            check_convergence=False,
+        )
+        result, report = run_guarded(
+            random_graph, PoisonOncePageRank(), "rollback"
+        )
+        assert [g.action for g in report.guard_events] == ["rollback"]
+        assert np.array_equal(result.scores, clean.scores)
+
+    def test_rollback_budget_exhausts_on_persistent_poison(
+        self, random_graph
+    ):
+        class AlwaysPoisoned(PoisonOncePageRank):
+            def apply(self, y, iteration, nodes=None):
+                x = PageRank.apply(self, y, iteration, nodes=nodes)
+                x = np.array(x, copy=True)
+                x[0] = np.nan
+                return x
+
+        with pytest.raises(GuardError) as excinfo:
+            run_guarded(
+                random_graph,
+                AlwaysPoisoned(),
+                "rollback",
+                max_rollbacks=2,
+            )
+        assert excinfo.value.kind == "rollback"
+
+
+class TestAlgorithmGuardHooks:
+    def test_hits_guard_raises_on_poison(self, random_graph):
+        engine = MixenEngine(random_graph, kernel="bincount")
+        engine.prepare()
+
+        class Poisoning:
+            """Engine proxy whose propagate poisons one value."""
+
+            def __init__(self, inner):
+                self.inner = inner
+                self.graph = inner.graph
+                self.calls = 0
+
+            def propagate(self, x):
+                y = self.inner.propagate(x)
+                self.calls += 1
+                if self.calls == 3:
+                    y = np.array(y, copy=True)
+                    y[0] = np.nan
+                return y
+
+            def propagate_out(self, x):
+                return self.inner.propagate_out(x)
+
+        guard = NumericalGuard("raise", watch_stall=False)
+        with pytest.raises(GuardError):
+            hits(Poisoning(engine), max_iterations=6, guard=guard)
+
+    def test_hits_guard_clean_run_unchanged(self, random_graph):
+        engine = MixenEngine(random_graph, kernel="bincount")
+        engine.prepare()
+        plain = hits(engine, max_iterations=6)
+        guarded = hits(
+            engine,
+            max_iterations=6,
+            guard=NumericalGuard("raise", watch_stall=False),
+        )
+        assert np.array_equal(
+            plain.authorities, guarded.authorities
+        )

@@ -1,0 +1,113 @@
+"""Unit tests for retry/backoff and the dispatch watchdog."""
+
+import time
+
+import pytest
+
+from repro.errors import MachineError, ResilienceError, StallError
+from repro.parallel.threadpool import call_with_deadline
+from repro.resilience.report import ResilienceReport
+from repro.resilience.retry import RetryPolicy, run_with_retry
+
+
+class TestRetryPolicy:
+    def test_defaults(self):
+        policy = RetryPolicy()
+        assert policy.max_retries == 2
+        assert policy.deadline is None
+
+    def test_validation(self):
+        with pytest.raises(ResilienceError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ResilienceError):
+            RetryPolicy(backoff=-0.1)
+        with pytest.raises(ResilienceError):
+            RetryPolicy(deadline=0.0)
+
+    def test_delay_doubles_and_caps(self):
+        policy = RetryPolicy(backoff=0.1, backoff_cap=0.25)
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.25)  # capped
+
+
+class TestRunWithRetry:
+    def test_success_passthrough(self):
+        policy = RetryPolicy(backoff=0.0)
+        assert run_with_retry(lambda: 42, policy=policy) == 42
+
+    def test_succeeds_after_transient_failures(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise ValueError("transient")
+            return "ok"
+
+        report = ResilienceReport()
+        policy = RetryPolicy(max_retries=2, backoff=0.0)
+        assert (
+            run_with_retry(flaky, policy=policy, report=report,
+                           iteration=7)
+            == "ok"
+        )
+        assert len(report.retries) == 2
+        assert report.retries[0].iteration == 7
+        assert report.retries[0].attempt == 1
+        assert "transient" in report.retries[0].error
+
+    def test_exhaustion_reraises_last_error(self):
+        def always_fails():
+            raise ValueError("permanent")
+
+        policy = RetryPolicy(max_retries=1, backoff=0.0)
+        with pytest.raises(ValueError, match="permanent"):
+            run_with_retry(always_fails, policy=policy)
+
+    def test_zero_retries_fails_immediately(self):
+        calls = {"n": 0}
+
+        def fails():
+            calls["n"] += 1
+            raise ValueError("boom")
+
+        policy = RetryPolicy(max_retries=0, backoff=0.0)
+        with pytest.raises(ValueError):
+            run_with_retry(fails, policy=policy)
+        assert calls["n"] == 1
+
+
+class TestCallWithDeadline:
+    def test_no_deadline_direct_call(self):
+        assert call_with_deadline(lambda: "x", None) == "x"
+
+    def test_result_within_deadline(self):
+        assert call_with_deadline(lambda: 5, 5.0) == 5
+
+    def test_error_propagates(self):
+        def boom():
+            raise KeyError("inner")
+
+        with pytest.raises(KeyError):
+            call_with_deadline(boom, 5.0)
+
+    def test_stall_raises(self):
+        with pytest.raises(StallError) as excinfo:
+            call_with_deadline(lambda: time.sleep(2.0), 0.05)
+        assert excinfo.value.deadline == 0.05
+
+    def test_invalid_deadline(self):
+        with pytest.raises(MachineError):
+            call_with_deadline(lambda: None, -1.0)
+
+    def test_watchdog_stall_in_retry_loop(self):
+        report = ResilienceReport()
+        policy = RetryPolicy(
+            max_retries=1, backoff=0.0, deadline=0.05
+        )
+        with pytest.raises(StallError):
+            run_with_retry(
+                lambda: time.sleep(1.0), policy=policy, report=report
+            )
+        assert len(report.retries) == 1

@@ -1,0 +1,136 @@
+"""CLI-level tests for the resilience flags and structured exit codes."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.errors import (
+    CheckpointError,
+    ContractError,
+    EngineError,
+    GuardError,
+    IngestError,
+    RaceError,
+    ReproError,
+    ResilienceError,
+    StallError,
+    exit_code_for,
+)
+from repro.resilience import faults
+
+
+@pytest.fixture(autouse=True)
+def disarm():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def run_cli(*argv) -> tuple[int, str]:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+BASE = (
+    "run", "--graph", "wiki", "--scale", "0.25",
+    "--algorithm", "pagerank",
+)
+
+
+class TestExitCodes:
+    def test_mapping(self):
+        assert exit_code_for(ContractError("x")) == 3
+        assert exit_code_for(RaceError("x")) == 4
+        assert exit_code_for(IngestError("x")) == 5
+        assert exit_code_for(GuardError("x")) == 6
+        assert exit_code_for(CheckpointError("x")) == 7
+        assert exit_code_for(StallError("x")) == 8
+        assert exit_code_for(ResilienceError("x")) == 9
+        assert exit_code_for(ReproError("x")) == 1
+        assert exit_code_for(EngineError("x")) == 1
+
+    def test_one_line_stderr_summary(self, capsys):
+        code = main(
+            list(BASE) + ["--engine", "pull", "--validate"],
+            out=io.StringIO(),
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert err.startswith("error[ReproError]:")
+
+    def test_unrecoverable_fault_exits_9(self, capsys):
+        code = main(
+            list(BASE) + [
+                "--iterations", "3", "--kernel", "bincount",
+                "--fault-inject", "fail:kernel=bincount,times=-1",
+                "--retries", "0", "--retry-backoff", "0",
+            ],
+            out=io.StringIO(),
+        )
+        assert code == 9
+        assert "error[InjectedFault]" in capsys.readouterr().err
+
+
+class TestFaultDrill:
+    def test_degradation_chain_reported(self):
+        code, text = run_cli(
+            *BASE, "--iterations", "3", "--kernel", "parallel",
+            "--fault-inject",
+            "crash:task=0,times=-1;fail:kernel=reduceat,times=-1",
+            "--retry-backoff", "0",
+        )
+        assert code == 0
+        assert "pagerank on wiki" in text
+        assert "parallel->reduceat" in text
+        assert "reduceat->bincount" in text
+
+    def test_fault_free_run_prints_no_report(self):
+        code, text = run_cli(*BASE, "--iterations", "2")
+        assert code == 0
+        assert "resilience report" not in text
+
+    def test_bad_fault_spec_is_clean_error(self, capsys):
+        code = main(
+            list(BASE) + ["--fault-inject", "explode:task=0"],
+            out=io.StringIO(),
+        )
+        assert code == 9
+        assert "error[ResilienceError]" in capsys.readouterr().err
+
+
+class TestCheckpointFlags:
+    def test_checkpoint_then_resume(self, tmp_path):
+        code, text = run_cli(
+            *BASE, "--iterations", "4",
+            "--checkpoint-dir", str(tmp_path),
+            "--checkpoint-every", "2",
+        )
+        assert code == 0
+        assert "save" in text
+        assert list(tmp_path.glob("ckpt-*.npz"))
+        code, text = run_cli(
+            *BASE, "--iterations", "4",
+            "--checkpoint-dir", str(tmp_path), "--resume",
+        )
+        assert code == 0
+        assert "resume" in text
+
+    def test_resume_requires_dir(self, capsys):
+        code = main(list(BASE) + ["--resume"], out=io.StringIO())
+        assert code == 1
+        assert "checkpoint-dir" in capsys.readouterr().err
+
+
+class TestGuardFlag:
+    def test_guard_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            main(list(BASE) + ["--guard", "panic"], out=io.StringIO())
+
+    def test_guard_clean_run_passes(self):
+        code, _ = run_cli(
+            *BASE, "--iterations", "3", "--guard", "raise"
+        )
+        assert code == 0
