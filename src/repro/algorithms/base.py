@@ -29,6 +29,7 @@ import abc
 
 import numpy as np
 
+from ..core.driver import BundleStep, StateSpec
 from ..graphs.graph import Graph
 
 
@@ -48,6 +49,14 @@ class Algorithm(abc.ABC):
     @abc.abstractmethod
     def initial(self, graph: Graph) -> np.ndarray:
         """Starting property vector (seed nodes at their fixed point)."""
+
+    def state_spec(self) -> tuple:
+        """The driver state bundle of this algorithm: one evolving
+        array named ``x`` (see :mod:`repro.core.driver`).  Protocol
+        algorithms are single-vector by construction; multi-vector
+        workloads (HITS/SALSA, traversals) define their own
+        :class:`~repro.core.driver.BundleStep` instead."""
+        return (StateSpec("x"),)
 
     def propagate_scale(self, graph: Graph) -> np.ndarray | None:
         """Optional per-source multiplier; ``None`` = propagate x as is."""
@@ -115,6 +124,58 @@ class Algorithm(abc.ABC):
                 break
             x = x_new
         return x if self.scores_from == "x" else y
+
+
+class AlgorithmStep(BundleStep):
+    """Driver step adapting the single-vector protocol above.
+
+    One iteration of the generic engine loop —
+    ``xs = pre_propagate(x)``, ``y = A^T xs``, ``x' = apply(y)`` — as a
+    :class:`~repro.core.driver.BundleStep` over the bundle
+    ``{"x": ...}``.  The propagated ``y`` is *not* part of the bundle
+    (checkpoints and guards cover the evolving state only, exactly as
+    the pre-driver loop did); the step keeps the last ``y`` around for
+    the ``scores_from == "y"`` workloads.
+    """
+
+    def __init__(self, algorithm, graph) -> None:
+        self.algorithm = algorithm
+        self.graph = graph
+        self.name = algorithm.name
+        self.watch_stall = not algorithm.x_constant
+        self.last_y: np.ndarray | None = None
+
+    def state_spec(self) -> tuple:
+        return self.algorithm.state_spec()
+
+    def initial_state(self) -> dict:
+        return {"x": self.algorithm.initial(self.graph)}
+
+    def step(self, state, iteration, ctx):
+        algorithm = self.algorithm
+        x = state["x"]
+        xs = algorithm.pre_propagate(x, self.graph)
+        y = ctx.propagate(xs)
+        self.last_y = y
+        x_new = (
+            x if algorithm.x_constant else algorithm.apply(y, iteration)
+        )
+        return {"x": x_new}
+
+    def converged(self, old, new) -> bool:
+        return self.algorithm.converged(old["x"], new["x"])
+
+    def norm_limit(self) -> float | None:
+        limit_fn = getattr(self.algorithm, "norm_limit", None)
+        return limit_fn(self.graph) if callable(limit_fn) else None
+
+    def scores(self, state) -> np.ndarray:
+        """Final scores per the algorithm's ``scores_from`` contract."""
+        if self.algorithm.scores_from == "x":
+            return state["x"]
+        if self.last_y is None:
+            return np.zeros_like(state["x"])
+        return self.last_y
 
 
 def inverse_out_degrees(graph: Graph) -> np.ndarray:

@@ -14,9 +14,89 @@ from collections import deque
 
 import numpy as np
 
+from ..core.driver import BundleStep, IterationDriver, StateSpec
 from ..errors import EngineError
 from ..graphs.graph import Graph
 from ..types import UNREACHED
+
+
+class FrontierBfsStep(BundleStep):
+    """Level-synchronous BFS as a driver step.
+
+    The bundle is ``{"levels": int64, "frontier": bool}`` — both exempt
+    from the numerical guards (traversal state is structural, not
+    floating-point).  ``expand(frontier, levels, level)`` is the
+    engine's characteristic frontier expansion (blocked bins, dense
+    pull, direction-optimized edgeMap); it may mark ``levels`` in place
+    (the step hands it a fresh copy) and returns the next frontier
+    mask.  ``base_level`` offsets the level counter for runs whose
+    initial frontier already sits above level 0 (Mixen's seed-source
+    case seeds the regular frontier at level 1).
+    """
+
+    name = "bfs"
+    watch_stall = False
+
+    def __init__(self, expand, *, base_level: int = 0) -> None:
+        self.expand = expand
+        self.base_level = base_level
+
+    def state_spec(self) -> tuple:
+        return (
+            StateSpec("levels", guarded=False),
+            StateSpec("frontier", guarded=False),
+        )
+
+    def finished(self, state) -> bool:
+        return not bool(state["frontier"].any())
+
+    def step(self, state, iteration, ctx):
+        levels = state["levels"].copy()
+        level = self.base_level + iteration + 1
+        frontier = self.expand(state["frontier"], levels, level)
+        return {"levels": levels, "frontier": frontier}
+
+
+def run_frontier_bfs(
+    expand,
+    levels: np.ndarray,
+    frontier: np.ndarray,
+    *,
+    base_level: int = 0,
+    resilience=None,
+    fingerprint: str = "",
+) -> np.ndarray:
+    """Drive ``expand`` to an empty frontier; returns the final levels.
+
+    The driver owns the loop, so a supervised run ( ``resilience`` )
+    checkpoints the traversal state on cadence and resumes a killed
+    run bit-identically.
+    """
+    step = FrontierBfsStep(expand, base_level=base_level)
+    driver = IterationDriver(
+        step,
+        # A frontier advances at least one level per iteration, so the
+        # level count (hence iteration count) is bounded by n.
+        max_iterations=levels.size + 1,
+        check_convergence=False,
+        resilience=resilience,
+        fingerprint=fingerprint,
+    )
+    result = driver.run({"levels": levels, "frontier": frontier})
+    return result.state["levels"]
+
+
+def bfs_fingerprint(engine, source: int) -> str:
+    """Checkpoint identity of one BFS run: graph, engine and source."""
+    from ..resilience.checkpoint import state_fingerprint
+
+    return state_fingerprint(
+        engine.graph.num_nodes,
+        engine.graph.num_edges,
+        engine.name,
+        "bfs",
+        int(source),
+    )
 
 
 def reference_bfs(graph: Graph, source: int) -> np.ndarray:

@@ -5,6 +5,12 @@ algorithms (Section 2.2).  Each iteration needs both propagation
 directions: authorities pull from in-neighbors' hub scores, hubs pull from
 out-neighbors' authority scores — so this exercises the engines'
 ``propagate`` and ``propagate_out`` pair.
+
+The iteration runs on the unified driver
+(:class:`~repro.core.driver.IterationDriver`) over the coupled bundle
+``{"a": ..., "h": ...}``: with ``resilience`` the whole loop is
+supervised — both propagation directions retry and degrade, the pair
+checkpoints together and the numerical guards police both vectors.
 """
 
 from __future__ import annotations
@@ -13,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.driver import BundleStep, IterationDriver, StateSpec
 from ..errors import ConvergenceError
 from ..types import VALUE_DTYPE
 
@@ -27,48 +34,133 @@ class HitsResult:
     converged: bool
 
 
+class HitsStep(BundleStep):
+    """One HITS iteration: ``a' = normalize(A^T h)``, ``h' = normalize(A a')``.
+
+    ``guard`` is the legacy per-iteration hook (a
+    :class:`~repro.resilience.guards.NumericalGuard`): it checks **both**
+    vectors — a NaN entering through ``propagate_out`` poisons the hubs
+    just as surely as the authorities — and a ``rollback`` verdict on
+    either restores the previous iterate and stops the loop.
+    """
+
+    name = "hits"
+
+    def __init__(self, engine, *, tolerance: float, guard=None) -> None:
+        self.engine = engine
+        self.tolerance = tolerance
+        self.guard = guard
+
+    def state_spec(self) -> tuple:
+        return (StateSpec("a"), StateSpec("h"))
+
+    def initial_state(self) -> dict:
+        n = self.engine.graph.num_nodes
+        a = np.full(n, 1.0 / np.sqrt(max(n, 1)), dtype=VALUE_DTYPE)
+        return {"a": a, "h": a.copy()}
+
+    def step(self, state, iteration, ctx):
+        a_new = _l2_normalized(ctx.propagate(state["h"]))
+        h_new = _l2_normalized(
+            ctx.propagate(a_new, call=self.engine.propagate_out)
+        )
+        a_new, h_new = _guard_pair(
+            self.guard, state, a_new, h_new, iteration, ctx
+        )
+        return {"a": a_new, "h": h_new}
+
+    def converged(self, old, new) -> bool:
+        return _l1_converged(old, new, self.tolerance)
+
+
 def hits(
     engine,
     *,
     max_iterations: int = 50,
     tolerance: float = 1e-10,
     guard=None,
+    resilience=None,
 ) -> HitsResult:
     """Run HITS on a prepared engine.
 
     Per iteration: ``a' = normalize(A^T h)``, ``h' = normalize(A a')``,
     with L2 normalization (Kleinberg's formulation).  ``guard`` (a
-    :class:`~repro.resilience.guards.NumericalGuard`) polices the
-    hub/authority vectors per iteration: under its ``raise`` policy a
-    poisoned run aborts, under ``clamp`` it is repaired in place, and
-    a ``rollback`` verdict restores the previous iterate and stops.
+    :class:`~repro.resilience.guards.NumericalGuard`) polices **both**
+    the hub and authority vectors per iteration: under its ``raise``
+    policy a poisoned run aborts, under ``clamp`` it is repaired in
+    place, and a ``rollback`` verdict restores the previous iterate and
+    stops.  ``resilience`` (a
+    :class:`~repro.resilience.executor.ResilienceContext`) supervises
+    the full loop instead: retry + degradation on both propagation
+    directions, coupled ``{a, h}`` checkpoints with kill -> resume, and
+    bundle-wide guards.
     """
+    step = HitsStep(engine, tolerance=tolerance, guard=guard)
+    result = _run_coupled(step, engine, max_iterations, resilience)
+    return HitsResult(
+        result.state["a"],
+        result.state["h"],
+        result.iterations,
+        result.converged,
+    )
+
+
+def _run_coupled(step, engine, max_iterations: int, resilience):
+    """Drive a coupled hub/authority step to convergence or the cap."""
     if max_iterations <= 0:
         raise ConvergenceError(
             f"max_iterations must be positive, got {max_iterations}"
         )
-    n = engine.graph.num_nodes
-    a = np.full(n, 1.0 / np.sqrt(max(n, 1)), dtype=VALUE_DTYPE)
-    h = a.copy()
-    converged = False
-    iterations = 0
-    for it in range(max_iterations):
-        a_new = _l2_normalized(engine.propagate(h))
-        h_new = _l2_normalized(engine.propagate_out(a_new))
-        if guard is not None:
-            verdict = guard.check(a, a_new, it)
-            if verdict.action == "rollback":
-                break
-            a_new = verdict.x
-        iterations = it + 1
-        if (
-            np.abs(a_new - a).sum() + np.abs(h_new - h).sum()
-        ) < tolerance:
-            a, h = a_new, h_new
-            converged = True
-            break
-        a, h = a_new, h_new
-    return HitsResult(a, h, iterations, converged)
+    fingerprint = ""
+    if resilience is not None:
+        from ..resilience.checkpoint import state_fingerprint
+
+        graph = engine.graph
+        fingerprint = state_fingerprint(
+            graph.num_nodes,
+            graph.num_edges,
+            getattr(engine, "name", type(engine).__name__),
+            step.name,
+        )
+    driver = IterationDriver(
+        step,
+        max_iterations=max_iterations,
+        resilience=resilience,
+        holder=engine,
+        call=engine.propagate,
+        fingerprint=fingerprint,
+    )
+    return driver.run(step.initial_state())
+
+
+def _guard_pair(guard, state, a_new, h_new, iteration: int, ctx):
+    """Apply the legacy guard hook to both halves of the new iterate.
+
+    On a ``rollback`` verdict the step keeps the previous iterate and
+    requests a stop (the pre-driver break semantics).  Returns the
+    possibly-repaired pair.
+    """
+    if guard is None or ctx.stopped:
+        return a_new, h_new
+    verdict = guard.check(state["a"], a_new, iteration)
+    if verdict.action == "rollback":
+        ctx.stop()
+        return state["a"], state["h"]
+    a_new = verdict.x
+    verdict = guard.check(state["h"], h_new, iteration)
+    if verdict.action == "rollback":
+        ctx.stop()
+        return state["a"], state["h"]
+    return a_new, verdict.x
+
+
+def _l1_converged(old, new, tolerance: float) -> bool:
+    """Joint L1 delta of the hub/authority pair below ``tolerance``."""
+    delta = (
+        np.abs(new["a"] - old["a"]).sum()
+        + np.abs(new["h"] - old["h"]).sum()
+    )
+    return bool(delta < tolerance)
 
 
 def _l2_normalized(v: np.ndarray) -> np.ndarray:

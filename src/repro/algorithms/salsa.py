@@ -5,6 +5,9 @@ raw sums, each propagation is degree-normalized, making the iteration a
 random walk on the bipartite hub/authority graph.  Authority update:
 ``a'[v] = sum over in-neighbors u of h[u] / out_degree(u)``; hub update:
 ``h'[u] = sum over out-neighbors v of a'[v] / in_degree(v)``.
+
+Like HITS, the loop runs on the unified driver over the coupled bundle
+``{"a": ..., "h": ...}`` (see :mod:`repro.algorithms.hits`).
 """
 
 from __future__ import annotations
@@ -13,9 +16,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import ConvergenceError
+from ..core.driver import BundleStep, StateSpec
 from ..types import VALUE_DTYPE
 from .base import inverse_out_degrees
+from .hits import _guard_pair, _l1_converged, _run_coupled
 
 
 @dataclass
@@ -28,51 +32,76 @@ class SalsaResult:
     converged: bool
 
 
+class SalsaStep(BundleStep):
+    """One SALSA iteration: the degree-normalized HITS update.
+
+    Guard semantics match :class:`~repro.algorithms.hits.HitsStep`:
+    the legacy ``guard`` hook checks both vectors and a rollback
+    restores the previous iterate and stops.
+    """
+
+    name = "salsa"
+
+    def __init__(self, engine, *, tolerance: float, guard=None) -> None:
+        self.engine = engine
+        self.tolerance = tolerance
+        self.guard = guard
+        graph = engine.graph
+        self.inv_out = inverse_out_degrees(graph)
+        in_deg = graph.in_degrees().astype(np.float64)
+        inv_in = np.zeros_like(in_deg)
+        inv_in[in_deg > 0] = 1.0 / in_deg[in_deg > 0]
+        self.inv_in = inv_in
+
+    def state_spec(self) -> tuple:
+        return (StateSpec("a"), StateSpec("h"))
+
+    def initial_state(self) -> dict:
+        n = self.engine.graph.num_nodes
+        a = np.full(n, 1.0 / max(n, 1), dtype=VALUE_DTYPE)
+        return {"a": a, "h": a.copy()}
+
+    def step(self, state, iteration, ctx):
+        a_new = _l1_normalized(
+            ctx.propagate(state["h"] * self.inv_out)
+        )
+        h_new = _l1_normalized(
+            ctx.propagate(
+                a_new * self.inv_in, call=self.engine.propagate_out
+            )
+        )
+        a_new, h_new = _guard_pair(
+            self.guard, state, a_new, h_new, iteration, ctx
+        )
+        return {"a": a_new, "h": h_new}
+
+    def converged(self, old, new) -> bool:
+        return _l1_converged(old, new, self.tolerance)
+
+
 def salsa(
     engine,
     *,
     max_iterations: int = 50,
     tolerance: float = 1e-10,
     guard=None,
+    resilience=None,
 ) -> SalsaResult:
     """Run SALSA on a prepared engine (L1-normalized per step).
 
     ``guard`` (a :class:`~repro.resilience.guards.NumericalGuard`)
-    polices the authority vector per iteration — same semantics as
+    polices both the authority and hub vectors per iteration;
+    ``resilience`` supervises the full loop — same semantics as
     :func:`repro.algorithms.hits.hits`.
     """
-    if max_iterations <= 0:
-        raise ConvergenceError(
-            f"max_iterations must be positive, got {max_iterations}"
-        )
-    graph = engine.graph
-    n = graph.num_nodes
-    inv_out = inverse_out_degrees(graph)
-    in_deg = graph.in_degrees().astype(np.float64)
-    inv_in = np.zeros_like(in_deg)
-    inv_in[in_deg > 0] = 1.0 / in_deg[in_deg > 0]
-
-    a = np.full(n, 1.0 / max(n, 1), dtype=VALUE_DTYPE)
-    h = a.copy()
-    converged = False
-    iterations = 0
-    for it in range(max_iterations):
-        a_new = _l1_normalized(engine.propagate(h * inv_out))
-        h_new = _l1_normalized(engine.propagate_out(a_new * inv_in))
-        if guard is not None:
-            verdict = guard.check(a, a_new, it)
-            if verdict.action == "rollback":
-                break
-            a_new = verdict.x
-        iterations = it + 1
-        if (
-            np.abs(a_new - a).sum() + np.abs(h_new - h).sum()
-        ) < tolerance:
-            a, h = a_new, h_new
-            converged = True
-            break
-        a, h = a_new, h_new
-    return SalsaResult(a, h, iterations, converged)
+    step = SalsaStep(engine, tolerance=tolerance, guard=guard)
+    result = _run_coupled(step, engine, max_iterations, resilience)
+    return SalsaResult(
+        result.state["a"],
+        result.state["h"],
+        result.iterations,
+        result.converged,
+    )
 
 
 def _l1_normalized(v: np.ndarray) -> np.ndarray:

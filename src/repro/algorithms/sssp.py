@@ -14,11 +14,47 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.driver import BundleStep, IterationDriver, StateSpec
 from ..errors import ConvergenceError, EngineError
 from ..graphs.graph import Graph
 
 #: unreached distance.
 INF = np.inf
+
+
+class SsspStep(BundleStep):
+    """One label-correction round as a driver step over ``{"dist"}``.
+
+    The distance vector is exempt from the numerical guards: unreached
+    nodes legitimately sit at ``+inf`` (and the guards' deltas would
+    produce ``inf - inf = nan``).  Convergence is the fixpoint test —
+    a round that changes nothing.
+    """
+
+    name = "sssp"
+    watch_stall = False
+
+    def __init__(self, csc, w_csc: np.ndarray) -> None:
+        self.csc = csc
+        self.w_csc = w_csc
+
+    def state_spec(self) -> tuple:
+        return (StateSpec("dist", guarded=False),)
+
+    def relax(self, dist: np.ndarray) -> np.ndarray:
+        """Min-plus pull: best in-edge relaxation per node."""
+        candidate = dist[self.csc.indices] + self.w_csc
+        return _segment_min(candidate, self.csc.indptr)
+
+    def step(self, state, iteration, ctx):
+        dist = state["dist"]
+        best = ctx.propagate(dist, call=self.relax)
+        return {"dist": np.minimum(dist, best)}
+
+    def converged(self, old, new) -> bool:
+        return bool(
+            np.array_equal(new["dist"], old["dist"], equal_nan=True)
+        )
 
 
 @dataclass(frozen=True)
@@ -40,13 +76,18 @@ def sssp(
     *,
     edge_values=None,
     max_iterations: int | None = None,
+    resilience=None,
 ) -> SsspResult:
     """Shortest-path distances from ``source``.
 
     ``edge_values`` are per-edge non-negative weights aligned to
     ``graph.csr`` edge order (``None`` = unit weights).  Runs at most
     ``n`` rounds (a longer shortest path implies a negative cycle, which
-    non-negative weights exclude).
+    non-negative weights exclude).  ``resilience`` (a
+    :class:`~repro.resilience.executor.ResilienceContext`) supervises
+    the loop: the relaxation retries on transient failures and the
+    distance vector checkpoints on cadence (kill -> resume is
+    bit-identical).
     """
     n = graph.num_nodes
     if not 0 <= source < n:
@@ -71,23 +112,27 @@ def sssp(
     dist = np.full(n, INF, dtype=np.float64)
     dist[source] = 0.0
     limit = max_iterations if max_iterations is not None else max(n, 1)
-    iterations = 0
-    for it in range(limit):
-        iterations = it + 1
-        candidate = dist[csc.indices] + w_csc
-        best = _segment_min(candidate, csc.indptr)
-        new_dist = np.minimum(dist, best)
-        if np.array_equal(
-            new_dist, dist, equal_nan=True
-        ):
-            break
-        dist = new_dist
-    else:
+    step = SsspStep(csc, w_csc)
+    fingerprint = ""
+    if resilience is not None:
+        from ..resilience.checkpoint import state_fingerprint
+
+        fingerprint = state_fingerprint(
+            n, graph.num_edges, "sssp", int(source), w_csc
+        )
+    driver = IterationDriver(
+        step,
+        max_iterations=limit,
+        resilience=resilience,
+        fingerprint=fingerprint,
+    )
+    result = driver.run({"dist": dist})
+    if not result.converged:
         raise ConvergenceError(
             f"SSSP did not converge in {limit} rounds "
             "(negative cycle or iteration cap too low)"
         )
-    return SsspResult(dist, iterations)
+    return SsspResult(result.state["dist"], result.iterations)
 
 
 def _segment_min(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:

@@ -12,7 +12,10 @@ rule on that line):
 * :class:`SetToArrayRule` (REP003) — no ``set`` iteration feeding array
   construction (nondeterministic order);
 * :class:`UngatedOptionalImportRule` (REP004) — optional backends must be
-  import-gated, never imported at module top level.
+  import-gated, never imported at module top level;
+* :class:`HandRolledLoopRule` (REP005) — no hand-rolled ``propagate``
+  iteration loops outside the unified driver
+  (:mod:`repro.core.driver`).
 
 Files are scoped by their path segments (``core``, ``frameworks``) so the
 rules work both on the real tree and on seeded test fixtures laid out the
@@ -62,6 +65,13 @@ OPTIONAL_BACKENDS = frozenset(
         "numexpr",
     }
 )
+
+#: per-iteration propagation entry points whose looped invocation belongs
+#: inside the unified driver (REP005).
+PROPAGATE_CALLS = frozenset({"propagate", "propagate_out", "iterate"})
+
+#: files allowed to own the outer iteration loop (REP005 exemption).
+DRIVER_FILES = frozenset({"driver.py"})
 
 _NOQA_RE = re.compile(
     r"#\s*repro:\s*noqa(?:\s+(?P<rules>[A-Z]+\d+(?:[,\s]+[A-Z]+\d+)*))?"
@@ -294,6 +304,51 @@ class UngatedOptionalImportRule(Rule):
             # Imports inside functions/classes are gated by definition.
 
 
+class HandRolledLoopRule(Rule):
+    """REP005: no hand-rolled ``propagate`` iteration loops outside the
+    driver.
+
+    A ``for``/``while`` statement whose body calls ``.propagate`` /
+    ``.propagate_out`` / ``.iterate`` re-implements the outer iteration
+    loop that :class:`repro.core.driver.IterationDriver` owns — such a
+    loop runs outside the resilience envelope (no retry/degradation, no
+    checkpoints, no numerical guards).  Express the per-iteration work
+    as a :class:`~repro.core.driver.BundleStep` and run it through the
+    driver.  Measurement harnesses that intentionally time a bare loop
+    can suppress in place with ``# repro: noqa REP005``.
+    """
+
+    id = "REP005"
+
+    def applies_to(self, scope: tuple) -> bool:
+        return scope[-1] not in DRIVER_FILES
+
+    @staticmethod
+    def _propagate_calls_in(body):
+        for stmt in body:
+            for sub in ast.walk(stmt):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr in PROPAGATE_CALLS
+                ):
+                    yield sub.func.attr
+
+    def check(self, tree: ast.AST, scope: tuple):
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+                continue
+            hit = sorted(set(self._propagate_calls_in(node.body)))
+            if hit:
+                yield (
+                    node,
+                    f"hand-rolled iteration loop calling "
+                    f"{'/'.join(hit)} outside the unified driver; "
+                    "express the step as a BundleStep and run it "
+                    "through IterationDriver",
+                )
+
+
 #: rule id -> rule instance, in reporting order.
 RULES: dict = {
     rule.id: rule
@@ -302,6 +357,7 @@ RULES: dict = {
         ImplicitDtypeRule(),
         SetToArrayRule(),
         UngatedOptionalImportRule(),
+        HandRolledLoopRule(),
     )
 }
 

@@ -65,8 +65,15 @@ def time_algorithm(
     return Timing(elapsed, result.iterations)
 
 
-def time_bfs(engine, source: int, *, repeats: int = 3) -> float:
-    """Median full-BFS time (the paper times BFS to convergence)."""
+def time_bfs(
+    engine, source: int, *, repeats: int = 3, resilience=None
+) -> float:
+    """Median full-BFS time (the paper times BFS to convergence).
+
+    ``resilience`` supervises the *timed* traversals only — the warmup
+    runs bare, so injected faults land inside the measured window and
+    the median reflects recovery overhead.
+    """
     if repeats <= 0:
         raise EngineError(f"repeats must be positive, got {repeats}")
     engine.prepare()
@@ -74,9 +81,42 @@ def time_bfs(engine, source: int, *, repeats: int = 3) -> float:
     samples = []
     for _ in range(repeats):
         start = time.perf_counter()
-        engine.run_bfs(source)
+        engine.run_bfs(source, resilience=resilience)
         samples.append(time.perf_counter() - start)
     return float(np.median(samples))
+
+
+def time_coupled(
+    engine,
+    runner,
+    *,
+    iterations: int = 10,
+    warmup: int = 2,
+    resilience=None,
+) -> Timing:
+    """Per-iteration time of a coupled hub/authority algorithm.
+
+    ``runner`` is :func:`~repro.algorithms.hits.hits` or
+    :func:`~repro.algorithms.salsa.salsa` (any callable with the same
+    keyword surface).  Convergence is disabled by driving the loop with
+    ``tolerance=0.0`` so every run executes the full iteration budget,
+    matching :func:`time_algorithm`'s protocol.  ``resilience``
+    supervises the timed run only; warmup stays unsupervised.
+    """
+    if iterations <= 0:
+        raise EngineError(
+            f"iterations must be positive, got {iterations}"
+        )
+    engine.prepare()
+    if warmup > 0:
+        runner(engine, max_iterations=warmup, tolerance=0.0)
+    start = time.perf_counter()
+    result = runner(
+        engine, max_iterations=iterations, tolerance=0.0,
+        resilience=resilience,
+    )
+    elapsed = time.perf_counter() - start
+    return Timing(elapsed, result.iterations)
 
 
 def time_prepare(engine_factory, *, repeats: int = 3):

@@ -3,8 +3,10 @@
 Commands:
 
 * ``datasets`` — print the proxy datasets' Table 1/2 structure;
-* ``run`` — run one algorithm on one graph with one engine;
+* ``run`` — run one algorithm on one graph with one engine (including
+  the coupled hub/authority workloads ``hits`` and ``salsa``);
 * ``bfs`` — run BFS and report reach/levels;
+* ``sssp`` — run single-source shortest paths and report reach/depth;
 * ``analyze`` — check every layout contract and the race-freedom proof
   of a dataset's prepared structures (:mod:`repro.analysis`);
 * ``experiment`` — regenerate one paper table/figure (or ``all``);
@@ -12,10 +14,12 @@ Commands:
 
 ``run`` and ``bfs`` accept ``--validate`` (contract checks after
 prepare) and ``--race-check`` (instrumented schedule replay) on the
-blocked engines.  ``run`` additionally exposes the resilience runtime
-(:mod:`repro.resilience`): ``--fault-inject`` for deterministic fault
-drills, ``--checkpoint-dir``/``--checkpoint-every``/``--resume`` for
-crash recovery, and ``--guard`` for the numerical-health policies.
+blocked engines.  ``run``, ``bfs`` and ``sssp`` expose the resilience
+runtime (:mod:`repro.resilience`) — every iterative loop now runs on
+the unified driver (:mod:`repro.core.driver`), so the same flags cover
+all of them: ``--fault-inject`` for deterministic fault drills,
+``--checkpoint-dir``/``--checkpoint-every``/``--resume`` for crash
+recovery, and ``--guard`` for the numerical-health policies.
 
 Failures exit with structured codes (see
 :func:`repro.errors.exit_code_for`): contract violations 3, data races
@@ -35,6 +39,9 @@ import numpy as np
 from . import bench
 from .algorithms import ALGORITHMS
 from .algorithms.bfs import default_source, num_reached
+from .algorithms.hits import hits
+from .algorithms.salsa import salsa
+from .algorithms.sssp import sssp
 from .core.kernels import KERNEL_NAMES
 from .errors import ReproError, exit_code_for
 from .frameworks import engine_names, make_engine
@@ -44,6 +51,11 @@ from .resilience.guards import GUARD_POLICIES
 
 #: engines whose constructor understands the ``--kernel`` option.
 KERNEL_ENGINES = ("mixen", "block")
+
+#: coupled hub/authority workloads runnable via ``run --algorithm``;
+#: they drive both propagation directions, so they live outside the
+#: single-vector :data:`~repro.algorithms.ALGORITHMS` protocol registry.
+COUPLED_ALGORITHMS = {"hits": hits, "salsa": salsa}
 
 #: experiment name -> zero-argument callable.
 EXPERIMENTS = {
@@ -87,7 +99,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--graph", choices=DATASET_NAMES, default="wiki")
     run.add_argument("--engine", default="mixen")
     run.add_argument(
-        "--algorithm", choices=sorted(ALGORITHMS), default="pagerank"
+        "--algorithm",
+        choices=sorted([*ALGORITHMS, *COUPLED_ALGORITHMS]),
+        default="pagerank",
     )
     run.add_argument("--iterations", type=int, default=100)
     run.add_argument("--scale", type=float, default=1.0)
@@ -101,6 +115,21 @@ def build_parser() -> argparse.ArgumentParser:
     bfs.add_argument("--source", type=int, default=None)
     bfs.add_argument("--scale", type=float, default=1.0)
     _add_kernel_options(bfs)
+    _add_resilience_options(bfs)
+
+    sssp_cmd = sub.add_parser(
+        "sssp", help="run single-source shortest paths"
+    )
+    sssp_cmd.add_argument(
+        "--graph", choices=DATASET_NAMES, default="wiki"
+    )
+    sssp_cmd.add_argument("--source", type=int, default=None)
+    sssp_cmd.add_argument("--scale", type=float, default=1.0)
+    sssp_cmd.add_argument(
+        "--max-iterations", type=int, default=None,
+        help="round cap (default: the node count)",
+    )
+    _add_resilience_options(sssp_cmd)
 
     analyze = sub.add_parser(
         "analyze",
@@ -150,7 +179,8 @@ def _add_kernel_options(parser) -> None:
 
 
 def _add_resilience_options(parser) -> None:
-    """Resilience-runtime options of the ``run`` command."""
+    """Resilience-runtime options shared by the iterative commands
+    (``run``, ``bfs``, ``sssp``)."""
     group = parser.add_argument_group("resilience")
     group.add_argument(
         "--fault-inject", metavar="SPEC", default=None,
@@ -250,6 +280,8 @@ def _engine_options(args) -> dict:
 
 
 def _cmd_run(args, out) -> int:
+    if args.algorithm in COUPLED_ALGORITHMS:
+        return _cmd_run_coupled(args, out)
     graph = load_dataset(args.graph, scale=args.scale)
     engine = make_engine(args.engine, graph, **_engine_options(args))
     prep = engine.prepare()
@@ -285,6 +317,43 @@ def _cmd_run(args, out) -> int:
     return 0
 
 
+def _cmd_run_coupled(args, out) -> int:
+    """``run`` for the driver-based hub/authority pair (HITS/SALSA)."""
+    graph = load_dataset(args.graph, scale=args.scale)
+    engine = make_engine(args.engine, graph, **_engine_options(args))
+    prep = engine.prepare()
+    runner = COUPLED_ALGORITHMS[args.algorithm]
+    resilience = _resilience_context(args)
+    start = time.perf_counter()
+    try:
+        result = runner(
+            engine,
+            max_iterations=args.iterations,
+            resilience=resilience,
+        )
+    finally:
+        if resilience is not None:
+            resilience.close()
+    elapsed = time.perf_counter() - start
+    print(
+        f"{args.algorithm} on {args.graph} via {args.engine}: "
+        f"{result.iterations} iterations in {elapsed:.3f}s, "
+        f"prepare {prep.seconds * 1e3:.1f} ms, "
+        f"converged={result.converged}",
+        file=out,
+    )
+    if resilience is not None and resilience.report.num_events:
+        print(resilience.report.render(), file=out)
+    top = np.argsort(result.authorities)[-args.top:][::-1]
+    for v in top.tolist():
+        print(
+            f"  node {v}: authority {result.authorities[v]:.6g}, "
+            f"hub {result.hubs[v]:.6g}",
+            file=out,
+        )
+    return 0
+
+
 def _cmd_bfs(args, out) -> int:
     graph = load_dataset(args.graph, scale=args.scale)
     engine = make_engine(args.engine, graph, **_engine_options(args))
@@ -292,8 +361,13 @@ def _cmd_bfs(args, out) -> int:
     source = (
         args.source if args.source is not None else default_source(graph)
     )
+    resilience = _resilience_context(args)
     start = time.perf_counter()
-    levels = engine.run_bfs(source)
+    try:
+        levels = engine.run_bfs(source, resilience=resilience)
+    finally:
+        if resilience is not None:
+            resilience.close()
     elapsed = time.perf_counter() - start
     reached = num_reached(levels)
     finite = levels[levels < np.iinfo(np.int64).max]
@@ -303,6 +377,39 @@ def _cmd_bfs(args, out) -> int:
         f"depth {int(finite.max())}, {elapsed * 1e3:.2f} ms",
         file=out,
     )
+    if resilience is not None and resilience.report.num_events:
+        print(resilience.report.render(), file=out)
+    return 0
+
+
+def _cmd_sssp(args, out) -> int:
+    graph = load_dataset(args.graph, scale=args.scale)
+    source = (
+        args.source if args.source is not None else default_source(graph)
+    )
+    resilience = _resilience_context(args)
+    start = time.perf_counter()
+    try:
+        result = sssp(
+            graph,
+            source,
+            max_iterations=args.max_iterations,
+            resilience=resilience,
+        )
+    finally:
+        if resilience is not None:
+            resilience.close()
+    elapsed = time.perf_counter() - start
+    finite = result.distances[np.isfinite(result.distances)]
+    print(
+        f"SSSP on {args.graph} from node {source}: "
+        f"reached {result.num_reached}/{graph.num_nodes} nodes in "
+        f"{result.iterations} rounds, max distance {finite.max():g}, "
+        f"{elapsed * 1e3:.2f} ms",
+        file=out,
+    )
+    if resilience is not None and resilience.report.num_events:
+        print(resilience.report.render(), file=out)
     return 0
 
 
@@ -344,6 +451,8 @@ def main(argv=None, out=None) -> int:
             return _cmd_run(args, out)
         if args.command == "bfs":
             return _cmd_bfs(args, out)
+        if args.command == "sssp":
+            return _cmd_sssp(args, out)
         if args.command == "analyze":
             return _cmd_analyze(args, out)
         if args.command == "experiment":

@@ -275,8 +275,10 @@ class MixenEngine(Engine):
     # ------------------------------------------------------------------ #
     # BFS (Post-Phase handles sinks; seeds are only reachable as source)
     # ------------------------------------------------------------------ #
-    def run_bfs(self, source: int) -> np.ndarray:
+    def run_bfs(self, source: int, *, resilience=None) -> np.ndarray:
         self._require_prepared()
+        from ..algorithms.bfs import bfs_fingerprint, run_frontier_bfs
+
         plan = self.plan
         n = self.graph.num_nodes
         if not 0 <= source < n:
@@ -299,11 +301,15 @@ class MixenEngine(Engine):
             frontier[nbrs] = True
         # else: sink or isolated source reaches only itself.
 
-        level = int(levels_reg[frontier].max()) if frontier.any() else 0
-        layout = self.partition.layout
-        while frontier.any():
-            level += 1
-            frontier = layout.frontier_step(frontier, levels_reg, level)
+        base_level = int(levels_reg[frontier].max()) if frontier.any() else 0
+        levels_reg = run_frontier_bfs(
+            self.partition.layout.frontier_step,
+            levels_reg,
+            frontier,
+            base_level=base_level,
+            resilience=resilience,
+            fingerprint=bfs_fingerprint(self, source),
+        )
 
         # Post-Phase: sinks take min over in-neighbor levels + 1.
         source_levels = np.full(

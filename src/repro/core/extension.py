@@ -101,13 +101,15 @@ class FilteredEngine(Engine):
         yp = self.base.traced_propagate(xp, trace)
         return unpermute_values(yp, self.plan.perm)
 
-    def run_bfs(self, source: int) -> np.ndarray:
+    def run_bfs(self, source: int, *, resilience=None) -> np.ndarray:
         self._require_prepared()
         assert self.base is not None
         n = self.graph.num_nodes
         if not 0 <= source < n:
             raise EngineError(f"BFS source {source} outside [0, {n})")
-        levels_p = self.base.run_bfs(int(self.plan.perm[source]))
+        levels_p = self.base.run_bfs(
+            int(self.plan.perm[source]), resilience=resilience
+        )
         return unpermute_values(levels_p, self.plan.perm)
 
 

@@ -148,6 +148,7 @@ class ScgaKernel:
             trace.sequential("seedIdx", 0, self.seed_to_reg.num_edges)
             trace.scatter("y", self.seed_to_reg.indices)
         trace_blocked_iteration(
-            self.partition.layout, trace, compress=compress
+            self.partition.layout, trace, compress=compress,
+            kernel=self.kernel,
         )
         return self.iterate(xs_reg)

@@ -29,6 +29,7 @@ import numpy as np
 
 from ..frameworks.base import AlgorithmResult
 from ..types import VALUE_DTYPE
+from .driver import BundleStep, IterationDriver, StateSpec
 from .filtering import FilterPlan
 from .mixed_format import MixedGraph
 from .permutation import permute_values, unpermute_values
@@ -81,46 +82,24 @@ def run_schedule(
 
     # ---- Main-Phase -------------------------------------------------- #
     x_reg = xp[:r].copy()
-    y_reg = np.zeros_like(x_reg)
-    iterations = 0
-    converged = False
     reg_slice = slice(0, r)
-    supervisor = None
-    it = 0
-    if resilience is not None:
-        supervisor = resilience.supervisor(
-            kernel,
-            kernel.iterate,
-            fingerprint=_run_fingerprint(plan, algorithm, x_reg),
-            norm_limit=_norm_limit(algorithm, graph),
-            watch_stall=check_convergence and not algorithm.x_constant,
-        )
-        it, x_reg = supervisor.resume(x_reg)
-    while it < max_iterations:
-        xs_reg = _scaled(x_reg, scale_p, reg_slice)
-        y_reg = (
-            kernel.iterate(xs_reg)
-            if supervisor is None
-            else supervisor.propagate(xs_reg, it)
-        )
-        x_new = (
-            x_reg
-            if algorithm.x_constant
-            else algorithm.apply(y_reg, it, nodes=plan.inverse[:r])
-        )
-        iterations = it + 1
-        if supervisor is not None:
-            outcome = supervisor.after_apply(it, x_reg, x_new)
-            if outcome.action == "rollback":
-                it, x_reg = outcome.iteration, outcome.x
-                continue
-            x_new = outcome.x
-        if check_convergence and algorithm.converged(x_reg, x_new):
-            x_reg = x_new
-            converged = True
-            break
-        x_reg = x_new
-        it += 1
+    step = _MainPhaseStep(algorithm, graph, plan, scale_p, reg_slice)
+    driver = IterationDriver(
+        step,
+        max_iterations=max_iterations,
+        check_convergence=check_convergence,
+        resilience=resilience,
+        holder=kernel,
+        call=kernel.iterate,
+        fingerprint=_run_fingerprint(plan, algorithm, x_reg),
+    )
+    outcome = driver.run({"x": x_reg})
+    x_reg = outcome.state["x"]
+    y_reg = (
+        np.zeros_like(x_reg) if step.last_y is None else step.last_y
+    )
+    iterations = outcome.iterations
+    converged = outcome.converged
     t_main = time.perf_counter()
 
     # ---- Post-Phase --------------------------------------------------- #
@@ -186,6 +165,49 @@ def run_schedule(
         },
     )
     return result
+
+
+class _MainPhaseStep(BundleStep):
+    """One Main-Phase iteration over the regular segment, as a driver
+    step: scale, SCGA-propagate (through the resilient executor when
+    supervised), apply to regular nodes only.  The propagated ``y_reg``
+    stays outside the bundle (the evolving state is ``x`` alone, as in
+    the pre-driver loop); the last one feeds the Post-Phase and the
+    ``scores_from == "y"`` assembly."""
+
+    def __init__(self, algorithm, graph, plan, scale_p, reg_slice):
+        self.algorithm = algorithm
+        self.graph = graph
+        self.plan = plan
+        self.scale_p = scale_p
+        self.reg_slice = reg_slice
+        self.name = algorithm.name
+        self.watch_stall = not algorithm.x_constant
+        self.last_y: np.ndarray | None = None
+
+    def state_spec(self) -> tuple:
+        return self.algorithm.state_spec()
+
+    def step(self, state, iteration, ctx):
+        algorithm = self.algorithm
+        x = state["x"]
+        xs = _scaled(x, self.scale_p, self.reg_slice)
+        y = ctx.propagate(xs)
+        self.last_y = y
+        x_new = (
+            x
+            if algorithm.x_constant
+            else algorithm.apply(
+                y, iteration, nodes=self.plan.inverse[self.reg_slice]
+            )
+        )
+        return {"x": x_new}
+
+    def converged(self, old, new) -> bool:
+        return self.algorithm.converged(old["x"], new["x"])
+
+    def norm_limit(self) -> float | None:
+        return _norm_limit(self.algorithm, self.graph)
 
 
 def _run_fingerprint(plan: FilterPlan, algorithm, x0: np.ndarray) -> str:

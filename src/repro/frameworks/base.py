@@ -196,88 +196,79 @@ class Engine(abc.ABC):
         police every iterate.
         """
         self._require_prepared()
-        graph = self.graph
-        x = algorithm.initial(graph)
-        y = np.zeros_like(x)
-        start = time.perf_counter()
-        iterations = 0
-        converged = False
-        supervisor = None
-        it = 0
-        if resilience is not None:
-            from ..resilience.checkpoint import state_fingerprint
+        # Lazy: frameworks.base is imported by the algorithm layer's own
+        # dependencies, so the step/driver imports cannot be top-level.
+        from ..algorithms.base import AlgorithmStep
+        from ..core.driver import IterationDriver
+        from ..resilience.checkpoint import state_fingerprint
 
-            limit_fn = getattr(algorithm, "norm_limit", None)
-            supervisor = resilience.supervisor(
-                self,
-                self.propagate,
-                fingerprint=state_fingerprint(
-                    graph.num_nodes,
-                    graph.num_edges,
-                    self.name,
-                    algorithm.name,
-                    x.shape,
-                ),
-                norm_limit=limit_fn(graph) if callable(limit_fn) else None,
-                watch_stall=check_convergence and not algorithm.x_constant,
-            )
-            it, x = supervisor.resume(x)
-        while it < max_iterations:
-            xs = algorithm.pre_propagate(x, graph)
-            y = (
-                self.propagate(xs)
-                if supervisor is None
-                else supervisor.propagate(xs, it)
-            )
-            x_new = x if algorithm.x_constant else algorithm.apply(y, it)
-            iterations = it + 1
-            if supervisor is not None:
-                outcome = supervisor.after_apply(it, x, x_new)
-                if outcome.action == "rollback":
-                    it, x = outcome.iteration, outcome.x
-                    continue
-                x_new = outcome.x
-            if check_convergence and algorithm.converged(x, x_new):
-                x = x_new
-                converged = True
-                break
-            x = x_new
-            it += 1
+        graph = self.graph
+        step = AlgorithmStep(algorithm, graph)
+        x = algorithm.initial(graph)
+        start = time.perf_counter()
+        driver = IterationDriver(
+            step,
+            max_iterations=max_iterations,
+            check_convergence=check_convergence,
+            resilience=resilience,
+            holder=self,
+            call=self.propagate,
+            fingerprint=state_fingerprint(
+                graph.num_nodes,
+                graph.num_edges,
+                self.name,
+                algorithm.name,
+                x.shape,
+            ),
+        )
+        outcome = driver.run({"x": x})
         elapsed = time.perf_counter() - start
-        scores = x if algorithm.scores_from == "x" else y
         return AlgorithmResult(
-            scores,
-            iterations,
-            converged,
+            step.scores(outcome.state),
+            outcome.iterations,
+            outcome.converged,
             elapsed,
             resilience=None if resilience is None else resilience.report,
         )
 
-    def run_bfs(self, source: int) -> np.ndarray:
+    def run_bfs(self, source: int, *, resilience=None) -> np.ndarray:
         """Level-synchronous BFS; returns per-node levels (UNREACHED
         where unreachable).  Default: dense pull over the in-adjacency —
         the strategy of the pull-based frameworks, correct but slow on
         high-diameter graphs (the paper's GraphMat/Polymer behaviour).
+
+        With ``resilience`` the driver checkpoints the
+        ``{levels, frontier}`` bundle on cadence, so a killed traversal
+        resumes bit-identically.
         """
         self._require_prepared()
+        from ..algorithms.bfs import bfs_fingerprint, run_frontier_bfs
+
         n = self.graph.num_nodes
         if not 0 <= source < n:
             raise EngineError(f"BFS source {source} outside [0, {n})")
         csc = self.graph.csc
+
+        def expand(frontier, levels, level):
+            # A node joins the next frontier when any in-neighbor is in
+            # the current frontier and it is still unvisited.
+            in_frontier = frontier[csc.indices].astype(np.int64)
+            counts = _segment_sum_1d(in_frontier, csc.indptr)
+            fresh = (counts > 0) & (levels == UNREACHED)
+            levels[fresh] = level
+            return fresh
+
         levels = np.full(n, UNREACHED, dtype=np.int64)
         levels[source] = 0
         frontier = np.zeros(n, dtype=bool)
         frontier[source] = True
-        level = 0
-        while frontier.any():
-            level += 1
-            # A node joins the next frontier when any in-neighbor is in the
-            # current frontier and it is still unvisited.
-            in_frontier = frontier[csc.indices].astype(np.int64)
-            counts = _segment_sum_1d(in_frontier, csc.indptr)
-            frontier = (counts > 0) & (levels == UNREACHED)
-            levels[frontier] = level
-        return levels
+        return run_frontier_bfs(
+            expand,
+            levels,
+            frontier,
+            resilience=resilience,
+            fingerprint=bfs_fingerprint(self, source),
+        )
 
     # ------------------------------------------------------------------ #
     def __repr__(self) -> str:

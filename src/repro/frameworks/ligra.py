@@ -94,25 +94,41 @@ class LigraEngine(Engine):
         return self.propagate(x)
 
     # ------------------------------------------------------------------ #
-    def run_bfs(self, source: int) -> np.ndarray:
+    def run_bfs(self, source: int, *, resilience=None) -> np.ndarray:
         """Direction-optimizing BFS over a sparse frontier."""
         self._require_prepared()
+        from ..algorithms.bfs import bfs_fingerprint, run_frontier_bfs
+
         n = self.graph.num_nodes
         if not 0 <= source < n:
             raise EngineError(f"BFS source {source} outside [0, {n})")
         m = max(self.graph.num_edges, 1)
-        levels = np.full(n, UNREACHED, dtype=np.int64)
-        levels[source] = 0
-        frontier = np.array([source], dtype=np.int64)
-        level = 0
-        while frontier.size:
-            level += 1
+
+        def expand(frontier_mask, levels, level):
+            # The driver's bundle carries the frontier as a dense mask;
+            # Ligra's edgeMap works on the sorted index form (the order
+            # np.unique produces, so the round-trip is exact).
+            frontier = np.flatnonzero(frontier_mask).astype(np.int64)
             frontier_edges = int(self._csr.degrees()[frontier].sum())
             if frontier_edges < self.direction_threshold * m:
-                frontier = self._top_down(frontier, levels, level)
+                fresh = self._top_down(frontier, levels, level)
             else:
-                frontier = self._bottom_up(frontier, levels, level)
-        return levels
+                fresh = self._bottom_up(frontier, levels, level)
+            mask = np.zeros(n, dtype=bool)
+            mask[fresh] = True
+            return mask
+
+        levels = np.full(n, UNREACHED, dtype=np.int64)
+        levels[source] = 0
+        frontier = np.zeros(n, dtype=bool)
+        frontier[source] = True
+        return run_frontier_bfs(
+            expand,
+            levels,
+            frontier,
+            resilience=resilience,
+            fingerprint=bfs_fingerprint(self, source),
+        )
 
     def _top_down(
         self, frontier: np.ndarray, levels: np.ndarray, level: int

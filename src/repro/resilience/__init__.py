@@ -21,6 +21,7 @@ NaN-poisoned state instead of dying mid-run.
 """
 
 from .checkpoint import (
+    CHECKPOINT_VERSION,
     CheckpointInfo,
     CheckpointManager,
     state_fingerprint,
@@ -43,7 +44,13 @@ from .faults import (
     install,
     parse_fault_spec,
 )
-from .guards import GUARD_POLICIES, GuardVerdict, NumericalGuard
+from .guards import (
+    GUARD_POLICIES,
+    BundleGuard,
+    BundleVerdict,
+    GuardVerdict,
+    NumericalGuard,
+)
 from .report import (
     CheckpointEvent,
     DowngradeEvent,
@@ -54,6 +61,9 @@ from .report import (
 from .retry import RetryPolicy, run_with_retry
 
 __all__ = [
+    "BundleGuard",
+    "BundleVerdict",
+    "CHECKPOINT_VERSION",
     "CheckpointEvent",
     "CheckpointInfo",
     "CheckpointManager",

@@ -15,8 +15,14 @@ recomputing from scratch.  Guarantees:
 * **determinism** — the kernels are deterministic, so a resumed run is
   bit-identical to an uninterrupted one (asserted by the test suite).
 
-Checkpoint files are NumPy archives ``ckpt-<iteration>.npz`` holding
-the state vector, the iteration index and the fingerprint.
+Checkpoint files are NumPy archives ``ckpt-<iteration>.npz``.  The
+**v2 schema** (this version) snapshots a named multi-array state
+bundle — one entry per array (``state_<name>``), the name order
+(``names``), the iteration index, the fingerprint and a ``version``
+marker — so the coupled HITS/SALSA vectors and the BFS/SSSP traversal
+state checkpoint exactly like a single rank vector.  **v1 archives**
+(single ``x`` array, no ``version`` key) are still read: they load as
+the one-array bundle ``{"x": ...}``.
 """
 
 from __future__ import annotations
@@ -26,12 +32,16 @@ import os
 import re
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Mapping
 
 import numpy as np
 
 from ..errors import CheckpointError
 
 _CKPT_RE = re.compile(r"^ckpt-(\d{8})\.npz$")
+
+#: current checkpoint schema version.
+CHECKPOINT_VERSION = 2
 
 
 def state_fingerprint(*parts) -> str:
@@ -105,15 +115,31 @@ class CheckpointManager:
         """True when a snapshot is due after ``iteration``."""
         return (iteration + 1) % self.every == 0
 
-    def save(self, iteration: int, x: np.ndarray) -> Path:
-        """Atomically snapshot ``x`` as the state after ``iteration``."""
+    def save(self, iteration: int, state) -> Path:
+        """Atomically snapshot ``state`` after ``iteration``.
+
+        ``state`` is a name->array mapping (a
+        :class:`~repro.core.driver.StateBundle` or plain dict); a bare
+        array is wrapped as the single-entry bundle ``{"x": ...}``.
+        """
+        if not isinstance(state, Mapping):
+            state = {"x": state}
+        if not state:
+            raise CheckpointError("cannot checkpoint an empty bundle")
+        names = list(state)
+        arrays = {
+            f"state_{name}": np.ascontiguousarray(state[name])
+            for name in names
+        }
         final = self.directory / f"ckpt-{iteration:08d}.npz"
         tmp = self.directory / f".ckpt-{iteration:08d}.tmp.npz"
         np.savez(
             tmp,
-            x=np.ascontiguousarray(x),
+            version=np.int64(CHECKPOINT_VERSION),
+            names=np.array(names),
             iteration=np.int64(iteration),
             fingerprint=np.array(self.fingerprint),
+            **arrays,
         )
         os.replace(tmp, final)
         self._prune()
@@ -147,11 +173,23 @@ class CheckpointManager:
         snapshots = self.list()
         return snapshots[-1] if snapshots else None
 
-    def load(self, info: CheckpointInfo) -> tuple[int, np.ndarray]:
-        """Read one snapshot, verifying its fingerprint."""
+    def load(self, info: CheckpointInfo) -> tuple[int, dict]:
+        """Read one snapshot, verifying its fingerprint.
+
+        Returns ``(iteration, bundle)`` where ``bundle`` is an ordered
+        name->array dict.  v1 archives (pre-multi-array schema) load as
+        ``{"x": ...}``.
+        """
         try:
             with np.load(info.path) as data:
-                x = data["x"]
+                if "version" in data.files:
+                    names = [str(name) for name in data["names"]]
+                    bundle = {
+                        name: data[f"state_{name}"] for name in names
+                    }
+                else:
+                    # v1: a single unversioned state vector named "x".
+                    bundle = {"x": data["x"]}
                 iteration = int(data["iteration"])
                 fingerprint = str(data["fingerprint"])
         except (OSError, KeyError, ValueError) as exc:
@@ -164,9 +202,9 @@ class CheckpointManager:
                 f"fingerprint {fingerprint[:12]}... != "
                 f"{self.fingerprint[:12]}..."
             )
-        return iteration, x
+        return iteration, bundle
 
-    def load_latest(self) -> tuple[int, np.ndarray] | None:
+    def load_latest(self) -> tuple[int, dict] | None:
         """Read the newest snapshot (None when the directory is empty)."""
         info = self.latest()
         if info is None:

@@ -37,7 +37,7 @@ import numpy as np
 from ..errors import GuardError, ResilienceError
 from .checkpoint import CheckpointManager
 from .faults import install, parse_fault_spec
-from .guards import GUARD_POLICIES, NumericalGuard
+from .guards import GUARD_POLICIES, BundleGuard
 from .report import CheckpointEvent, DowngradeEvent, ResilienceReport
 from .retry import RetryPolicy, run_with_retry
 
@@ -99,12 +99,19 @@ class ResilientExecutor:
         self.scan_outputs = scan_outputs
 
     # ------------------------------------------------------------------ #
-    def run(self, xs: np.ndarray, iteration: int) -> np.ndarray:
-        """Execute one iteration's kernel call resiliently."""
+    def run(self, xs: np.ndarray, iteration: int, call=None) -> np.ndarray:
+        """Execute one iteration's kernel call resiliently.
+
+        ``call`` overrides the default call site for this invocation —
+        multi-call steps (HITS alternates ``propagate`` and
+        ``propagate_out``) run both directions under one executor, so
+        retries, downgrades and output scans share a single ladder.
+        """
+        fn = call if call is not None else self._call
         while True:
             try:
                 y = run_with_retry(
-                    lambda: self._call(xs),
+                    lambda: fn(xs),
                     policy=self.policy,
                     report=self.report,
                     iteration=iteration,
@@ -159,13 +166,19 @@ class StepOutcome:
     action: str
     #: next iteration index to execute.
     iteration: int
-    #: state to carry (post-guard, possibly clamped or restored).
-    x: np.ndarray
+    #: state bundle to carry (post-guard, possibly clamped or restored).
+    state: "StateBundle"
 
 
 class LoopSupervisor:
     """Drives one algorithm run under a :class:`ResilienceContext`:
-    resume, per-iteration guarding, rollback and checkpoint cadence."""
+    resume, per-iteration guarding, rollback and checkpoint cadence.
+
+    The supervised state is a named multi-array bundle
+    (:class:`~repro.core.driver.StateBundle`); bare arrays are accepted
+    everywhere and treated as the single-entry bundle ``{"x": ...}``,
+    so single-vector runs keep their exact pre-bundle behaviour.
+    """
 
     def __init__(
         self,
@@ -176,6 +189,7 @@ class LoopSupervisor:
         fingerprint: str = "",
         norm_limit: float | None = None,
         watch_stall: bool = True,
+        guard_names: tuple | None = None,
     ) -> None:
         options = context.options
         self.report = context.report
@@ -186,13 +200,14 @@ class LoopSupervisor:
             report=context.report,
             scan_outputs=options.scan_outputs,
         )
-        self.guard: NumericalGuard | None = None
+        self.guard: BundleGuard | None = None
         if options.guard_policy is not None:
-            self.guard = NumericalGuard(
+            self.guard = BundleGuard(
                 options.guard_policy,
                 norm_limit=norm_limit,
                 watch_stall=watch_stall,
                 report=context.report,
+                guard_names=guard_names,
             )
         self.manager: CheckpointManager | None = None
         if options.checkpoint_dir is not None:
@@ -205,57 +220,57 @@ class LoopSupervisor:
         self._resume = options.resume
         self._max_rollbacks = options.max_rollbacks
         self._rollbacks = 0
-        self._last_good: tuple[int, np.ndarray] | None = None
+        self._last_good: tuple | None = None
 
     # ------------------------------------------------------------------ #
-    def resume(
-        self, x0: np.ndarray, start: int = 0
-    ) -> tuple[int, np.ndarray]:
+    def resume(self, state0, start: int = 0) -> tuple:
         """Resolve the starting state: the latest checkpoint when
-        resuming (fingerprint-verified), else ``x0``."""
-        x_start, it_start = x0, start
+        resuming (fingerprint-verified), else ``state0``.
+
+        Returns ``(start_iteration, StateBundle)``.
+        """
+        from ..core.driver import StateBundle
+
+        state_start = StateBundle.wrap(state0)
+        it_start = start
         if self.manager is not None and self._resume:
             loaded = self.manager.load_latest()
             if loaded is not None:
-                ckpt_it, x_saved = loaded
-                x_start = np.asarray(x_saved, dtype=x0.dtype)
-                if x_start.shape != x0.shape:
-                    # The fingerprint should catch this first; refuse
-                    # rather than propagate a shape error mid-run.
-                    from ..errors import CheckpointError
-
-                    raise CheckpointError(
-                        f"checkpoint state shape {x_start.shape} does "
-                        f"not match the run's {x0.shape}"
-                    )
+                ckpt_it, saved = loaded
+                state_start = _validated_bundle(saved, state_start)
                 it_start = ckpt_it + 1
                 self.report.checkpoint_events.append(
                     CheckpointEvent(ckpt_it, "resume")
                 )
-        self._last_good = (it_start - 1, x_start.copy())
-        return it_start, x_start
+        self._last_good = (it_start - 1, state_start.copy())
+        return it_start, state_start
 
-    def propagate(self, xs: np.ndarray, iteration: int) -> np.ndarray:
-        """One resilient kernel invocation."""
-        return self.executor.run(xs, iteration)
+    def propagate(
+        self, xs: np.ndarray, iteration: int, call=None
+    ) -> np.ndarray:
+        """One resilient kernel invocation (``call`` overrides the
+        default call site, e.g. the reverse-direction propagation)."""
+        return self.executor.run(xs, iteration, call=call)
 
-    def after_apply(
-        self, iteration: int, x_old: np.ndarray, x_new: np.ndarray
-    ) -> StepOutcome:
-        """Guard the post-apply state, bank it, snapshot on cadence."""
+    def after_apply(self, iteration: int, old, new) -> StepOutcome:
+        """Guard the post-step bundle, bank it, snapshot on cadence."""
+        from ..core.driver import StateBundle
+
+        old = StateBundle.wrap(old)
+        new = StateBundle.wrap(new)
         if self.guard is not None:
-            verdict = self.guard.check(x_old, x_new, iteration)
+            verdict = self.guard.check(old, new, iteration)
             if verdict.action == "rollback":
                 return self._rollback(iteration)
-            x_new = verdict.x
+            new = StateBundle(verdict.state)
         assert self._last_good is not None, "resume() not called"
-        self._last_good = (iteration, x_new.copy())
+        self._last_good = (iteration, new.copy())
         if self.manager is not None and self.manager.due(iteration):
-            path = self.manager.save(iteration, x_new)
+            path = self.manager.save(iteration, new)
             self.report.checkpoint_events.append(
                 CheckpointEvent(iteration, "save", str(path))
             )
-        return StepOutcome("ok", iteration + 1, x_new)
+        return StepOutcome("ok", iteration + 1, new)
 
     def _rollback(self, iteration: int) -> StepOutcome:
         self._rollbacks += 1
@@ -270,11 +285,37 @@ class LoopSupervisor:
         # replayed verbatim (no-op at the serial floor).
         self.executor.downgrade(iteration, "guard rollback")
         assert self._last_good is not None, "resume() not called"
-        good_it, good_x = self._last_good
+        good_it, good_state = self._last_good
         self.report.checkpoint_events.append(
             CheckpointEvent(good_it, "rollback")
         )
-        return StepOutcome("rollback", good_it + 1, good_x.copy())
+        return StepOutcome("rollback", good_it + 1, good_state.copy())
+
+
+def _validated_bundle(saved: dict, expected):
+    """Check a loaded checkpoint bundle against the run's state layout
+    (names and shapes) and cast each array to the run's dtype."""
+    from ..core.driver import StateBundle
+    from ..errors import CheckpointError
+
+    if tuple(saved) != expected.names:
+        raise CheckpointError(
+            f"checkpoint arrays {tuple(saved)} do not match the run's "
+            f"state layout {expected.names}"
+        )
+    restored = {}
+    for name in expected.names:
+        template = expected[name]
+        array = np.asarray(saved[name], dtype=template.dtype)
+        if array.shape != template.shape:
+            # The fingerprint should catch this first; refuse rather
+            # than propagate a shape error mid-run.
+            raise CheckpointError(
+                f"checkpoint array {name!r} shape {array.shape} does "
+                f"not match the run's {template.shape}"
+            )
+        restored[name] = array
+    return StateBundle(restored)
 
 
 # --------------------------------------------------------------------- #
@@ -344,6 +385,7 @@ class ResilienceContext:
         fingerprint: str = "",
         norm_limit: float | None = None,
         watch_stall: bool = True,
+        guard_names: tuple | None = None,
     ) -> LoopSupervisor:
         """Build the per-run supervisor for one iteration loop."""
         return LoopSupervisor(
@@ -353,6 +395,7 @@ class ResilienceContext:
             fingerprint=fingerprint,
             norm_limit=norm_limit,
             watch_stall=watch_stall,
+            guard_names=guard_names,
         )
 
     def close(self) -> None:

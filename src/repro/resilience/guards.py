@@ -70,6 +70,10 @@ class NumericalGuard:
     watch_stall:
         Enable the stall detector (off for fixed-iteration runs, where
         never converging is the workload, not a failure).
+    name:
+        Label prefixed to event details — identifies which array of a
+        multi-array state bundle tripped (empty for single-vector runs,
+        keeping their messages unchanged).
     """
 
     def __init__(
@@ -82,6 +86,7 @@ class NumericalGuard:
         stall_patience: int = 5,
         watch_stall: bool = True,
         report: ResilienceReport | None = None,
+        name: str = "",
     ) -> None:
         if policy not in GUARD_POLICIES:
             raise ResilienceError(
@@ -103,6 +108,7 @@ class NumericalGuard:
         self.stall_patience = stall_patience
         self.watch_stall = watch_stall
         self.report = report
+        self.name = name
         self._baseline_norm: float | None = None
         self._last_delta: float | None = None
         self._stall_run = 0
@@ -162,6 +168,8 @@ class NumericalGuard:
                 if self.policy == "raise":
                     return self._act("stall", detail, x_new, iteration)
                 # A stall cannot be repaired; record and continue.
+                if self.name:
+                    detail = f"{self.name}: {detail}"
                 self._record("stall", "recorded", detail, iteration)
         return GuardVerdict(x_new, "ok")
 
@@ -169,6 +177,8 @@ class NumericalGuard:
     def _act(
         self, kind: str, detail: str, x: np.ndarray, iteration: int
     ) -> GuardVerdict:
+        if self.name:
+            detail = f"{self.name}: {detail}"
         if self.policy == "raise":
             self._record(kind, "raised", detail, iteration)
             raise GuardError(
@@ -209,3 +219,101 @@ class NumericalGuard:
             self.report.guard_events.append(
                 GuardEvent(iteration, kind, action, detail)
             )
+
+
+@dataclass
+class BundleVerdict:
+    """Outcome of one multi-array health check."""
+
+    #: name -> (possibly repaired) array.
+    state: dict
+    #: ok / clamped / rollback
+    action: str
+
+
+class BundleGuard:
+    """Numerical-health guard over a named state bundle.
+
+    One :class:`NumericalGuard` per guarded array (each keeps its own
+    norm baseline and stall history — the authority and hub vectors of
+    HITS evolve on different scales).  A ``rollback`` verdict on *any*
+    array rolls back the whole bundle: the arrays are coupled, so a
+    partial restore would mix iterations.
+
+    ``guard_names`` selects which arrays are policed (``None`` = every
+    floating-point array); non-float arrays (BFS levels, frontier
+    masks) are always skipped — their health is structural, not
+    numerical.  Single-array bundles keep unlabelled event details, so
+    the classic ``{"x": ...}`` runs report exactly as before.
+    """
+
+    def __init__(
+        self,
+        policy: str = "raise",
+        *,
+        max_value: float = 1e30,
+        norm_limit: float | None = None,
+        diverge_factor: float = 1e6,
+        stall_patience: int = 5,
+        watch_stall: bool = True,
+        report: ResilienceReport | None = None,
+        guard_names: tuple | None = None,
+    ) -> None:
+        if policy not in GUARD_POLICIES:
+            raise ResilienceError(
+                f"unknown guard policy {policy!r}; "
+                f"expected one of {', '.join(GUARD_POLICIES)}"
+            )
+        self.policy = policy
+        self.guard_names = (
+            None if guard_names is None else tuple(guard_names)
+        )
+        self._options = dict(
+            max_value=max_value,
+            norm_limit=norm_limit,
+            diverge_factor=diverge_factor,
+            stall_patience=stall_patience,
+            watch_stall=watch_stall,
+            report=report,
+        )
+        self._guards: dict = {}
+
+    def _watched(self, name: str, array: np.ndarray) -> bool:
+        if not np.issubdtype(array.dtype, np.floating):
+            return False
+        return self.guard_names is None or name in self.guard_names
+
+    def _guard_for(self, name: str, label: str) -> NumericalGuard:
+        guard = self._guards.get(name)
+        if guard is None:
+            guard = NumericalGuard(
+                self.policy, name=label, **self._options
+            )
+            self._guards[name] = guard
+        return guard
+
+    def check(self, old, new, iteration: int) -> BundleVerdict:
+        """Scan every guarded array of the post-step bundle ``new``.
+
+        ``old``/``new`` are name->array mappings sharing the same
+        names.  Raises :class:`~repro.errors.GuardError` under the
+        ``raise`` policy, exactly like the scalar guard.
+        """
+        labelled = len(new) > 1
+        checked: dict = {}
+        action = "ok"
+        for name in new:
+            array = np.asarray(new[name])
+            if not self._watched(name, array):
+                checked[name] = array
+                continue
+            guard = self._guard_for(name, name if labelled else "")
+            verdict = guard.check(
+                np.asarray(old[name]), array, iteration
+            )
+            if verdict.action == "rollback":
+                return BundleVerdict(dict(new), "rollback")
+            if verdict.action == "clamped":
+                action = "clamped"
+            checked[name] = verdict.x
+        return BundleVerdict(checked, action)

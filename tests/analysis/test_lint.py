@@ -158,6 +158,76 @@ class TestUngatedOptionalImportRule:
         assert "REP004" not in rules_of(violations)
 
 
+class TestHandRolledLoopRule:
+    LOOP = (
+        "def run(engine, x, n):\n"
+        "    for it in range(n):\n"
+        "        x = engine.propagate(x)\n"
+        "    return x\n"
+    )
+
+    def test_for_loop_flagged(self):
+        violations = lint_source(
+            self.LOOP, "core/engine.py", scope=("core", "engine.py")
+        )
+        assert "REP005" in rules_of(violations)
+
+    def test_while_loop_flagged(self):
+        code = (
+            "def run(kernel, x):\n"
+            "    while True:\n"
+            "        x = kernel.iterate(x)\n"
+        )
+        violations = lint_source(
+            code, "core/scga.py", scope=("core", "scga.py")
+        )
+        assert "REP005" in rules_of(violations)
+
+    def test_propagate_out_flagged(self):
+        code = (
+            "for _ in range(5):\n"
+            "    h = engine.propagate_out(a)\n"
+        )
+        violations = lint_source(
+            code,
+            "algorithms/hits.py",
+            scope=("algorithms", "hits.py"),
+        )
+        assert "REP005" in rules_of(violations)
+
+    def test_applies_everywhere_but_driver(self):
+        violations = lint_source(
+            self.LOOP, "bench/runner.py", scope=("bench", "runner.py")
+        )
+        assert "REP005" in rules_of(violations)
+
+    def test_driver_module_exempt(self):
+        violations = lint_source(
+            self.LOOP, "core/driver.py", scope=("core", "driver.py")
+        )
+        assert "REP005" not in rules_of(violations)
+
+    def test_loop_without_propagate_allowed(self):
+        code = (
+            "for sample in range(repeats):\n"
+            "    engine.run_bfs(source)\n"
+        )
+        violations = lint_source(
+            code, "bench/runner.py", scope=("bench", "runner.py")
+        )
+        assert "REP005" not in rules_of(violations)
+
+    def test_noqa_suppresses(self):
+        code = (
+            "for it in range(n):  # repro: noqa REP005\n"
+            "    x = engine.propagate(x)\n"
+        )
+        violations = lint_source(
+            code, "core/engine.py", scope=("core", "engine.py")
+        )
+        assert "REP005" not in rules_of(violations)
+
+
 class TestSuppression:
     def test_noqa_silences_matching_rule(self):
         code = (

@@ -4,7 +4,13 @@ import pytest
 
 from repro.algorithms import InDegree
 from repro.algorithms.bfs import default_source
-from repro.bench import Timing, time_algorithm, time_bfs, time_prepare
+from repro.bench import (
+    Timing,
+    time_algorithm,
+    time_bfs,
+    time_coupled,
+    time_prepare,
+)
 from repro.core import MixenEngine
 from repro.errors import EngineError
 from repro.frameworks import PullEngine
@@ -57,6 +63,66 @@ class TestTimeBfs:
     def test_rejects_bad_repeats(self, wiki):
         with pytest.raises(EngineError):
             time_bfs(PullEngine(wiki), 0, repeats=0)
+
+    def test_supervised_timed_runs(self, wiki, tmp_path):
+        from repro.resilience import (
+            ResilienceContext,
+            ResilienceOptions,
+        )
+
+        engine = MixenEngine(wiki)
+        with ResilienceContext(
+            ResilienceOptions(checkpoint_dir=str(tmp_path))
+        ) as ctx:
+            elapsed = time_bfs(
+                engine, default_source(wiki), repeats=2,
+                resilience=ctx,
+            )
+        assert elapsed > 0
+        assert list(tmp_path.glob("ckpt-*.npz"))
+
+
+class TestTimeCoupled:
+    def test_positive_and_full_budget(self, wiki):
+        from repro.algorithms import hits
+
+        t = time_coupled(
+            MixenEngine(wiki), hits, iterations=3, warmup=1
+        )
+        # tolerance=0.0 disables convergence: the full budget runs.
+        assert t.iterations == 3
+        assert t.seconds > 0
+
+    def test_salsa_runner(self, wiki):
+        from repro.algorithms import salsa
+
+        t = time_coupled(
+            MixenEngine(wiki), salsa, iterations=2, warmup=0
+        )
+        assert t.iterations == 2
+
+    def test_rejects_bad_iterations(self, wiki):
+        from repro.algorithms import hits
+
+        with pytest.raises(EngineError):
+            time_coupled(MixenEngine(wiki), hits, iterations=0)
+
+    def test_supervised_timed_run(self, wiki, tmp_path):
+        from repro.algorithms import hits
+        from repro.resilience import (
+            ResilienceContext,
+            ResilienceOptions,
+        )
+
+        with ResilienceContext(
+            ResilienceOptions(checkpoint_dir=str(tmp_path))
+        ) as ctx:
+            t = time_coupled(
+                MixenEngine(wiki), hits, iterations=3, warmup=0,
+                resilience=ctx,
+            )
+        assert t.iterations == 3
+        assert list(tmp_path.glob("ckpt-*.npz"))
 
 
 class TestTimePrepare:

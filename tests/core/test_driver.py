@@ -1,0 +1,206 @@
+"""Unit tests for the unified iteration driver and its state bundles."""
+
+import numpy as np
+import pytest
+
+from repro.core.driver import (
+    BundleStep,
+    IterationDriver,
+    StateBundle,
+    StateSpec,
+    StepContext,
+)
+
+
+class CountingStep(BundleStep):
+    """Adds 1 to ``x`` each iteration; converges at a target value."""
+
+    name = "counting"
+
+    def __init__(self, target=None):
+        self.target = target
+
+    def state_spec(self):
+        return (StateSpec("x"),)
+
+    def step(self, state, iteration, ctx):
+        return {"x": state["x"] + 1.0}
+
+    def converged(self, old, new):
+        return (
+            self.target is not None
+            and float(new["x"][0]) >= self.target
+        )
+
+
+class TestStateBundle:
+    def test_wrap_bare_array(self):
+        bundle = StateBundle.wrap(np.arange(3.0))
+        assert bundle.names == ("x",)
+        assert np.array_equal(bundle["x"], np.arange(3.0))
+
+    def test_wrap_mapping_preserves_order(self):
+        bundle = StateBundle.wrap(
+            {"a": np.zeros(2), "h": np.ones(2)}
+        )
+        assert bundle.names == ("a", "h")
+        assert list(bundle) == ["a", "h"]
+
+    def test_wrap_bundle_is_identity(self):
+        bundle = StateBundle({"x": np.zeros(2)})
+        assert StateBundle.wrap(bundle) is bundle
+
+    def test_copy_is_deep(self):
+        bundle = StateBundle({"x": np.zeros(2)})
+        clone = bundle.copy()
+        clone["x"][0] = 7.0
+        assert bundle["x"][0] == 0.0
+
+    def test_replace_substitutes(self):
+        bundle = StateBundle({"a": np.zeros(2), "h": np.zeros(2)})
+        swapped = bundle.replace(h=np.ones(2))
+        assert swapped.names == ("a", "h")
+        assert swapped["h"][0] == 1.0
+        assert bundle["h"][0] == 0.0
+
+    def test_mapping_protocol(self):
+        bundle = StateBundle({"x": np.zeros(2)})
+        assert len(bundle) == 1
+        assert "x" in bundle
+        assert "y" not in bundle
+
+
+class TestStepContext:
+    def test_propagate_uses_default_call(self):
+        ctx = StepContext(None, lambda xs: xs * 2)
+        assert ctx.propagate(3.0) == 6.0
+
+    def test_propagate_call_override(self):
+        ctx = StepContext(None, lambda xs: xs * 2)
+        assert ctx.propagate(3.0, call=lambda xs: xs + 1) == 4.0
+
+    def test_propagate_without_call_raises(self):
+        with pytest.raises(TypeError, match="default call"):
+            StepContext(None, None).propagate(1.0)
+
+    def test_stop_flag(self):
+        ctx = StepContext(None, None)
+        assert not ctx.stopped
+        ctx.stop()
+        assert ctx.stopped
+
+
+class TestBundleStepDefaults:
+    def test_guarded_names_honour_spec(self):
+        class Mixed(BundleStep):
+            def state_spec(self):
+                return (
+                    StateSpec("dist", guarded=False),
+                    StateSpec("x"),
+                )
+
+            def step(self, state, iteration, ctx):
+                return state
+
+        assert Mixed().guarded_names() == ("x",)
+
+    def test_defaults(self):
+        step = CountingStep()
+        assert step.finished(None) is False
+        assert step.norm_limit() is None
+        assert step.watch_stall is True
+
+
+class TestIterationDriver:
+    def test_runs_to_cap(self):
+        result = IterationDriver(
+            CountingStep(), max_iterations=5
+        ).run(np.zeros(1))
+        assert result.iterations == 5
+        assert not result.converged
+        assert result.state["x"][0] == 5.0
+
+    def test_convergence_stops_early(self):
+        result = IterationDriver(
+            CountingStep(target=3.0), max_iterations=10
+        ).run(np.zeros(1))
+        assert result.converged
+        assert result.iterations == 3
+        assert result.state["x"][0] == 3.0
+
+    def test_check_convergence_off_ignores_converged(self):
+        result = IterationDriver(
+            CountingStep(target=3.0),
+            max_iterations=6,
+            check_convergence=False,
+        ).run(np.zeros(1))
+        assert not result.converged
+        assert result.iterations == 6
+
+    def test_finished_short_circuits_before_step(self):
+        class Finishing(CountingStep):
+            def finished(self, state):
+                return float(state["x"][0]) >= 2.0
+
+        result = IterationDriver(
+            Finishing(), max_iterations=10
+        ).run(np.zeros(1))
+        assert result.iterations == 2
+        assert result.state["x"][0] == 2.0
+
+    def test_stop_keeps_step_result_uncounted(self):
+        class Stopping(CountingStep):
+            def step(self, state, iteration, ctx):
+                if iteration == 2:
+                    ctx.stop()
+                    return state
+                return super().step(state, iteration, ctx)
+
+        result = IterationDriver(
+            Stopping(), max_iterations=10
+        ).run(np.zeros(1))
+        # Iterations 0 and 1 counted; the stopping step is not.
+        assert result.iterations == 2
+        assert result.state["x"][0] == 2.0
+
+    def test_zero_max_iterations_returns_initial(self):
+        result = IterationDriver(
+            CountingStep(), max_iterations=0
+        ).run(np.full(1, 9.0))
+        assert result.iterations == 0
+        assert result.state["x"][0] == 9.0
+
+    def test_multi_array_state_threads_through(self):
+        class Coupled(BundleStep):
+            def state_spec(self):
+                return (StateSpec("a"), StateSpec("h"))
+
+            def step(self, state, iteration, ctx):
+                return {
+                    "a": state["a"] + state["h"],
+                    "h": state["h"] * 2.0,
+                }
+
+        result = IterationDriver(Coupled(), max_iterations=3).run(
+            {"a": np.zeros(2), "h": np.ones(2)}
+        )
+        # a accumulates 1 + 2 + 4; h doubles three times.
+        assert result.state["a"][0] == 7.0
+        assert result.state["h"][0] == 8.0
+
+    def test_step_context_propagate_routes_default_call(self):
+        calls = []
+
+        class Propagating(CountingStep):
+            def step(self, state, iteration, ctx):
+                return {"x": ctx.propagate(state["x"])}
+
+        def double(xs):
+            calls.append(xs.copy())
+            return xs * 2.0
+
+        result = IterationDriver(
+            Propagating(), max_iterations=3, call=double
+        ).run(np.ones(1))
+        assert result.state["x"][0] == 8.0
+        assert len(calls) == 3

@@ -33,7 +33,9 @@ class TestCheckpointManager:
         assert path.exists()
         iteration, loaded = mgr.load_latest()
         assert iteration == 4
-        assert np.array_equal(loaded, x)
+        # A bare array saves as the single-entry bundle {"x": ...}.
+        assert list(loaded) == ["x"]
+        assert np.array_equal(loaded["x"], x)
 
     def test_atomic_no_temp_left_behind(self, tmp_path):
         mgr = CheckpointManager(tmp_path)
@@ -49,8 +51,8 @@ class TestCheckpointManager:
         for it in (1, 5, 3):
             mgr.save(it, np.full(4, float(it)))
         assert mgr.latest().iteration == 5
-        _, x = mgr.load_latest()
-        assert x[0] == 5.0
+        _, bundle = mgr.load_latest()
+        assert bundle["x"][0] == 5.0
 
     def test_prune_keeps_newest(self, tmp_path):
         mgr = CheckpointManager(tmp_path, keep=2)

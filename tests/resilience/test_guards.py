@@ -7,6 +7,7 @@ import pytest
 
 from repro.algorithms.hits import hits
 from repro.algorithms.pagerank import PageRank
+from repro.algorithms.salsa import salsa
 from repro.core.engine import MixenEngine
 from repro.errors import GuardError, ResilienceError
 from repro.resilience import ResilienceContext, ResilienceOptions
@@ -199,6 +200,29 @@ class TestGuardedEngineRuns:
         assert excinfo.value.kind == "rollback"
 
 
+class _PoisoningOut:
+    """Engine proxy whose propagate_out poisons one value on its
+    ``poison_call``-th invocation."""
+
+    def __init__(self, inner, *, poison_call=3):
+        self.inner = inner
+        self.graph = inner.graph
+        self.name = inner.name
+        self.poison_call = poison_call
+        self.calls = 0
+
+    def propagate(self, x):
+        return self.inner.propagate(x)
+
+    def propagate_out(self, x):
+        y = self.inner.propagate_out(x)
+        self.calls += 1
+        if self.calls == self.poison_call:
+            y = np.array(y, copy=True)
+            y[0] = np.nan
+        return y
+
+
 class TestAlgorithmGuardHooks:
     def test_hits_guard_raises_on_poison(self, random_graph):
         engine = MixenEngine(random_graph, kernel="bincount")
@@ -226,6 +250,38 @@ class TestAlgorithmGuardHooks:
         guard = NumericalGuard("raise", watch_stall=False)
         with pytest.raises(GuardError):
             hits(Poisoning(engine), max_iterations=6, guard=guard)
+
+    def test_hits_guard_catches_poisoned_hubs(self, random_graph):
+        """Regression: a NaN entering via ``propagate_out`` (the hub
+        update) on the *final* iteration must trip the guard — the old
+        guard only policed the authority vector, so the poisoned hub
+        vector escaped into the result."""
+        engine = MixenEngine(random_graph, kernel="bincount")
+        engine.prepare()
+        poisoned = _PoisoningOut(engine, poison_call=6)
+        guard = NumericalGuard("raise", watch_stall=False)
+        with pytest.raises(GuardError) as excinfo:
+            hits(poisoned, max_iterations=6, guard=guard)
+        assert excinfo.value.kind == "nan"
+
+    def test_hits_guard_clamps_poisoned_hubs(self, random_graph):
+        engine = MixenEngine(random_graph, kernel="bincount")
+        engine.prepare()
+        poisoned = _PoisoningOut(engine, poison_call=6)
+        guard = NumericalGuard("clamp", watch_stall=False)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            result = hits(poisoned, max_iterations=6, guard=guard)
+        assert np.isfinite(result.hubs).all()
+
+    def test_salsa_guard_catches_poisoned_hubs(self, random_graph):
+        engine = MixenEngine(random_graph, kernel="bincount")
+        engine.prepare()
+        poisoned = _PoisoningOut(engine, poison_call=6)
+        guard = NumericalGuard("raise", watch_stall=False)
+        with pytest.raises(GuardError) as excinfo:
+            salsa(poisoned, max_iterations=6, guard=guard)
+        assert excinfo.value.kind == "nan"
 
     def test_hits_guard_clean_run_unchanged(self, random_graph):
         engine = MixenEngine(random_graph, kernel="bincount")

@@ -1,0 +1,194 @@
+"""Multi-array resilience acceptance tests.
+
+The unified driver checkpoints whole state bundles, so the coupled
+HITS/SALSA vectors, the BFS traversal state and the SSSP distances all
+survive a kill -> resume cycle bit-identically.  Also covers reading
+pre-bundle (v1) single-array snapshots.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import hits, salsa, sssp
+from repro.algorithms.bfs import default_source
+from repro.core.engine import MixenEngine
+from repro.errors import InjectedFault
+from repro.resilience import (
+    ResilienceContext,
+    ResilienceOptions,
+    faults,
+)
+from repro.resilience.checkpoint import CheckpointManager
+
+ITERATIONS = 8
+
+
+@pytest.fixture(autouse=True)
+def disarm():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def _prepared(graph):
+    engine = MixenEngine(graph, kernel="bincount")
+    engine.prepare()
+    return engine
+
+
+def _run_coupled(runner, graph, options):
+    with ResilienceContext(options) as ctx:
+        result = runner(
+            _prepared(graph),
+            max_iterations=ITERATIONS,
+            tolerance=0.0,
+            resilience=ctx,
+        )
+    return result, ctx.report
+
+
+def _resume_events(report):
+    return [
+        c for c in report.checkpoint_events if c.action == "resume"
+    ]
+
+
+class TestCoupledKillResume:
+    """A HITS/SALSA run killed mid-iteration resumes from the coupled
+    ``{a, h}`` snapshot and matches the uninterrupted run bit for bit."""
+
+    @pytest.mark.parametrize("runner", [hits, salsa], ids=["hits", "salsa"])
+    def test_kill_and_resume_bit_identical(
+        self, runner, random_graph, tmp_path
+    ):
+        uninterrupted, _ = _run_coupled(
+            runner, random_graph, ResilienceOptions()
+        )
+        # Kill mid-iteration: the 5th supervised SpMV dispatch dies on
+        # the serial floor with retries off — the crash lands between
+        # two completed iterations' checkpoints.
+        kill_options = ResilienceOptions(
+            fault_spec="fail:kernel=bincount,call=5,times=-1",
+            max_retries=0,
+            retry_backoff=0.0,
+            checkpoint_dir=str(tmp_path),
+        )
+        with pytest.raises(InjectedFault):
+            _run_coupled(runner, random_graph, kill_options)
+        assert list(tmp_path.glob("ckpt-*.npz"))
+        resumed, report = _run_coupled(
+            runner,
+            random_graph,
+            ResilienceOptions(
+                checkpoint_dir=str(tmp_path), resume=True
+            ),
+        )
+        assert len(_resume_events(report)) == 1
+        assert np.array_equal(
+            resumed.authorities, uninterrupted.authorities
+        )
+        assert np.array_equal(resumed.hubs, uninterrupted.hubs)
+        assert resumed.iterations == uninterrupted.iterations
+
+    def test_coupled_checkpoint_holds_both_vectors(
+        self, random_graph, tmp_path
+    ):
+        _run_coupled(
+            hits,
+            random_graph,
+            ResilienceOptions(
+                checkpoint_dir=str(tmp_path), checkpoint_keep=None
+            ),
+        )
+        mgr = CheckpointManager(tmp_path)
+        _, bundle = mgr.load_latest()
+        assert list(bundle) == ["a", "h"]
+        assert bundle["a"].shape == bundle["h"].shape
+
+
+class TestTraversalResume:
+    """BFS and SSSP state bundles checkpoint and resume through the same
+    driver path as the rank vectors."""
+
+    def test_sssp_resumes_bit_identical(self, random_graph, tmp_path):
+        source = default_source(random_graph)
+        baseline = sssp(random_graph, source)
+        with ResilienceContext(
+            ResilienceOptions(checkpoint_dir=str(tmp_path))
+        ) as ctx:
+            sssp(random_graph, source, resilience=ctx)
+        assert list(tmp_path.glob("ckpt-*.npz"))
+        with ResilienceContext(
+            ResilienceOptions(
+                checkpoint_dir=str(tmp_path), resume=True
+            )
+        ) as ctx:
+            resumed = sssp(random_graph, source, resilience=ctx)
+        assert len(_resume_events(ctx.report)) == 1
+        assert np.array_equal(
+            resumed.distances, baseline.distances, equal_nan=True
+        )
+
+    def test_bfs_resumes_bit_identical(self, random_graph, tmp_path):
+        engine = _prepared(random_graph)
+        source = default_source(random_graph)
+        baseline = engine.run_bfs(source)
+        with ResilienceContext(
+            ResilienceOptions(checkpoint_dir=str(tmp_path))
+        ) as ctx:
+            engine.run_bfs(source, resilience=ctx)
+        assert list(tmp_path.glob("ckpt-*.npz"))
+        with ResilienceContext(
+            ResilienceOptions(
+                checkpoint_dir=str(tmp_path), resume=True
+            )
+        ) as ctx:
+            resumed = engine.run_bfs(source, resilience=ctx)
+        assert len(_resume_events(ctx.report)) == 1
+        assert np.array_equal(resumed, baseline)
+
+
+class TestV1BackwardCompat:
+    """Pre-bundle snapshots (a single unversioned ``x`` array) still
+    load, as the one-entry bundle ``{"x": ...}``."""
+
+    def test_v1_snapshot_loads(self, tmp_path):
+        x = np.linspace(0.0, 1.0, 16)
+        np.savez(
+            tmp_path / "ckpt-00000004.npz",
+            x=x,
+            iteration=np.int64(4),
+            fingerprint=np.array("abc"),
+        )
+        mgr = CheckpointManager(tmp_path, fingerprint="abc")
+        iteration, bundle = mgr.load_latest()
+        assert iteration == 4
+        assert list(bundle) == ["x"]
+        assert np.array_equal(bundle["x"], x)
+
+    def test_v1_fingerprint_still_verified(self, tmp_path):
+        from repro.errors import CheckpointError
+
+        np.savez(
+            tmp_path / "ckpt-00000001.npz",
+            x=np.ones(4),
+            iteration=np.int64(1),
+            fingerprint=np.array("aaa"),
+        )
+        mgr = CheckpointManager(tmp_path, fingerprint="bbb")
+        with pytest.raises(CheckpointError, match="different run"):
+            mgr.load_latest()
+
+    def test_v2_roundtrips_after_v1_read(self, tmp_path):
+        # A resumed run re-saves in the v2 schema; both coexist.
+        np.savez(
+            tmp_path / "ckpt-00000001.npz",
+            x=np.ones(4),
+            iteration=np.int64(1),
+            fingerprint=np.array(""),
+        )
+        mgr = CheckpointManager(tmp_path, keep=None)
+        mgr.save(3, {"a": np.zeros(4), "h": np.ones(4)})
+        iteration, bundle = mgr.load_latest()
+        assert iteration == 3
+        assert list(bundle) == ["a", "h"]

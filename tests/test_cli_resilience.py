@@ -134,3 +134,70 @@ class TestGuardFlag:
             *BASE, "--iterations", "3", "--guard", "raise"
         )
         assert code == 0
+
+
+class TestCoupledAlgorithms:
+    """``run --algorithm hits/salsa`` goes through the same unified
+    driver, so every resilience flag applies to the coupled pair."""
+
+    def test_hits_runs(self):
+        code, text = run_cli(
+            "run", "--graph", "wiki", "--scale", "0.25",
+            "--algorithm", "hits", "--iterations", "5",
+        )
+        assert code == 0
+        assert "authority" in text
+        assert "hub" in text
+
+    def test_salsa_checkpoint_then_resume(self, tmp_path):
+        base = (
+            "run", "--graph", "wiki", "--scale", "0.25",
+            "--algorithm", "salsa", "--iterations", "4",
+            "--checkpoint-dir", str(tmp_path),
+        )
+        code, text = run_cli(*base)
+        assert code == 0
+        assert "save" in text
+        assert list(tmp_path.glob("ckpt-*.npz"))
+        code, text = run_cli(*base, "--resume")
+        assert code == 0
+        assert "resume" in text
+
+    def test_hits_guard_flag_accepted(self):
+        code, _ = run_cli(
+            "run", "--graph", "wiki", "--scale", "0.25",
+            "--algorithm", "hits", "--iterations", "3",
+            "--guard", "raise",
+        )
+        assert code == 0
+
+
+class TestTraversalResilienceFlags:
+    def test_bfs_checkpoints(self, tmp_path):
+        code, text = run_cli(
+            "bfs", "--graph", "wiki", "--scale", "0.25",
+            "--checkpoint-dir", str(tmp_path),
+        )
+        assert code == 0
+        assert "save" in text
+        assert list(tmp_path.glob("ckpt-*.npz"))
+
+    def test_sssp_checkpoint_then_resume(self, tmp_path):
+        base = (
+            "sssp", "--graph", "wiki", "--scale", "0.25",
+            "--checkpoint-dir", str(tmp_path),
+        )
+        code, text = run_cli(*base)
+        assert code == 0
+        assert "reached" in text
+        assert list(tmp_path.glob("ckpt-*.npz"))
+        code, text = run_cli(*base, "--resume")
+        assert code == 0
+        assert "resume" in text
+
+    def test_sssp_plain_run(self):
+        code, text = run_cli(
+            "sssp", "--graph", "wiki", "--scale", "0.25",
+        )
+        assert code == 0
+        assert "rounds" in text
