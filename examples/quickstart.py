@@ -48,7 +48,10 @@ def main() -> None:
         f"pagerank converged={result.converged} after "
         f"{result.iterations} iterations; "
         f"phases (ms): "
-        + ", ".join(f"{k}={v * 1e3:.2f}" for k, v in result.phases.items())
+        + ", ".join(
+            f"{k}={s.seconds * 1e3:.2f}"
+            for k, s in result.phases.items()
+        )
     )
     top = np.argsort(result.scores)[-3:][::-1]
     print("top-3 nodes by rank:", top.tolist())

@@ -165,6 +165,22 @@ class AlgorithmStep(BundleStep):
     def converged(self, old, new) -> bool:
         return self.algorithm.converged(old["x"], new["x"])
 
+    def rehydrate(self, state, ctx) -> None:
+        """Rebuild ``last_y`` after a resume that ran no step here.
+
+        Checkpoints persist the evolving ``x`` only, so a resume landing
+        at the iteration cap used to leave ``last_y = None`` and
+        :meth:`scores` zero-filled every ``scores_from == "y"`` result.
+        One propagation from the restored ``x`` recomputes it — for the
+        ``x_constant`` workloads that report ``y`` (InDegree, CF) the
+        input equals the last completed iteration's input, so the
+        recomputed ``y`` is bit-identical to the lost one.
+        """
+        if self.algorithm.scores_from != "y":
+            return
+        xs = self.algorithm.pre_propagate(state["x"], self.graph)
+        self.last_y = ctx.propagate(xs)
+
     def norm_limit(self) -> float | None:
         limit_fn = getattr(self.algorithm, "norm_limit", None)
         return limit_fn(self.graph) if callable(limit_fn) else None

@@ -522,6 +522,210 @@ def dynamic_race_check(
 
 
 # --------------------------------------------------------------------- #
+# phase-plan proof (Pre-Phase seed push / Post-Phase sink pull)
+# --------------------------------------------------------------------- #
+#: shared-array name for a phase plan's message buffer.
+MSGS_ARRAY = "msgs"
+
+
+@dataclass(frozen=True)
+class PhasePlanProof:
+    """Evidence record of one successful phase-plan proof."""
+
+    name: str
+    num_partitions: int
+    num_messages: int
+    num_runs: int
+    num_rows: int
+
+    def describe(self) -> str:
+        """One-line human summary."""
+        return (
+            f"phase plan {self.name!r}: {self.num_partitions} partitions "
+            f"over {self.num_messages} messages / {self.num_runs} runs "
+            f"into {self.num_rows} rows — race-free"
+        )
+
+
+def phase_plan_accesses(plan) -> tuple[list, list]:
+    """Scatter/Gather access sets of a phase plan's partition schedule.
+
+    Partition ``p`` scatters messages ``msgs[elo:ehi]`` (reading ``x`` at
+    the slice's actual source range) and, after the pool barrier, gathers
+    that same slice into the output row interval
+    ``[run_dst[rlo], run_dst[rhi-1] + 1)`` — disjointness of those row
+    intervals across partitions is exactly the bit-identity contract.
+    """
+    ep = plan.part_edge_ptr
+    rp = plan.part_run_ptr
+    scatter = []
+    gather = []
+    for p in range(plan.num_partitions):
+        elo, ehi = int(ep[p]), int(ep[p + 1])
+        rlo, rhi = int(rp[p]), int(rp[p + 1])
+        if ehi > elo:
+            seg = plan.src[elo:ehi]
+            x_lo, x_hi = int(seg.min()), int(seg.max()) + 1
+        else:
+            x_lo = x_hi = 0
+        scatter.append(
+            TaskAccess(
+                f"{plan.name}-scatter[{p}]",
+                (
+                    AccessInterval(MSGS_ARRAY, elo, ehi, write=True),
+                    AccessInterval(X_ARRAY, x_lo, x_hi, write=False),
+                ),
+            )
+        )
+        if rhi > rlo:
+            row_lo = int(plan.run_dst[rlo])
+            row_hi = int(plan.run_dst[rhi - 1]) + 1
+        else:
+            row_lo = row_hi = 0
+        gather.append(
+            TaskAccess(
+                f"{plan.name}-gather[{p}]",
+                (
+                    AccessInterval(Y_ARRAY, row_lo, row_hi, write=True),
+                    AccessInterval(MSGS_ARRAY, elo, ehi, write=False),
+                ),
+            )
+        )
+    return scatter, gather
+
+
+def _require(condition: bool, plan, message: str) -> None:
+    if not condition:
+        raise RaceError(f"phase plan {plan.name!r}: {message}")
+
+
+def prove_phase_plan(plan) -> PhasePlanProof:
+    """Prove a phase plan's partition schedule race-free.
+
+    Structural invariants first — partition pointers tile messages and
+    runs exactly, every interior cut lands on a run boundary (a split
+    destination would be a cross-partition write), ``run_starts`` starts
+    at 0 and is strictly increasing, ``run_dst`` is strictly increasing
+    inside ``[0, num_rows)``, and the edge-aligned ``dst`` stream is the
+    run table's expansion — then the generic interval-disjointness proof
+    over the partition access sets.  Raises :class:`RaceError` on the
+    first violation.
+    """
+    m = plan.num_messages
+    runs = plan.num_runs
+    ep = np.asarray(plan.part_edge_ptr)
+    rp = np.asarray(plan.part_run_ptr)
+    _require(
+        ep.size == rp.size and ep.size >= 2,
+        plan,
+        "partition pointer tables disagree in length",
+    )
+    _require(
+        int(ep[0]) == 0 and int(ep[-1]) == m and bool((np.diff(ep) >= 0).all()),
+        plan,
+        f"part_edge_ptr must tile [0, {m}) monotonically",
+    )
+    _require(
+        int(rp[0]) == 0
+        and int(rp[-1]) == runs
+        and bool((np.diff(rp) >= 0).all()),
+        plan,
+        f"part_run_ptr must tile [0, {runs}) monotonically",
+    )
+    if runs:
+        _require(
+            int(plan.run_starts[0]) == 0
+            and bool((np.diff(plan.run_starts) > 0).all())
+            and int(plan.run_starts[-1]) < m,
+            plan,
+            "run_starts must start at 0 and be strictly increasing",
+        )
+        _require(
+            bool((np.diff(plan.run_dst) > 0).all())
+            and int(plan.run_dst[0]) >= 0
+            and int(plan.run_dst[-1]) < plan.num_rows,
+            plan,
+            "run_dst must be strictly increasing inside "
+            f"[0, {plan.num_rows})",
+        )
+        lengths = np.diff(np.append(plan.run_starts, m))
+        _require(
+            plan.dst.size == m
+            and bool(
+                np.array_equal(np.repeat(plan.run_dst, lengths), plan.dst)
+            ),
+            plan,
+            "dst stream does not match the run table's expansion",
+        )
+        # Interior cuts must land on run boundaries.
+        interior = rp[1:-1]
+        _require(
+            bool(np.array_equal(ep[1:-1], plan.run_starts[interior]))
+            if interior.size
+            else True,
+            plan,
+            "a partition cut splits a destination run",
+        )
+    else:
+        _require(m == 0, plan, "messages present but no runs")
+    # Coverage of the message buffer is already implied by the edge-ptr
+    # tiling check above; what remains is pairwise disjointness.
+    scatter, gather = phase_plan_accesses(plan)
+    prove_disjoint(scatter)
+    prove_disjoint(gather)
+    return PhasePlanProof(
+        name=plan.name,
+        num_partitions=plan.num_partitions,
+        num_messages=m,
+        num_runs=runs,
+        num_rows=plan.num_rows,
+    )
+
+
+def dynamic_phase_check(plan) -> PhasePlanProof:
+    """Replay a phase plan's actual per-partition indices.
+
+    Each message slot must be written by exactly one scatter partition
+    and consumed by exactly one gather partition, and every partition's
+    concrete ``dst`` values must stay inside its claimed output rows.
+    """
+    proof = prove_phase_plan(plan)
+    m = plan.num_messages
+    write_count = np.zeros(m, dtype=np.int32)
+    read_count = np.zeros(m, dtype=np.int32)
+    ep, rp = plan.part_edge_ptr, plan.part_run_ptr
+    for p in range(plan.num_partitions):
+        elo, ehi = int(ep[p]), int(ep[p + 1])
+        write_count[elo:ehi] += 1
+        read_count[elo:ehi] += 1
+        rlo, rhi = int(rp[p]), int(rp[p + 1])
+        if rhi <= rlo:
+            _require(
+                ehi == elo,
+                plan,
+                f"partition {p} owns messages but no runs",
+            )
+            continue
+        row_lo = int(plan.run_dst[rlo])
+        row_hi = int(plan.run_dst[rhi - 1]) + 1
+        dsts = plan.dst[elo:ehi]
+        _require(
+            dsts.size > 0
+            and int(dsts.min()) >= row_lo
+            and int(dsts.max()) < row_hi,
+            plan,
+            f"partition {p} writes rows outside its claimed interval "
+            f"[{row_lo}:{row_hi})",
+        )
+    _require(
+        bool((write_count == 1).all()) and bool((read_count == 1).all()),
+        plan,
+        "a message slot is not written/consumed exactly once",
+    )
+    return proof
+
+
+# --------------------------------------------------------------------- #
 # dispatch hook
 # --------------------------------------------------------------------- #
 # Keyed by id() because BlockLayout (frozen dataclass over ndarrays) is
@@ -539,3 +743,17 @@ def ensure_layout_checked(layout, tasks=None) -> None:
         return
     dynamic_race_check(layout, tasks)
     _checked_layouts[id(layout)] = layout
+
+
+_checked_phase_plans: "weakref.WeakValueDictionary" = (
+    weakref.WeakValueDictionary()
+)
+
+
+def ensure_phase_plan_checked(plan) -> None:
+    """Dynamic-check a phase plan once per process (same wrap as
+    :func:`ensure_layout_checked`, for the phase dispatch path)."""
+    if _checked_phase_plans.get(id(plan)) is plan:
+        return
+    dynamic_phase_check(plan)
+    _checked_phase_plans[id(plan)] = plan

@@ -306,6 +306,16 @@ def _cmd_run(args, out) -> int:
         f"converged={result.converged}",
         file=out,
     )
+    phases = getattr(result, "phases", None)
+    if phases:
+        print(
+            "  phases: "
+            + ", ".join(
+                f"{k} {s.seconds * 1e3:.2f} ms ({s.messages} msgs)"
+                for k, s in phases.items()
+            ),
+            file=out,
+        )
     if resilience is not None and resilience.report.num_events:
         print(resilience.report.render(), file=out)
     scores = result.scores

@@ -11,6 +11,13 @@ counts and byte sizes for the machine model and the compression ablation.
 *Static bins* cache the seed->regular contribution: written once during the
 Pre-Phase, read-only afterwards, allocated per block-row as a 1-D vector
 (all blocks sharing a row range share the cached data).
+
+The engines no longer call :func:`build_static_bins` on the hot path —
+the Pre-Phase seed push runs through the segmented-reduce plans in
+:mod:`repro.core.phases` so it shares the kernel dispatch, thread pool,
+and fault-injection sites with the Main-Phase.  The function stays as
+the serial reference oracle: ``tests/core/test_phase_kernels.py`` pins
+the phase kernels bitwise against it.
 """
 
 from __future__ import annotations

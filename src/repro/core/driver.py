@@ -171,6 +171,16 @@ class BundleStep(abc.ABC):
         """Early exit checked *before* each step (BFS: empty frontier)."""
         return False
 
+    def rehydrate(self, state: StateBundle, ctx: StepContext) -> None:
+        """Rebuild transient per-step products from a restored ``state``.
+
+        Called by the driver when a resume lands at (or past) the loop's
+        end, so no :meth:`step` ever runs in this process — anything the
+        step normally caches as a side effect (e.g. the last propagated
+        ``y`` feeding ``scores_from == "y"`` assembly) would otherwise
+        stay unset.  Default: nothing to rebuild.
+        """
+
     def converged(self, old: StateBundle, new: StateBundle) -> bool:
         """Convergence checked *after* each step."""
         return False
@@ -191,6 +201,8 @@ class DriverResult:
     """Outcome of one :meth:`IterationDriver.run`."""
 
     state: StateBundle
+    #: global iteration count — resumed runs include the checkpointed
+    #: iterations, not just the steps executed in this process.
     iterations: int
     converged: bool
 
@@ -261,12 +273,17 @@ class IterationDriver:
                 guard_names=step.guarded_names(),
             )
             it, state = supervisor.resume(state)
+            # A checkpoint at iteration k restores k+1 completed
+            # iterations; the count is global, not per-process.
+            iterations = it
         ctx = StepContext(supervisor, self.call)
+        steps_run = 0
         while it < self.max_iterations:
             if step.finished(state):
                 break
             ctx.iteration = it
             new = StateBundle.wrap(step.step(state, it, ctx))
+            steps_run += 1
             if ctx.stopped:
                 state = new
                 break
@@ -283,4 +300,10 @@ class IterationDriver:
                 break
             state = new
             it += 1
+        if steps_run == 0 and iterations > 0:
+            # Resume landed at (or past) the end: no step executed here,
+            # so transient step products must be rebuilt from the
+            # restored state (the last completed iteration's inputs).
+            ctx.iteration = max(it - 1, 0)
+            step.rehydrate(state, ctx)
         return DriverResult(state, iterations, converged)

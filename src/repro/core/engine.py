@@ -32,7 +32,7 @@ from .partition import RegularPartition, partition_regular
 from .permutation import permute_values, unpermute_values
 from .scga import ScgaKernel
 from .scheduler import MixenRunResult, run_schedule
-from .semiring import MIN_PLUS, PLUS_TIMES
+from .semiring import MIN_PLUS
 
 
 class MixenEngine(Engine):
@@ -121,6 +121,11 @@ class MixenEngine(Engine):
             dynamic_race_check(
                 self.partition.layout, self.partition.tasks
             )
+        # Force the one-shot phase plans now (cached on the mixed graph):
+        # building them is part of preparation, and each carries its own
+        # build-time race proof, so run-phase timings exclude the sorts.
+        self.mixed.seed_push_plan
+        self.mixed.sink_pull_plan
         if self.validate:
             self._validate_contracts()
         t_partition = time.perf_counter()
@@ -161,6 +166,18 @@ class MixenEngine(Engine):
             seed_values=self.mixed.seed_values,
             kernel=self.kernel,
             max_workers=self.max_workers,
+            seed_plan=self.mixed.seed_push_plan,
+        )
+
+    def _pull_sinks(self, sources: np.ndarray) -> np.ndarray:
+        """Post-Phase sink pull through the phase dispatch layer."""
+        from .phases import phase_reduce
+
+        return phase_reduce(
+            self.mixed.sink_pull_plan,
+            sources,
+            kernel=self.kernel,
+            max_workers=self.max_workers,
         )
 
     # ------------------------------------------------------------------ #
@@ -177,14 +194,7 @@ class MixenEngine(Engine):
         sink_csc = self.mixed.sink_csc
         sources = xp[: r + plan.num_seed]
         if sink_csc.num_rows:
-            gathered = sources[sink_csc.indices].astype(VALUE_DTYPE)
-            if self.mixed.sink_values is not None:
-                gathered = (
-                    gathered * self.mixed.sink_values
-                    if gathered.ndim == 1
-                    else gathered * self.mixed.sink_values[:, None]
-                )
-            y_sink = PLUS_TIMES.segment_reduce(gathered, sink_csc.indptr)
+            y_sink = self._pull_sinks(sources)
         else:
             y_sink = y_reg[:0]
         zero_shape = (
@@ -239,16 +249,22 @@ class MixenEngine(Engine):
         sink_csc = self.mixed.sink_csc
         if sink_csc.num_edges == 0:
             return
+        from .phases import trace_phase_reduce
+
         space = trace.space
-        if "sinkIdx" not in space:
-            space.register("sinkPtr", sink_csc.num_rows + 1, 4)
-            space.register("sinkIdx", sink_csc.num_edges, 4)
+        if "xSources" not in space:
             space.register("xSources", max(sink_csc.num_cols, 1), 4)
             space.register("ySink", max(sink_csc.num_rows, 1), 4)
-        trace.sequential("sinkPtr", 0, sink_csc.num_rows + 1)
-        trace.sequential("sinkIdx", 0, sink_csc.num_edges)
-        trace.gather("xSources", sink_csc.indices)
-        trace.sequential("ySink", 0, sink_csc.num_rows, write=True)
+        # The pull now runs through the phase dispatch layer; trace the
+        # resolved backend's actual pattern over the pull plan's streams.
+        trace_phase_reduce(
+            self.mixed.sink_pull_plan,
+            trace,
+            kernel=self.kernel,
+            x_name="xSources",
+            y_name="ySink",
+            prefix="sink",
+        )
 
     # ------------------------------------------------------------------ #
     # algorithms

@@ -120,6 +120,15 @@ def build_reduce_plan(layout) -> ReducePlan:
 # --------------------------------------------------------------------- #
 # serial kernels
 # --------------------------------------------------------------------- #
+def _flat_rank_indices(dst: np.ndarray, k: int) -> np.ndarray:
+    """Flattened ``(dst, column)`` bincount indices, promoted to int64
+    before the multiply: on int32-indexed layouts ``n * k`` near 2^31
+    would otherwise wrap silently."""
+    return dst.astype(np.int64, copy=False)[:, None] * np.int64(k) + np.arange(
+        k, dtype=np.int64
+    )
+
+
 def spmv_bincount(
     layout, x, *, static=None, max_workers=None, scatter_tasks=None
 ) -> np.ndarray:
@@ -151,7 +160,7 @@ def spmv_bincount(
     if msgs.size <= _FLAT_BINCOUNT_MAX_MSGS:
         # One bincount over (dst, column) pairs instead of k Python-level
         # passes; accumulation order per pair matches the per-column loop.
-        flat = layout.dst_gather[:, None] * k + np.arange(k, dtype=np.int64)
+        flat = _flat_rank_indices(layout.dst_gather, k)
         out = np.bincount(
             flat.ravel(), weights=msgs.ravel(), minlength=n * k
         ).reshape(n, k).astype(VALUE_DTYPE, copy=False)

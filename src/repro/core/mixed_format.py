@@ -18,6 +18,7 @@ boundary metadata lives in the :class:`~repro.core.filtering.FilterPlan`.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
@@ -59,6 +60,27 @@ class MixedGraph:
             + self.sink_csc.num_edges
         )
         return self.rr.num_edges / total if total else 0.0
+
+    @cached_property
+    def seed_push_plan(self):
+        """Pre-Phase segmented-reduce plan (seed rows -> regular bins),
+        built lazily once and cached (engines force it at prepare time
+        so run-phase timings exclude the plan sort)."""
+        from .phases import build_push_plan
+
+        return build_push_plan(
+            self.seed_to_reg, values=self.seed_values, name="seed-push"
+        )
+
+    @cached_property
+    def sink_pull_plan(self):
+        """Post-Phase segmented-reduce plan (sink rows <- their
+        regular/seed in-neighbors), built lazily once and cached."""
+        from .phases import build_pull_plan
+
+        return build_pull_plan(
+            self.sink_csc, values=self.sink_values, name="sink-pull"
+        )
 
     def nbytes(self, *, id_bytes: int = 4) -> int:
         """Footprint of the mixed representation.

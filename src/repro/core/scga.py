@@ -24,8 +24,13 @@ import numpy as np
 from ..frameworks.blocking import trace_blocked_iteration
 from ..graphs.csr import CSR
 from ..types import VALUE_DTYPE
-from .bins import build_static_bins
 from .partition import RegularPartition
+from .phases import (
+    PhaseReducePlan,
+    build_push_plan,
+    phase_reduce,
+    trace_phase_reduce,
+)
 
 
 class ScgaKernel:
@@ -61,6 +66,7 @@ class ScgaKernel:
         seed_values: np.ndarray | None = None,
         kernel: str = "bincount",
         max_workers: int | None = None,
+        seed_plan: PhaseReducePlan | None = None,
     ) -> None:
         self.partition = partition
         self.seed_to_reg = seed_to_reg
@@ -68,6 +74,7 @@ class ScgaKernel:
         self.seed_values = seed_values
         self.kernel = kernel
         self.max_workers = max_workers
+        self._seed_plan = seed_plan
         self.static: np.ndarray | None = None
         self._xs_seed: np.ndarray | None = None
 
@@ -76,19 +83,47 @@ class ScgaKernel:
         """Regular node count ``r``."""
         return self.partition.layout.num_nodes
 
-    def set_seed_input(self, xs_seed: np.ndarray) -> None:
+    @property
+    def seed_plan(self) -> PhaseReducePlan:
+        """Pre-Phase segmented-reduce plan (built lazily when the engine
+        did not pass the mixed format's cached one)."""
+        if self._seed_plan is None:
+            self._seed_plan = build_push_plan(
+                self.seed_to_reg,
+                values=self.seed_values,
+                name="seed-push",
+            )
+        return self._seed_plan
+
+    def push_seed(self, xs_seed: np.ndarray) -> np.ndarray:
+        """One seed push through the kernel dispatch layer: the Pre-Phase
+        computation as a pure function (used directly by the ablation's
+        per-iteration re-push, and by the scheduler's resilient Pre-Phase
+        executor as its retryable/downgradable call)."""
+        contrib = phase_reduce(
+            self.seed_plan,
+            np.asarray(xs_seed, dtype=VALUE_DTYPE),
+            kernel=self.kernel,
+            max_workers=self.max_workers,
+        )
+        # The seed sub-CSR uses a padded column space on empty graphs;
+        # clip to the regular range.
+        return contrib[: self.num_regular]
+
+    def set_seed_input(self, xs_seed: np.ndarray, *, executor=None) -> None:
         """Pre-Phase: push the (pre-scaled) seed values into the static
         bins (Algorithm 3, line 3).  With ``cache_step=False`` the values
-        are kept and re-accumulated on every iteration instead."""
+        are kept and re-accumulated on every iteration instead.  An
+        optional resilient ``executor`` wraps the push with the runtime's
+        retry/downgrade ladder (sharing the Main-Phase's chain)."""
         self._xs_seed = np.asarray(xs_seed, dtype=VALUE_DTYPE)
         if self.cache_step and self.num_regular:
-            self.static = build_static_bins(
-                self.seed_to_reg, self._xs_seed,
-                edge_values=self.seed_values,
-            )
-            # The seed sub-CSR uses a padded column space on empty graphs;
-            # clip to the regular range.
-            self.static = self.static[: self.num_regular]
+            if executor is not None:
+                self.static = executor.run(
+                    self._xs_seed, 0, call=self.push_seed
+                )
+            else:
+                self.static = self.push_seed(self._xs_seed)
 
     def _spmv(self, xs_reg: np.ndarray, static=None) -> np.ndarray:
         return self.partition.layout.spmv(
@@ -105,11 +140,7 @@ class ScgaKernel:
             return self._spmv(xs_reg, static=self.static)
         y = self._spmv(xs_reg)
         if self._xs_seed is not None and self.seed_to_reg.num_edges:
-            contrib = build_static_bins(
-                self.seed_to_reg, self._xs_seed,
-                edge_values=self.seed_values,
-            )
-            y = y + contrib[: self.num_regular]
+            y = y + self.push_seed(self._xs_seed)
         return y
 
     def traced_iterate(
@@ -143,10 +174,14 @@ class ScgaKernel:
                 trace.sequential("sta", 0, r)
                 trace.sequential("y", 0, r, write=True)
         elif self.seed_to_reg.num_edges:
-            # Ablation: re-push every seed message each iteration.
+            # Ablation: re-push every seed message each iteration, through
+            # the phase dispatch (same backend the real push uses).
             trace.sequential("xSeed", 0, self.seed_to_reg.num_rows)
-            trace.sequential("seedIdx", 0, self.seed_to_reg.num_edges)
-            trace.scatter("y", self.seed_to_reg.indices)
+            trace_phase_reduce(
+                self.seed_plan, trace,
+                kernel=self.kernel,
+                x_name="xSeed", y_name="y", prefix="seed",
+            )
         trace_blocked_iteration(
             self.partition.layout, trace, compress=compress,
             kernel=self.kernel,

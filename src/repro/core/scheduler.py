@@ -33,13 +33,24 @@ from .driver import BundleStep, IterationDriver, StateSpec
 from .filtering import FilterPlan
 from .mixed_format import MixedGraph
 from .permutation import permute_values, unpermute_values
+from .phases import phase_reduce
 from .scga import ScgaKernel
-from .semiring import PLUS_TIMES
+
+
+@dataclass(frozen=True)
+class PhaseStat:
+    """One phase's cost card: wall time plus its traffic shape
+    (messages streamed, output slots written)."""
+
+    seconds: float
+    messages: int = 0
+    slots: int = 0
 
 
 @dataclass
 class MixenRunResult(AlgorithmResult):
-    """Algorithm result with Mixen's per-phase timing breakdown."""
+    """Algorithm result with Mixen's per-phase breakdown (a
+    :class:`PhaseStat` per phase name)."""
 
     phases: dict = field(default_factory=dict)
 
@@ -77,7 +88,22 @@ def run_schedule(
         None if scale is None else permute_values(scale, plan.perm)
     )
     xs_seed = _scaled(xp[plan.seed_slice], scale_p, plan.seed_slice)
-    kernel.set_seed_input(xs_seed)
+    # The one-shot phases run through the kernel dispatch layer, wrapped
+    # (when supervised) by a resilient executor sharing the Main-Phase's
+    # retry policy, report and degradation ladder — a Pre-Phase fault
+    # walks the same chain the Main-Phase would.
+    phase_exec = None
+    if resilience is not None:
+        from ..resilience.executor import ResilientExecutor
+
+        phase_exec = ResilientExecutor(
+            kernel.push_seed,
+            kernel,
+            policy=resilience.policy,
+            report=resilience.report,
+            scan_outputs=resilience.options.scan_outputs,
+        )
+    kernel.set_seed_input(xs_seed, executor=phase_exec)
     t_pre = time.perf_counter()
 
     # ---- Main-Phase -------------------------------------------------- #
@@ -109,14 +135,20 @@ def run_schedule(
     )
     sink_csc = mixed.sink_csc
     if sink_csc.num_rows:
-        gathered = sources[sink_csc.indices].astype(VALUE_DTYPE)
-        if mixed.sink_values is not None:
-            gathered = (
-                gathered * mixed.sink_values
-                if gathered.ndim == 1
-                else gathered * mixed.sink_values[:, None]
+        pull_plan = mixed.sink_pull_plan
+
+        def pull_sinks(vals):
+            return phase_reduce(
+                pull_plan,
+                vals,
+                kernel=kernel.kernel,
+                max_workers=kernel.max_workers,
             )
-        y_sink = PLUS_TIMES.segment_reduce(gathered, sink_csc.indptr)
+
+        if phase_exec is not None:
+            y_sink = phase_exec.run(sources, last_it, call=pull_sinks)
+        else:
+            y_sink = pull_sinks(sources)
         x_sink = (
             xp[plan.sink_slice]
             if algorithm.x_constant
@@ -159,9 +191,21 @@ def run_schedule(
         seconds=t_post - t0,
         resilience=None if resilience is None else resilience.report,
         phases={
-            "pre": t_pre - t0,
-            "main": t_main - t_pre,
-            "post": t_post - t_main,
+            "pre": PhaseStat(
+                t_pre - t0,
+                messages=kernel.seed_plan.num_messages,
+                slots=kernel.seed_plan.num_runs,
+            ),
+            "main": PhaseStat(
+                t_main - t_pre,
+                messages=mixed.rr.num_edges * iterations,
+                slots=r,
+            ),
+            "post": PhaseStat(
+                t_post - t_main,
+                messages=mixed.sink_pull_plan.num_messages,
+                slots=mixed.sink_pull_plan.num_runs,
+            ),
         },
     )
     return result
@@ -205,6 +249,16 @@ class _MainPhaseStep(BundleStep):
 
     def converged(self, old, new) -> bool:
         return self.algorithm.converged(old["x"], new["x"])
+
+    def rehydrate(self, state, ctx) -> None:
+        """Recompute ``last_y`` from the restored regular segment when a
+        resume runs no Main-Phase step in this process (see
+        :meth:`repro.algorithms.base.AlgorithmStep.rehydrate`); without
+        it the ``scores_from == "y"`` assembly zero-fills."""
+        if self.algorithm.scores_from != "y":
+            return
+        xs = _scaled(state["x"], self.scale_p, self.reg_slice)
+        self.last_y = ctx.propagate(xs)
 
     def norm_limit(self) -> float | None:
         return _norm_limit(self.algorithm, self.graph)

@@ -204,3 +204,63 @@ class TestIterationDriver:
         ).run(np.ones(1))
         assert result.state["x"][0] == 8.0
         assert len(calls) == 3
+
+
+class TestResumeAccounting:
+    """Global iteration counting and rehydration after resume."""
+
+    def _resilience(self, tmp_path, **kw):
+        from repro.resilience import ResilienceContext, ResilienceOptions
+
+        return ResilienceContext(
+            ResilienceOptions(
+                checkpoint_dir=str(tmp_path), checkpoint_every=1, **kw
+            )
+        )
+
+    def test_resumed_iterations_are_global(self, tmp_path):
+        with self._resilience(tmp_path) as ctx:
+            first = IterationDriver(
+                CountingStep(), max_iterations=4, resilience=ctx
+            ).run(np.zeros(1))
+        assert first.iterations == 4
+        with self._resilience(tmp_path, resume=True) as ctx:
+            resumed = IterationDriver(
+                CountingStep(), max_iterations=6, resilience=ctx
+            ).run(np.zeros(1))
+        # 4 checkpointed + 2 fresh, not 2.
+        assert resumed.iterations == 6
+        assert resumed.state["x"][0] == 6.0
+
+    def test_resume_at_cap_counts_and_rehydrates(self, tmp_path):
+        rehydrated = []
+
+        class Rehydrating(CountingStep):
+            def rehydrate(self, state, ctx):
+                rehydrated.append((ctx.iteration, state["x"].copy()))
+
+        with self._resilience(tmp_path) as ctx:
+            IterationDriver(
+                Rehydrating(), max_iterations=3, resilience=ctx
+            ).run(np.zeros(1))
+        with self._resilience(tmp_path, resume=True) as ctx:
+            resumed = IterationDriver(
+                Rehydrating(), max_iterations=3, resilience=ctx
+            ).run(np.zeros(1))
+        assert resumed.iterations == 3
+        # rehydrate ran exactly once, at the last completed iteration,
+        # with the restored state.
+        assert len(rehydrated) == 1
+        it, x = rehydrated[0]
+        assert it == 2
+        assert x[0] == 3.0
+
+    def test_unresumed_run_never_rehydrates(self):
+        rehydrated = []
+
+        class Rehydrating(CountingStep):
+            def rehydrate(self, state, ctx):
+                rehydrated.append(ctx.iteration)
+
+        IterationDriver(Rehydrating(), max_iterations=3).run(np.zeros(1))
+        assert rehydrated == []

@@ -123,13 +123,25 @@ class TestPhases:
         res = prepared(g).run(PageRank(), max_iterations=5,
                               check_convergence=False)
         assert set(res.phases) == {"pre", "main", "post"}
-        assert all(v >= 0 for v in res.phases.values())
+        assert all(s.seconds >= 0 for s in res.phases.values())
+        assert all(s.messages >= 0 and s.slots >= 0
+                   for s in res.phases.values())
+
+    def test_phase_traffic_counts(self):
+        g = load_dataset("wiki", scale=0.25)
+        e = prepared(g)
+        res = e.run(PageRank(), max_iterations=5,
+                    check_convergence=False)
+        assert res.phases["pre"].messages == e.mixed.seed_to_reg.num_edges
+        assert res.phases["post"].messages == e.mixed.sink_csc.num_edges
+        assert res.phases["main"].messages == e.mixed.rr.num_edges * 5
+        assert res.phases["main"].slots == e.plan.num_regular
 
     def test_main_phase_dominates_on_many_iterations(self):
         g = load_dataset("pld", scale=0.5)
         res = prepared(g).run(PageRank(), max_iterations=50,
                               check_convergence=False)
-        assert res.phases["main"] > res.phases["post"]
+        assert res.phases["main"].seconds > res.phases["post"].seconds
 
     def test_cf_rank_k(self):
         g = load_dataset("wiki", scale=0.25)

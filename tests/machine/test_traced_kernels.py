@@ -99,3 +99,39 @@ class TestTracedKernelDispatch:
             engine.layout, trace, compress=True, kernel="reduceat"
         )
         assert "runStarts" not in trace.space
+
+
+class TestTracedPhasePatterns:
+    """The one-shot Pre-/Post-Phase accesses go through the phase
+    dispatch layer too: the trace must show the resolved backend's
+    pattern over the plan's streams."""
+
+    def mixen_traced(self, graph, kernel, **opts):
+        from repro.core.engine import MixenEngine
+
+        engine = MixenEngine(graph, kernel=kernel, **opts)
+        engine.prepare()
+        trace = AccessTrace(AddressSpace(64))
+        x = np.random.default_rng(7).random(graph.num_nodes)
+        engine.traced_propagate(x, trace)
+        return engine, trace
+
+    def test_sink_pull_registers_plan_streams(self, wiki):
+        _, trace = self.mixen_traced(wiki, "reduceat")
+        assert "sinkSrc" in trace.space
+        assert "sinkMsgs" in trace.space
+        assert "sinkRunStarts" in trace.space
+        assert "sinkRunDst" in trace.space
+
+    def test_sink_pull_bincount_streams_dst(self, wiki):
+        _, trace = self.mixen_traced(wiki, "bincount")
+        assert "sinkDst" in trace.space
+        assert "sinkRunStarts" not in trace.space
+
+    def test_seed_push_traced_in_ablation(self, wiki):
+        # cache_step=False re-pushes the seed contribution per
+        # iteration; the traced iteration must include the seed plan's
+        # streams.
+        _, trace = self.mixen_traced(wiki, "reduceat", cache_step=False)
+        assert "seedSrc" in trace.space
+        assert "seedMsgs" in trace.space
