@@ -1,4 +1,4 @@
-"""SpMV kernel microbenchmark: bincount vs reduceat vs thread pool.
+"""SpMV kernel microbenchmark: bincount vs reduceat vs thread/process pool.
 
 Times every kernel backend on one R-MAT graph across the 1-D / rank-k and
 unweighted / weighted cases, and records the per-kernel timings (plus
@@ -6,6 +6,12 @@ speedups over the serial bincount baseline) to
 ``bench_results/kernels.json`` so later PRs have a perf trajectory to
 beat.  The default graph is the acceptance target: ``2**17`` ~ 100k nodes
 and ~1M edges.
+
+The report also carries an ``mp_model`` section: the stride-schedule
+makespan model (:func:`repro.parallel.simthreads.mp_parallel_profile`)
+predicts the process-pool speedup from the scatter-task load vector, and
+is recorded next to the measured ``parallel-mp`` vs ``parallel`` ratio so
+regressions in either the model or the pool show up in one place.
 
 Run from the repo root::
 
@@ -34,6 +40,8 @@ from repro.core.kernels import KERNELS, spmv  # noqa: E402
 from repro.core.partition import make_block_tasks  # noqa: E402
 from repro.frameworks.blocking import build_block_layout  # noqa: E402
 from repro.graphs.generators import rmat  # noqa: E402
+from repro.parallel import procpool  # noqa: E402
+from repro.parallel.simthreads import mp_parallel_profile  # noqa: E402
 from repro.parallel.threadpool import default_workers  # noqa: E402
 
 BASELINE = "bincount"
@@ -58,6 +66,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="timed repetitions per case (the minimum is recorded)",
     )
     parser.add_argument(
+        "--mp-workers", type=int, default=None,
+        help="process-pool width for the parallel-mp cases "
+        "(default: affinity-aware default_workers())",
+    )
+    parser.add_argument(
         "--out", default=str(ROOT / "bench_results" / "kernels.json")
     )
     parser.add_argument(
@@ -77,12 +90,23 @@ def time_kernel(layout, x, *, repeats, tasks, **options) -> float:
     return best
 
 
+def mp_task_loads(layout) -> np.ndarray:
+    """Per-task message loads of the mp plan (one task per block-col)."""
+    gp = layout.gather_block_ptr
+    b = layout.num_blocks_per_side
+    edges = np.asarray(
+        [gp[(j + 1) * b] - gp[j * b] for j in range(b)], dtype=np.int64
+    )
+    return edges[edges > 0]
+
+
 def run_cases(args) -> dict:
     graph = rmat(args.scale, args.edge_factor, seed=1)
     csr = graph.csr
     rng = np.random.default_rng(0)
     weights = rng.random(graph.num_edges) + 0.5
     kernels = tuple(KERNELS)
+    mp_workers = args.mp_workers or default_workers()
     results = {
         "graph": {
             "generator": "rmat",
@@ -95,14 +119,18 @@ def run_cases(args) -> dict:
         "rank": args.rank,
         "repeats": args.repeats,
         "workers": default_workers(),
+        "mp_workers": mp_workers,
         "baseline": BASELINE,
         "cases": {},
     }
+    unweighted_layout = None
     for weighted in (False, True):
         layout = build_block_layout(
             csr.row_ids(), csr.indices, graph.num_nodes,
             args.block_nodes, values=weights if weighted else None,
         )
+        if not weighted:
+            unweighted_layout = layout
         tasks = make_block_tasks(layout)
         for rank in (None, args.rank):
             x = (
@@ -118,6 +146,11 @@ def run_cases(args) -> dict:
                 name: time_kernel(
                     layout, x, kernel=name, repeats=args.repeats,
                     tasks=tasks,
+                    max_workers=(
+                        args.mp_workers
+                        if name in ("parallel", "parallel-mp")
+                        else None
+                    ),
                 )
                 for name in kernels
             }
@@ -130,6 +163,24 @@ def run_cases(args) -> dict:
             results["cases"][case] = {
                 "seconds": timings, **speedups
             }
+    # Model-vs-measured: the stride-schedule makespan model predicts
+    # the pool speedup from the task load vector alone; the measured
+    # ratio divides the thread rung by the process rung per case.
+    profile = mp_parallel_profile(
+        mp_task_loads(unweighted_layout), mp_workers
+    )
+    results["mp_model"] = {
+        "num_workers": profile.num_workers,
+        "num_tasks": profile.num_tasks,
+        "modeled_speedup": profile.modeled_speedup,
+        "balance": profile.balance,
+        "measured_mp_vs_parallel": {
+            case: data["seconds"]["parallel"]
+            / data["seconds"]["parallel-mp"]
+            for case, data in results["cases"].items()
+        },
+    }
+    procpool.cleanup()
     return results
 
 
@@ -149,6 +200,20 @@ def render(results: dict) -> str:
         lines.append(
             f"  {case:<20} " + "  ".join(parts)
             + f"  (reduceat {speedup:.2f}x vs {BASELINE})"
+        )
+    model = results.get("mp_model")
+    if model:
+        measured = model["measured_mp_vs_parallel"]
+        lines.append(
+            "  mp model: {n} worker(s) over {t} task(s), predicted "
+            "{pred:.2f}x, measured vs parallel "
+            .format(
+                n=model["num_workers"], t=model["num_tasks"],
+                pred=model["modeled_speedup"],
+            )
+            + "  ".join(
+                f"{case} {ratio:.2f}x" for case, ratio in measured.items()
+            )
         )
     return "\n".join(lines)
 
@@ -197,6 +262,11 @@ def test_report_kernels(tmp_path):
     for case in data["cases"].values():
         assert set(case["seconds"]) == set(KERNELS)
         assert f"speedup_reduceat_vs_{BASELINE}" in case
+        assert f"speedup_parallel-mp_vs_{BASELINE}" in case
+    model = data["mp_model"]
+    assert model["num_workers"] >= 1
+    assert model["modeled_speedup"] >= 1.0
+    assert set(model["measured_mp_vs_parallel"]) == set(data["cases"])
 
 
 if __name__ == "__main__":

@@ -15,7 +15,11 @@ rule on that line):
   import-gated, never imported at module top level;
 * :class:`HandRolledLoopRule` (REP005) — no hand-rolled ``propagate``
   iteration loops outside the unified driver
-  (:mod:`repro.core.driver`).
+  (:mod:`repro.core.driver`);
+* :class:`SharedMemoryOutsidePoolRule` (REP006) — raw
+  ``multiprocessing.shared_memory`` use is confined to
+  ``parallel/procpool.py`` (the segment registry that guarantees
+  unlink-on-exit).
 
 Files are scoped by their path segments (``core``, ``frameworks``) so the
 rules work both on the real tree and on seeded test fixtures laid out the
@@ -72,6 +76,10 @@ PROPAGATE_CALLS = frozenset({"propagate", "propagate_out", "iterate"})
 
 #: files allowed to own the outer iteration loop (REP005 exemption).
 DRIVER_FILES = frozenset({"driver.py"})
+
+#: the one file allowed to touch ``multiprocessing.shared_memory``
+#: (REP006 exemption): its registry owns segment lifetime and unlink.
+SHM_OWNER_FILES = frozenset({"procpool.py"})
 
 _NOQA_RE = re.compile(
     r"#\s*repro:\s*noqa(?:\s+(?P<rules>[A-Z]+\d+(?:[,\s]+[A-Z]+\d+)*))?"
@@ -349,6 +357,61 @@ class HandRolledLoopRule(Rule):
                 )
 
 
+class SharedMemoryOutsidePoolRule(Rule):
+    """REP006: ``multiprocessing.shared_memory`` only inside procpool.
+
+    A segment created (or even attached) outside
+    :mod:`repro.parallel.procpool` bypasses the :class:`ShmRegistry`
+    that guarantees close-and-unlink on eviction, crash teardown and
+    ``atexit`` — exactly how ``/dev/shm`` leaks are born.  Route all
+    segment traffic through the procpool registry/pack helpers.
+    """
+
+    id = "REP006"
+
+    def applies_to(self, scope: tuple) -> bool:
+        return scope[-1] not in SHM_OWNER_FILES
+
+    @staticmethod
+    def _mentions_shared_memory(node: ast.AST) -> bool:
+        if isinstance(node, ast.Import):
+            return any(
+                "shared_memory" in alias.name for alias in node.names
+            )
+        if isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            return "shared_memory" in module or any(
+                alias.name == "shared_memory" for alias in node.names
+            )
+        return False
+
+    def check(self, tree: ast.AST, scope: tuple):
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                if self._mentions_shared_memory(node):
+                    yield (
+                        node,
+                        "multiprocessing.shared_memory imported outside "
+                        "parallel/procpool.py; go through the procpool "
+                        "segment registry (guaranteed unlink)",
+                    )
+            elif (
+                isinstance(node, (ast.Name, ast.Attribute))
+                and (
+                    node.id
+                    if isinstance(node, ast.Name)
+                    else node.attr
+                )
+                == "SharedMemory"
+            ):
+                yield (
+                    node,
+                    "raw SharedMemory use outside parallel/procpool.py; "
+                    "go through the procpool segment registry "
+                    "(guaranteed unlink)",
+                )
+
+
 #: rule id -> rule instance, in reporting order.
 RULES: dict = {
     rule.id: rule
@@ -358,6 +421,7 @@ RULES: dict = {
         SetToArrayRule(),
         UngatedOptionalImportRule(),
         HandRolledLoopRule(),
+        SharedMemoryOutsidePoolRule(),
     )
 }
 

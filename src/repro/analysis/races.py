@@ -726,6 +726,140 @@ def dynamic_phase_check(plan) -> PhasePlanProof:
 
 
 # --------------------------------------------------------------------- #
+# process-pool reduce proof (the parallel-mp backend)
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class MPScheduleProof:
+    """Evidence record of one successful process-pool schedule proof."""
+
+    name: str
+    num_tasks: int
+    num_messages: int
+    num_rows: int
+
+    def describe(self) -> str:
+        """One-line human summary."""
+        return (
+            f"mp schedule {self.name!r}: {self.num_tasks} tasks over "
+            f"{self.num_messages} messages into {self.num_rows} rows — "
+            "process-disjoint"
+        )
+
+
+def prove_mp_reduce(
+    name: str,
+    tasks,
+    num_rows: int,
+    num_messages: int,
+    *,
+    dst=None,
+    run_dst=None,
+) -> MPScheduleProof:
+    """Prove a process-pool reduce task table race-free.
+
+    ``tasks`` is the ``(T, 6)`` table ``(elo, ehi, rlo, rhi, row_lo,
+    row_hi)`` a :class:`~repro.parallel.procpool.ShmReducePlan` ships to
+    the workers.  Unlike the thread schedule there is no shared bins
+    buffer — each worker computes its messages privately — so the proof
+    obligations are: the edge slices are pairwise disjoint and tile
+    ``[0, num_messages)`` exactly (no message dropped or double-counted
+    across processes), the claimed output row intervals are pairwise
+    disjoint (the lock-free writes into the shared ``y`` segment), and
+    the *actual* destinations (``dst`` for the bincount base, the run
+    table's ``run_dst`` for reduceat) stay inside each task's claimed
+    rows.  Raises :class:`RaceError` on the first violation.
+    """
+    table = np.asarray(tasks, dtype=np.int64).reshape(-1, 6)
+    accesses = []
+    for t in range(table.shape[0]):
+        elo, ehi, rlo, rhi, row_lo, row_hi = (int(v) for v in table[t])
+        label = f"{name}[{t}]"
+        if not 0 <= elo < ehi <= num_messages:
+            raise RaceError(
+                f"{label} claims messages [{elo}:{ehi}) outside "
+                f"[0, {num_messages})",
+                task_a=label,
+                array=MSGS_ARRAY,
+                overlap=(elo, ehi),
+            )
+        if not 0 <= row_lo < row_hi <= num_rows:
+            raise RaceError(
+                f"{label} claims output rows [{row_lo}:{row_hi}) "
+                f"outside [0, {num_rows})",
+                task_a=label,
+                array=Y_ARRAY,
+                overlap=(row_lo, row_hi),
+            )
+        if rhi > rlo:
+            if run_dst is None:
+                raise RaceError(
+                    f"{label} claims runs [{rlo}:{rhi}) but the plan "
+                    "carries no run table",
+                    task_a=label,
+                    array=Y_ARRAY,
+                )
+            seg = np.asarray(run_dst)[rlo:rhi]
+            if int(seg.min()) < row_lo or int(seg.max()) >= row_hi:
+                raise RaceError(
+                    f"{label} run destinations escape its claimed rows "
+                    f"[{row_lo}:{row_hi})",
+                    task_a=label,
+                    array=Y_ARRAY,
+                    overlap=(int(seg.min()), int(seg.max()) + 1),
+                )
+        elif dst is not None:
+            seg = np.asarray(dst)[elo:ehi]
+            if int(seg.min()) < row_lo or int(seg.max()) >= row_hi:
+                raise RaceError(
+                    f"{label} destinations escape its claimed rows "
+                    f"[{row_lo}:{row_hi})",
+                    task_a=label,
+                    array=Y_ARRAY,
+                    overlap=(int(seg.min()), int(seg.max()) + 1),
+                )
+        accesses.append(
+            TaskAccess(
+                label,
+                (
+                    AccessInterval(MSGS_ARRAY, elo, ehi, write=True),
+                    AccessInterval(Y_ARRAY, row_lo, row_hi, write=True),
+                ),
+            )
+        )
+    prove_disjoint(accesses)
+    # The edge slices must tile the message range exactly: a gap is a
+    # message no process reduces, i.e. a silently dropped contribution.
+    spans = sorted(
+        (iv.lo, iv.hi)
+        for access in accesses
+        for iv in access.writes(MSGS_ARRAY)
+    )
+    cursor = 0
+    for lo, hi in spans:
+        if lo > cursor:
+            raise RaceError(
+                f"mp schedule {name!r}: messages [{cursor}:{lo}) are "
+                "owned by no task",
+                array=MSGS_ARRAY,
+                overlap=(cursor, lo),
+            )
+        cursor = max(cursor, hi)
+    if cursor < num_messages:
+        raise RaceError(
+            f"mp schedule {name!r}: messages [{cursor}:{num_messages}) "
+            "are owned by no task",
+            array=MSGS_ARRAY,
+            overlap=(cursor, num_messages),
+        )
+    return MPScheduleProof(
+        name=name,
+        num_tasks=int(table.shape[0]),
+        num_messages=int(num_messages),
+        num_rows=int(num_rows),
+    )
+
+
+# --------------------------------------------------------------------- #
 # dispatch hook
 # --------------------------------------------------------------------- #
 # Keyed by id() because BlockLayout (frozen dataclass over ndarrays) is

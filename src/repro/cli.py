@@ -176,6 +176,12 @@ def _add_kernel_options(parser) -> None:
         help="replay the parallel schedule with instrumentation and "
         "cross-check it against the static race proof",
     )
+    parser.add_argument(
+        "--mp-workers", type=int, default=None, metavar="N",
+        help="worker count for the parallel/parallel-mp backends "
+        "(default: the affinity-aware host width, capped by "
+        "REPRO_MAX_WORKERS)",
+    )
 
 
 def _add_resilience_options(parser) -> None:
@@ -265,6 +271,7 @@ def _engine_options(args) -> dict:
         ("kernel", "--kernel", None),
         ("validate", "--validate", False),
         ("race_check", "--race-check", False),
+        ("mp_workers", "--mp-workers", None),
     )
     for attr, flag, default in flags:
         value = getattr(args, attr, default)
@@ -275,7 +282,8 @@ def _engine_options(args) -> dict:
                 f"engine {args.engine!r} has no kernel dispatch; "
                 f"{flag} applies to: {', '.join(KERNEL_ENGINES)}"
             )
-        options[attr] = value
+        # The engines take the pool width as ``max_workers``.
+        options["max_workers" if attr == "mp_workers" else attr] = value
     return options
 
 

@@ -18,9 +18,17 @@ how the Gather accumulation is executed:
   :class:`~repro.core.partition.BlockTask` slices), the Gather phase one
   job per block-column, on top of either serial accumulation ``base``.
   Worker count defaults to :func:`repro.parallel.threadpool.default_workers`.
+* ``parallel-mp`` — process-pool execution: true multicore without the
+  GIL.  A persistent worker pool (:mod:`repro.parallel.procpool`)
+  attaches to the layout metadata and the input vector through
+  ``multiprocessing.shared_memory`` and fuses Scatter and Gather per
+  block-column, writing disjoint slices of a shared output buffer
+  lock-free.  Plans are packed once per layout (cached by structure
+  fingerprint); dispatch ships only a tiny manifest.
 * ``auto`` — resolved per layout: ``parallel`` for graphs at or above
   :data:`AUTO_PARALLEL_MIN_EDGES` edges on multicore hosts, ``reduceat``
-  otherwise.
+  otherwise (``parallel-mp`` is opt-in — process pools are a deliberate
+  resource commitment).
 
 Numerical equivalence contract: serial and parallel execution of the same
 accumulation base are **bit-identical** (each thread owns the same
@@ -46,7 +54,7 @@ from ..errors import EngineError
 from ..types import VALUE_DTYPE
 
 #: kernel names accepted by engines and the CLI ``--kernel`` flag.
-KERNEL_NAMES = ("bincount", "reduceat", "parallel", "auto")
+KERNEL_NAMES = ("bincount", "reduceat", "parallel", "parallel-mp", "auto")
 
 #: ``auto`` picks the thread-pool kernel at or above this edge count
 #: (below it, pool dispatch overhead beats the parallelism win).
@@ -342,6 +350,72 @@ def spmv_parallel(
 
 
 # --------------------------------------------------------------------- #
+# process-pool kernel
+# --------------------------------------------------------------------- #
+def spmv_parallel_mp(
+    layout,
+    x,
+    *,
+    static=None,
+    max_workers=None,
+    scatter_tasks=None,
+    base=None,
+) -> np.ndarray:
+    """Blocked propagation executed on a shared-memory process pool.
+
+    Each worker process attaches to a packed, fingerprint-cached shm
+    plan (:func:`repro.parallel.procpool.ensure_layout_plan`) and fuses
+    Scatter and Gather over its stride of block-columns, accumulating
+    with the serial ``base``'s exact per-destination order into a
+    disjoint slice of the shared output buffer — bit-identical to the
+    serial backend, proved disjoint by
+    :func:`repro.analysis.races.prove_mp_reduce` at plan build.
+
+    ``scatter_tasks`` is accepted for signature uniformity and ignored:
+    the mp task unit is the block-column (fused), not the scatter slice.
+    With a single available worker the serial base runs directly —
+    same bits, no pool or segment overhead.
+    """
+    from ..parallel import procpool
+    from ..parallel.threadpool import recommended_workers
+    from ..resilience import faults
+
+    injector = faults.active()
+    if injector is not None:
+        injector.parallel_call()
+    x = np.asarray(x, dtype=VALUE_DTYPE)
+    m = layout.num_edges
+    rank_k = x.ndim != 1
+    if base is None:
+        base = "reduceat" if rank_k else "bincount"
+    if base not in ("bincount", "reduceat"):
+        raise EngineError(
+            f"unknown parallel base kernel {base!r}; "
+            "expected 'bincount' or 'reduceat'"
+        )
+    serial = spmv_reduceat if base == "reduceat" else spmv_bincount
+    if m == 0:
+        return serial(layout, x, static=static)
+    workers = recommended_workers(
+        layout.num_blocks_per_side, max_workers
+    )
+    if workers == 1 and injector is None:
+        # Same shortcut as the thread kernel: one worker means process
+        # dispatch overhead with no overlap; an armed injector disables
+        # it so fault drills exercise the real pool on any host width.
+        return serial(layout, x, static=static)
+    plan = procpool.ensure_layout_plan(layout, base)
+    y = procpool.run_reduce(plan, x, base=base, workers=workers)
+    if injector is not None:
+        # Post-collection corruption drill: a torn/poisoned shared
+        # output buffer must trip the executor's non-finite downgrade.
+        injector.corrupt_bins(y)
+    if static is not None:
+        y += static
+    return y
+
+
+# --------------------------------------------------------------------- #
 # dispatch
 # --------------------------------------------------------------------- #
 #: name -> kernel callable with the uniform signature
@@ -350,6 +424,7 @@ KERNELS: dict[str, Callable] = {
     "bincount": spmv_bincount,
     "reduceat": spmv_reduceat,
     "parallel": spmv_parallel,
+    "parallel-mp": spmv_parallel_mp,
 }
 
 
@@ -396,7 +471,7 @@ def spmv(
     against the static race proof (:mod:`repro.analysis.races`).
     """
     resolved = resolve_kernel(kernel, layout)
-    if resolved == "parallel":
+    if resolved in ("parallel", "parallel-mp"):
         from ..analysis.races import (
             ensure_layout_checked,
             race_check_enabled,

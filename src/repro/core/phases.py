@@ -387,6 +387,54 @@ def phase_reduce_parallel(
 
 
 # --------------------------------------------------------------------- #
+# process-pool backend
+# --------------------------------------------------------------------- #
+def phase_reduce_parallel_mp(
+    plan: PhaseReducePlan, x, *, max_workers=None, base=None
+) -> np.ndarray:
+    """Partitioned phase reduce on the shared-memory process pool.
+
+    The plan's run-aligned partitions are exactly the disjoint task
+    units the pool needs: each worker fuses Scatter and Gather over its
+    stride of partitions and writes its row intervals into the shared
+    output buffer lock-free (the packed schedule is re-proved by
+    :func:`repro.analysis.races.prove_mp_reduce` at pack time).  Same
+    serial shortcut and fault-injection sites as the thread backend.
+    """
+    from ..parallel import procpool
+    from ..parallel.threadpool import recommended_workers
+    from ..resilience import faults
+
+    injector = faults.active()
+    if injector is not None:
+        injector.parallel_call()
+    x = np.asarray(x, dtype=VALUE_DTYPE)
+    rank_k = x.ndim != 1
+    if base is None:
+        base = "reduceat" if rank_k else "bincount"
+    if base not in ("bincount", "reduceat"):
+        raise EngineError(
+            f"unknown phase base kernel {base!r}; "
+            "expected 'bincount' or 'reduceat'"
+        )
+    serial = (
+        phase_reduce_reduceat
+        if base == "reduceat"
+        else phase_reduce_bincount
+    )
+    if plan.num_messages == 0 or plan.num_runs == 0:
+        return serial(plan, x)
+    workers = recommended_workers(plan.num_partitions, max_workers)
+    if workers == 1 and injector is None:
+        return serial(plan, x)
+    shm_plan = procpool.ensure_phase_plan(plan, base)
+    y = procpool.run_reduce(shm_plan, x, base=base, workers=workers)
+    if injector is not None:
+        injector.corrupt_bins(y)
+    return y
+
+
+# --------------------------------------------------------------------- #
 # dispatch
 # --------------------------------------------------------------------- #
 #: name -> phase backend with the uniform signature
@@ -395,6 +443,7 @@ PHASE_KERNELS = {
     "bincount": phase_reduce_bincount,
     "reduceat": phase_reduce_reduceat,
     "parallel": phase_reduce_parallel,
+    "parallel-mp": phase_reduce_parallel_mp,
 }
 
 
@@ -420,7 +469,7 @@ def phase_reduce(
             f"kernel {resolved!r} has no phase backend; "
             f"available: {', '.join((*PHASE_KERNELS, 'auto'))}"
         )
-    if resolved == "parallel":
+    if resolved in ("parallel", "parallel-mp"):
         from ..analysis.races import (
             ensure_phase_plan_checked,
             race_check_enabled,

@@ -51,7 +51,7 @@ class ScgaKernel:
         kernel consumes the partition's balanced block tasks.  The
         attribute stays writable mid-run: the resilient runtime
         (:mod:`repro.resilience.executor`) downgrades it one rung at a
-        time (``parallel -> reduceat -> bincount``) when a backend
+        time (``parallel-mp -> parallel -> reduceat -> bincount``) when a backend
         keeps failing, and the next :meth:`iterate` picks it up.
     max_workers:
         Thread-pool width for the parallel kernel (None: host default).

@@ -14,7 +14,7 @@ Results are assembled in the relabeled space and unpermuted at the end.
 
 With a :class:`~repro.resilience.executor.ResilienceContext` the
 Main-Phase loop runs supervised: kernel calls retry and degrade
-(``parallel -> reduceat -> bincount``), the rank state checkpoints on a
+(``parallel-mp -> parallel -> reduceat -> bincount``), the rank state checkpoints on a
 cadence (and resumes bit-identically after a kill), and the
 numerical-health guards police every post-apply state — see
 DESIGN.md, "Resilience runtime".

@@ -121,6 +121,27 @@ class StallError(ResilienceError):
         self.deadline = deadline
 
 
+class WorkerCrashError(ResilienceError):
+    """A process-pool worker died mid-dispatch (killed, OOM, segfault).
+
+    ``rank`` is the dead worker's pool rank, ``exitcode`` its process
+    exit status when known.  The degradation ladder treats it like any
+    other kernel failure: the run steps down to the thread backend and
+    replays only the failed iteration.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        rank: int | None = None,
+        exitcode: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.rank = rank
+        self.exitcode = exitcode
+
+
 class CheckpointError(ResilienceError):
     """A checkpoint is unreadable or belongs to a different run
     (layout-fingerprint mismatch)."""

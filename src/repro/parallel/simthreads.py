@@ -73,3 +73,74 @@ def parallel_profile(engine, *, num_threads: int | None = None
         num_tasks=int(loads.size),
         schedule=dynamic_schedule(loads, num_threads),
     )
+
+
+@dataclass(frozen=True)
+class MPProfile:
+    """Modeled profile of the process pool's static stride assignment.
+
+    Unlike the thread model's dynamic schedule, ``parallel-mp`` assigns
+    task ``t`` to worker ``t mod W`` deterministically (reproducibility
+    over work stealing), so the makespan is the heaviest stride sum —
+    hubs clustered at one stride phase show up as load imbalance here
+    before a benchmark ever runs.
+    """
+
+    num_workers: int
+    num_tasks: int
+    #: per-worker summed loads under the stride assignment.
+    worker_loads: tuple
+    total_load: int
+    makespan: int
+
+    @property
+    def modeled_speedup(self) -> float:
+        """Total work over the heaviest worker's share."""
+        if self.makespan == 0:
+            return 1.0
+        return self.total_load / self.makespan
+
+    @property
+    def balance(self) -> float:
+        """Mean worker load over the heaviest (1.0 = perfectly even)."""
+        if self.makespan == 0 or self.num_workers == 0:
+            return 1.0
+        mean = self.total_load / self.num_workers
+        return mean / self.makespan
+
+
+def mp_parallel_profile(loads, num_workers: int) -> MPProfile:
+    """Model the process pool's stride assignment over per-task loads.
+
+    ``loads`` is any per-task cost vector (block-column nnz for the
+    layout plans, partition message counts for phase plans); benchmarks
+    compare :attr:`MPProfile.modeled_speedup` against the measured
+    thread-vs-process ratio.
+    """
+    if num_workers <= 0:
+        raise EngineError(
+            f"num_workers must be positive, got {num_workers}"
+        )
+    loads = np.asarray(loads, dtype=np.int64)
+    width = min(num_workers, max(int(loads.size), 1))
+    worker_loads = tuple(
+        int(loads[rank::width].sum()) for rank in range(width)
+    )
+    return MPProfile(
+        num_workers=width,
+        num_tasks=int(loads.size),
+        worker_loads=worker_loads,
+        total_load=int(loads.sum()),
+        makespan=max(worker_loads) if worker_loads else 0,
+    )
+
+
+def mp_profile(engine, *, num_workers: int | None = None) -> MPProfile:
+    """Modeled process-pool profile for a prepared blocked engine
+    (same task loads as :func:`parallel_profile`, stride-assigned)."""
+    engine._require_prepared()
+    if num_workers is None:
+        from .threadpool import default_workers
+
+        num_workers = default_workers()
+    return mp_parallel_profile(_task_loads(engine), num_workers)

@@ -18,22 +18,54 @@ from typing import Callable, Iterable, Sequence
 from ..errors import MachineError, StallError
 
 
-def default_workers() -> int:
-    """Worker count: ``REPRO_NUM_THREADS`` or the host's CPU count."""
-    env = os.environ.get("REPRO_NUM_THREADS")
-    if env:
+def _positive_env_int(name: str) -> int | None:
+    """Validated positive-integer environment override, or None."""
+    env = os.environ.get(name)
+    if not env:
+        return None
+    try:
+        value = int(env)
+    except ValueError:
+        raise MachineError(
+            f"{name} must be an integer, got {env!r}"
+        ) from None
+    if value <= 0:
+        raise MachineError(f"{name} must be positive, got {value}")
+    return value
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually run on.
+
+    ``os.cpu_count()`` reports the whole machine, which overcommits
+    pools on cgroup/affinity-limited hosts (CI runners, containers,
+    ``taskset``); the scheduler affinity mask is the real budget where
+    the platform exposes it.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
         try:
-            value = int(env)
-        except ValueError:
-            raise MachineError(
-                f"REPRO_NUM_THREADS must be an integer, got {env!r}"
-            ) from None
-        if value <= 0:
-            raise MachineError(
-                f"REPRO_NUM_THREADS must be positive, got {value}"
-            )
-        return value
+            return len(getaffinity(0)) or 1
+        except OSError:
+            pass
     return os.cpu_count() or 1
+
+
+def default_workers() -> int:
+    """Worker count shared by the thread and process pools.
+
+    ``REPRO_NUM_THREADS`` is an explicit request and wins outright;
+    otherwise the affinity-aware CPU budget (:func:`available_cpus`),
+    capped by ``REPRO_MAX_WORKERS`` when set.
+    """
+    requested = _positive_env_int("REPRO_NUM_THREADS")
+    if requested is not None:
+        return requested
+    workers = available_cpus()
+    cap = _positive_env_int("REPRO_MAX_WORKERS")
+    if cap is not None:
+        workers = min(workers, cap)
+    return workers
 
 
 def recommended_workers(

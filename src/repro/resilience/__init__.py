@@ -15,7 +15,7 @@ NaN-poisoned state instead of dying mid-run.
 * :mod:`repro.resilience.guards` — NaN/Inf/overflow/divergence/stall
   detection with raise / clamp / rollback policies;
 * :mod:`repro.resilience.executor` — the degradation ladder
-  ``parallel -> reduceat -> bincount`` and the run supervisor;
+  ``parallel-mp -> parallel -> reduceat -> bincount`` and the run supervisor;
 * :mod:`repro.resilience.report` — the structured
   :class:`ResilienceReport` attached to engine results.
 """

@@ -7,10 +7,15 @@ iteration loops:
   :meth:`~repro.core.scga.ScgaKernel.iterate`, or an engine's
   ``propagate``) with per-attempt retry/watchdog
   (:mod:`repro.resilience.retry`) and the ordered **degradation
-  ladder** ``parallel -> reduceat -> bincount``: when a backend keeps
-  failing — or returns non-finite values from finite input (a
-  corrupted bins slot) — the runtime steps down one rung, re-runs
-  *only the failed iteration*, and records the downgrade;
+  ladder** ``parallel-mp -> parallel -> reduceat -> bincount``: when a
+  backend keeps failing — or returns non-finite values from finite
+  input (a corrupted bins slot) — the runtime steps down one rung,
+  re-runs *only the failed iteration*, and records the downgrade.  The
+  top rung's failure domain is a *process*: a killed or stalled pool
+  worker surfaces as :class:`~repro.errors.WorkerCrashError` /
+  :class:`~repro.errors.StallError` after the pool fail-stops (workers
+  killed, shared-memory segments unlinked), and the run steps down to
+  the thread backend with nothing orphaned;
 * :class:`LoopSupervisor` drives one algorithm run: checkpoint resume,
   per-iteration guard verdicts, rollback-to-last-known-good, and
   checkpoint saves;
@@ -42,7 +47,7 @@ from .report import CheckpointEvent, DowngradeEvent, ResilienceReport
 from .retry import RetryPolicy, run_with_retry
 
 #: ordered kernel fallback chain (most parallel first).
-DEGRADATION_CHAIN = ("parallel", "reduceat", "bincount")
+DEGRADATION_CHAIN = ("parallel-mp", "parallel", "reduceat", "bincount")
 
 
 def next_backend(kernel: str | None) -> str | None:

@@ -12,9 +12,11 @@ at well-defined injection points inside the kernels:
   :class:`~repro.errors.InjectedFault` inside the thread pool;
 * ``corrupt`` — one slot of the parallel kernel's bins buffer is
   overwritten (NaN by default) between Scatter and Gather;
-* ``stall`` — a Scatter task sleeps past the dispatch watchdog's
-  deadline;
-* ``fail`` — a named kernel backend raises at dispatch time.
+* ``stall`` — a Scatter task (``task=``) or a process-pool worker
+  (``worker=``) sleeps past the dispatch watchdog's deadline;
+* ``fail`` — a named kernel backend raises at dispatch time;
+* ``kill`` — a ``parallel-mp`` pool worker hard-exits mid-dispatch
+  (``os._exit``), exercising the process failure domain.
 
 Spec grammar (entries separated by ``;``, fields by ``,``)::
 
@@ -22,16 +24,23 @@ Spec grammar (entries separated by ``;``, fields by ``,``)::
     corrupt:slot=5,call=2
     stall:task=1,seconds=0.5
     fail:kernel=reduceat,times=-1
+    kill:worker=0,times=1
+    stall:worker=1,seconds=0.5
 
-Fields: ``task`` (Scatter task index), ``kernel`` (backend name),
-``slot`` (bins index), ``call`` (0-based invocation index of the site;
-omitted = every call), ``times`` (max firings, ``-1`` = unlimited,
-default 1), ``seconds`` (stall duration), ``value`` (corruption
-payload, default NaN).
+Fields: ``task`` (Scatter task index), ``worker`` (process-pool rank),
+``kernel`` (backend name), ``slot`` (bins index), ``call`` (0-based
+invocation index of the site; omitted = every call), ``times`` (max
+firings, ``-1`` = unlimited, default 1), ``seconds`` (stall duration),
+``value`` (corruption payload, default NaN).
 
 Injection is **deterministic**: sites count their own invocations, so
 the same spec against the same run fires at the same place every time.
-All hooks are no-ops (one ``None`` check) when no registry is active.
+Worker-scoped faults (``kill``/``stall:worker=``) are decided in the
+*parent* process per (worker rank, dispatch index) and shipped to the
+worker as a directive in its job message — the counters live in one
+process, so drills replay bit-identically under ``parallel-mp`` and a
+``times=`` budget is honoured even across pool restarts.  All hooks
+are no-ops (one ``None`` check) when no registry is active.
 """
 
 from __future__ import annotations
@@ -49,9 +58,9 @@ from ..errors import InjectedFault, ResilienceError
 FAULTS_ENV = "REPRO_FAULTS"
 
 #: recognised fault kinds.
-FAULT_KINDS = ("crash", "corrupt", "stall", "fail")
+FAULT_KINDS = ("crash", "corrupt", "stall", "fail", "kill")
 
-_INT_FIELDS = ("task", "slot", "call", "times")
+_INT_FIELDS = ("task", "worker", "slot", "call", "times")
 _FLOAT_FIELDS = ("seconds", "value")
 _STR_FIELDS = ("kernel",)
 
@@ -62,6 +71,7 @@ class FaultSpec:
 
     kind: str
     task: int | None = None
+    worker: int | None = None
     kernel: str | None = None
     slot: int = 0
     call: int | None = None
@@ -81,9 +91,22 @@ class FaultSpec:
             raise ResilienceError(
                 "fault kind 'fail' needs a kernel=<name> field"
             )
-        if self.kind in ("crash", "stall") and self.task is None:
+        if self.kind == "crash" and self.task is None:
             raise ResilienceError(
-                f"fault kind {self.kind!r} needs a task=<index> field"
+                "fault kind 'crash' needs a task=<index> field"
+            )
+        if self.kind == "kill" and self.worker is None:
+            raise ResilienceError(
+                "fault kind 'kill' needs a worker=<rank> field"
+            )
+        if (
+            self.kind == "stall"
+            and self.task is None
+            and self.worker is None
+        ):
+            raise ResilienceError(
+                "fault kind 'stall' needs a task=<index> or "
+                "worker=<rank> field"
             )
         self.remaining = self.times
 
@@ -185,6 +208,40 @@ class FaultInjector:
                         site="task",
                         call=call,
                     )
+
+    def worker_directive(self, rank: int) -> dict | None:
+        """Worker-scoped fault decision for one (dispatch, rank) pair.
+
+        Called by the process-pool parent before shipping a job to pool
+        worker ``rank``; returns the directive dict the worker obeys
+        (``{"kill": True}`` and/or ``{"stall": seconds}``), or None.
+        Deciding in the parent keeps the site counters in one process —
+        deterministic replay, and ``times=`` budgets that survive pool
+        restarts (a killed pool is rebuilt with fresh workers, but the
+        spec's remaining count lives here).
+        """
+        call = self._bump(f"worker:{rank}")
+        directive: dict = {}
+        for spec in self.specs:
+            if spec.worker != rank:
+                continue
+            if spec.kind == "stall" and self._take(spec, call):
+                directive["stall"] = spec.seconds
+                self._record(
+                    "stall",
+                    "worker",
+                    call,
+                    f"worker {rank} sleeping {spec.seconds}s",
+                )
+            elif spec.kind == "kill" and self._take(spec, call):
+                directive["kill"] = True
+                self._record(
+                    "kill",
+                    "worker",
+                    call,
+                    f"worker {rank} hard-exits",
+                )
+        return directive or None
 
     def corrupt_bins(self, bins) -> None:
         """Post-Scatter hook: overwrite armed bins slots in place."""

@@ -228,6 +228,61 @@ class TestHandRolledLoopRule:
         assert "REP005" not in rules_of(violations)
 
 
+class TestSharedMemoryOutsidePoolRule:
+    def test_import_flagged_outside_procpool(self):
+        code = "from multiprocessing import shared_memory\n"
+        violations = lint_source(
+            code, "core/kernels.py", scope=("core", "kernels.py")
+        )
+        assert "REP006" in rules_of(violations)
+
+    def test_module_import_flagged(self):
+        code = "import multiprocessing.shared_memory\n"
+        violations = lint_source(
+            code, "resilience/executor.py",
+            scope=("resilience", "executor.py"),
+        )
+        assert "REP006" in rules_of(violations)
+
+    def test_raw_constructor_flagged(self):
+        code = "shm = SharedMemory(name='x', create=True, size=8)\n"
+        violations = lint_source(
+            code, "core/phases.py", scope=("core", "phases.py")
+        )
+        assert "REP006" in rules_of(violations)
+
+    def test_attribute_use_flagged(self):
+        code = (
+            "import multiprocessing as mp\n"
+            "shm = mp.shared_memory.SharedMemory(name='x')\n"
+        )
+        violations = lint_source(
+            code, "machine/hierarchy.py",
+            scope=("machine", "hierarchy.py"),
+        )
+        assert "REP006" in rules_of(violations)
+
+    def test_procpool_is_exempt(self):
+        code = (
+            "from multiprocessing import shared_memory\n"
+            "shm = shared_memory.SharedMemory(name='x')\n"
+        )
+        violations = lint_source(
+            code, "parallel/procpool.py",
+            scope=("parallel", "procpool.py"),
+        )
+        assert "REP006" not in rules_of(violations)
+
+    def test_shipped_tree_confines_shared_memory(self):
+        # The real source tree must satisfy its own rule: the only file
+        # touching SharedMemory is the registry-owning procpool module.
+        src = ROOT / "src" / "repro"
+        violations = [
+            v for v in lint_paths([src]) if v.rule == "REP006"
+        ]
+        assert violations == []
+
+
 class TestSuppression:
     def test_noqa_silences_matching_rule(self):
         code = (

@@ -9,6 +9,7 @@ import numpy as np
 import pytest
 
 from repro.analysis.races import (
+    prove_mp_reduce,
     AccessInterval,
     TaskAccess,
     dynamic_race_check,
@@ -279,3 +280,84 @@ class TestEnvToggle:
         e = MixenEngine(g, race_check=True)
         e.prepare()
         assert e.race_proof is not None
+
+
+class TestProveMPReduce:
+    """The process-pool schedule prover (`prove_mp_reduce`)."""
+
+    @staticmethod
+    def table(rows):
+        return np.asarray(rows, dtype=np.int64).reshape(-1, 6)
+
+    def test_valid_bincount_style_table(self):
+        tasks = self.table(
+            [(0, 4, 0, 0, 0, 2), (4, 10, 0, 0, 2, 5)]
+        )
+        dst = np.array([0, 1, 1, 0, 2, 3, 3, 4, 4, 2])
+        proof = prove_mp_reduce("t", tasks, 5, 10, dst=dst)
+        assert proof.num_tasks == 2
+        assert "process-disjoint" in proof.describe()
+
+    def test_valid_reduceat_style_table(self):
+        tasks = self.table(
+            [(0, 5, 0, 2, 0, 3), (5, 9, 2, 4, 3, 6)]
+        )
+        run_dst = np.array([0, 2, 3, 5])
+        proof = prove_mp_reduce("t", tasks, 6, 9, run_dst=run_dst)
+        assert proof.num_tasks == 2
+
+    def test_overlapping_rows_raise(self):
+        tasks = self.table(
+            [(0, 4, 0, 0, 0, 3), (4, 8, 0, 0, 2, 5)]
+        )
+        with pytest.raises(RaceError, match="write-write race"):
+            prove_mp_reduce("t", tasks, 5, 8)
+
+    def test_overlapping_edge_slices_raise(self):
+        tasks = self.table(
+            [(0, 5, 0, 0, 0, 2), (3, 8, 0, 0, 2, 5)]
+        )
+        with pytest.raises(RaceError, match="write-write race"):
+            prove_mp_reduce("t", tasks, 5, 8)
+
+    def test_message_gap_raises(self):
+        tasks = self.table(
+            [(0, 4, 0, 0, 0, 2), (6, 10, 0, 0, 2, 5)]
+        )
+        with pytest.raises(RaceError, match="owned by no task"):
+            prove_mp_reduce("t", tasks, 5, 10)
+
+    def test_escaping_dst_raises(self):
+        tasks = self.table([(0, 4, 0, 0, 0, 2)])
+        dst = np.array([0, 1, 2, 1])  # 2 escapes rows [0, 2)
+        with pytest.raises(RaceError, match="escape"):
+            prove_mp_reduce("t", tasks, 5, 4, dst=dst)
+
+    def test_escaping_run_dst_raises(self):
+        tasks = self.table([(0, 4, 0, 2, 0, 2)])
+        run_dst = np.array([0, 2])  # 2 escapes rows [0, 2)
+        with pytest.raises(RaceError, match="escape"):
+            prove_mp_reduce("t", tasks, 5, 4, run_dst=run_dst)
+
+    def test_out_of_range_claims_raise(self):
+        with pytest.raises(RaceError, match="outside"):
+            prove_mp_reduce(
+                "t", self.table([(0, 12, 0, 0, 0, 2)]), 5, 10
+            )
+        with pytest.raises(RaceError, match="outside"):
+            prove_mp_reduce(
+                "t", self.table([(0, 4, 0, 0, 3, 9)]), 5, 4
+            )
+
+    def test_runs_without_run_table_raise(self):
+        tasks = self.table([(0, 4, 0, 2, 0, 2)])
+        with pytest.raises(RaceError, match="no run table"):
+            prove_mp_reduce("t", tasks, 5, 4)
+
+    def test_shipped_layout_plans_prove(self, layout):
+        from repro.parallel import procpool
+
+        for base in ("bincount", "reduceat"):
+            plan = procpool.ensure_layout_plan(layout, base)
+            assert plan.proof.num_messages == layout.num_edges
+        procpool.cleanup()

@@ -262,7 +262,9 @@ class TestPlanStructure:
             phase_reduce(plan, np.ones(1), kernel="nope")
 
     def test_phase_kernels_cover_spmv_backends(self):
-        assert set(PHASE_KERNELS) == {"bincount", "reduceat", "parallel"}
+        assert set(PHASE_KERNELS) == {
+            "bincount", "reduceat", "parallel", "parallel-mp",
+        }
 
     def test_empty_structure(self):
         e = np.empty(0, dtype=np.int64)

@@ -7,10 +7,30 @@ import pytest
 
 from repro.errors import MachineError
 from repro.parallel.threadpool import (
+    available_cpus,
     chunked,
     default_workers,
     recommended_workers,
 )
+
+
+class TestAvailableCpus:
+    def test_respects_affinity_mask(self, monkeypatch):
+        # The scheduler mask is the real budget on cgroup/taskset-limited
+        # hosts, not the machine-wide cpu_count.
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 3})
+        assert available_cpus() == 2
+
+    def test_falls_back_to_cpu_count_without_affinity(self, monkeypatch):
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        assert available_cpus() == (os.cpu_count() or 1)
+
+    def test_falls_back_when_affinity_unreadable(self, monkeypatch):
+        def broken(pid):
+            raise OSError("no affinity on this platform")
+
+        monkeypatch.setattr(os, "sched_getaffinity", broken)
+        assert available_cpus() == (os.cpu_count() or 1)
 
 
 class TestDefaultWorkersEnv:
@@ -18,13 +38,35 @@ class TestDefaultWorkersEnv:
         monkeypatch.setenv("REPRO_NUM_THREADS", "7")
         assert default_workers() == 7
 
-    def test_unset_falls_back_to_cpu_count(self, monkeypatch):
+    def test_unset_falls_back_to_available_cpus(self, monkeypatch):
         monkeypatch.delenv("REPRO_NUM_THREADS", raising=False)
-        assert default_workers() == (os.cpu_count() or 1)
+        monkeypatch.delenv("REPRO_MAX_WORKERS", raising=False)
+        assert default_workers() == available_cpus()
 
     def test_empty_string_falls_back(self, monkeypatch):
         monkeypatch.setenv("REPRO_NUM_THREADS", "")
-        assert default_workers() == (os.cpu_count() or 1)
+        monkeypatch.delenv("REPRO_MAX_WORKERS", raising=False)
+        assert default_workers() == available_cpus()
+
+    def test_max_workers_caps_host_width(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NUM_THREADS", raising=False)
+        monkeypatch.setattr(
+            os, "sched_getaffinity", lambda pid: set(range(16))
+        )
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "4")
+        assert default_workers() == 4
+
+    def test_max_workers_does_not_raise_host_width(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NUM_THREADS", raising=False)
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0})
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "64")
+        assert default_workers() == 1
+
+    def test_explicit_request_beats_the_cap(self, monkeypatch):
+        # REPRO_NUM_THREADS is an explicit ask and wins outright.
+        monkeypatch.setenv("REPRO_NUM_THREADS", "9")
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "2")
+        assert default_workers() == 9
 
     @pytest.mark.parametrize("value", ["four", "3.5", "2x", " "])
     def test_non_integer_raises(self, monkeypatch, value):
@@ -36,6 +78,13 @@ class TestDefaultWorkersEnv:
     def test_non_positive_raises(self, monkeypatch, value):
         monkeypatch.setenv("REPRO_NUM_THREADS", value)
         with pytest.raises(MachineError, match="must be positive"):
+            default_workers()
+
+    @pytest.mark.parametrize("value", ["zero", "0", "-2"])
+    def test_bad_max_workers_raises(self, monkeypatch, value):
+        monkeypatch.delenv("REPRO_NUM_THREADS", raising=False)
+        monkeypatch.setenv("REPRO_MAX_WORKERS", value)
+        with pytest.raises(MachineError, match="REPRO_MAX_WORKERS"):
             default_workers()
 
 

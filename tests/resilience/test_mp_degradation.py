@@ -1,0 +1,196 @@
+"""Process-failure drills for the ``parallel-mp`` ladder rung.
+
+A killed or stalled pool worker is a *process* failure domain: the
+executor must tear the pool down fail-stop (no orphaned workers, no
+leaked ``/dev/shm`` segments), downgrade to the thread rung within the
+watchdog deadline, re-run only the failed iteration, and still produce
+the serial run's exact bits.
+"""
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro.algorithms.pagerank import PageRank
+from repro.core.engine import MixenEngine
+from repro.errors import WorkerCrashError
+from repro.parallel import procpool
+from repro.resilience import (
+    ResilienceContext,
+    ResilienceOptions,
+    faults,
+)
+
+ITERATIONS = 8
+
+
+@pytest.fixture(autouse=True)
+def disarm():
+    faults.clear()
+    yield
+    faults.clear()
+    procpool.cleanup()
+    assert glob.glob(f"/dev/shm/{procpool.SEGMENT_PREFIX}-*") == []
+
+
+def run_serial_reference(graph):
+    engine = MixenEngine(graph, kernel="bincount")
+    engine.prepare()
+    return engine.run(
+        PageRank(), max_iterations=ITERATIONS, check_convergence=False
+    )
+
+
+def run_faulted(graph, options, *, kernel="parallel-mp"):
+    with ResilienceContext(options) as ctx:
+        engine = MixenEngine(graph, kernel=kernel, max_workers=2)
+        engine.prepare()
+        result = engine.run(
+            PageRank(),
+            max_iterations=ITERATIONS,
+            check_convergence=False,
+            resilience=ctx,
+        )
+    return result, ctx.report
+
+
+class TestWorkerKillDrill:
+    def test_killed_worker_downgrades_to_threads_bit_exact(
+        self, random_graph
+    ):
+        # Worker 0 dies on every dispatch: the mp rung is unusable, so
+        # the run must step down exactly one rung and then match the
+        # serial reference bit for bit (threads share the bincount
+        # base on rank-1).
+        reference = run_serial_reference(random_graph)
+        options = ResilienceOptions(
+            fault_spec="kill:worker=0,times=-1",
+            max_retries=1,
+            retry_backoff=0.0,
+        )
+        result, report = run_faulted(random_graph, options)
+        steps = [(d.from_kernel, d.to_kernel) for d in report.downgrades]
+        assert steps == [("parallel-mp", "parallel")]
+        assert "WorkerCrashError" in report.downgrades[0].reason
+        assert report.final_kernel == "parallel"
+        assert np.array_equal(result.scores, reference.scores)
+        # Fail-stop left nothing behind.
+        assert procpool._POOL is None
+        assert glob.glob(f"/dev/shm/{procpool.SEGMENT_PREFIX}-*") == []
+
+    def test_transient_kill_absorbed_by_retry(self, random_graph):
+        # One kill, retries allowed: the pool is rebuilt, the retry
+        # re-runs only the failed iteration on the same rung, and no
+        # downgrade is recorded.
+        reference = run_serial_reference(random_graph)
+        options = ResilienceOptions(
+            fault_spec="kill:worker=0,times=1",
+            max_retries=2,
+            retry_backoff=0.0,
+        )
+        result, report = run_faulted(random_graph, options)
+        assert report.downgrades == []
+        assert len(report.retries) == 1
+        assert "WorkerCrashError" in report.retries[0].error
+        assert np.array_equal(result.scores, reference.scores)
+
+    def test_kill_walks_on_down_the_chain(self, random_graph):
+        # mp rung killed forever AND the thread rung poisoned: the run
+        # must walk parallel-mp -> parallel -> reduceat and finish.
+        reference = run_serial_reference(random_graph)
+        options = ResilienceOptions(
+            fault_spec=(
+                "kill:worker=0,times=-1;fail:kernel=parallel,times=-1"
+            ),
+            max_retries=0,
+            retry_backoff=0.0,
+        )
+        result, report = run_faulted(random_graph, options)
+        steps = [(d.from_kernel, d.to_kernel) for d in report.downgrades]
+        assert steps == [
+            ("parallel-mp", "parallel"),
+            ("parallel", "reduceat"),
+        ]
+        assert np.allclose(result.scores, reference.scores, atol=1e-12)
+
+    def test_crash_error_carries_rank_and_exitcode(self, random_graph):
+        faults.install(faults.parse_fault_spec("kill:worker=0,times=-1"))
+        engine = MixenEngine(
+            random_graph, kernel="parallel-mp", max_workers=2
+        )
+        engine.prepare()
+        rng = np.random.default_rng(0)
+        with pytest.raises(WorkerCrashError) as exc_info:
+            engine.propagate(rng.random(random_graph.num_nodes))
+        assert exc_info.value.rank == 0
+        assert exc_info.value.exitcode == procpool.KILL_EXIT_CODE
+
+
+class TestWorkerStallDrill:
+    def test_stalled_worker_downgrades_within_deadline(
+        self, random_graph, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_MP_DEADLINE", "2")
+        reference = run_serial_reference(random_graph)
+        options = ResilienceOptions(
+            fault_spec="stall:worker=0,seconds=0.6,times=-1",
+            deadline=0.15,
+            max_retries=0,
+            retry_backoff=0.0,
+        )
+        result, report = run_faulted(random_graph, options)
+        assert report.degraded
+        assert report.downgrades[0].from_kernel == "parallel-mp"
+        assert "StallError" in report.downgrades[0].reason
+        assert np.array_equal(result.scores, reference.scores)
+
+
+class TestKillResumeDrill:
+    def test_kill_checkpoint_resume_bit_identical(
+        self, random_graph, tmp_path
+    ):
+        # The acceptance drill end-to-end: a fault-free mp run is the
+        # baseline; a checkpointed run is killed hard mid-flight (mp
+        # rung killed forever, every fallback rung poisoned, so the run
+        # dies); a fresh context resumes from the newest snapshot on the
+        # mp rung and must land on the baseline's exact bits.
+        from repro.errors import InjectedFault, ResilienceError
+
+        with ResilienceContext(ResilienceOptions()) as ctx:
+            engine = MixenEngine(
+                random_graph, kernel="parallel-mp", max_workers=2
+            )
+            engine.prepare()
+            uninterrupted = engine.run(
+                PageRank(),
+                max_iterations=ITERATIONS,
+                check_convergence=False,
+                resilience=ctx,
+            )
+        kill_options = ResilienceOptions(
+            fault_spec=(
+                "kill:worker=0,call=5,times=-1;"
+                "fail:kernel=parallel,times=-1;"
+                "fail:kernel=reduceat,times=-1;"
+                "fail:kernel=bincount,times=-1"
+            ),
+            max_retries=0,
+            retry_backoff=0.0,
+            checkpoint_dir=str(tmp_path),
+        )
+        with pytest.raises((InjectedFault, ResilienceError)):
+            run_faulted(random_graph, kill_options)
+        assert list(tmp_path.glob("ckpt-*.npz"))
+        assert glob.glob(f"/dev/shm/{procpool.SEGMENT_PREFIX}-*") == []
+        resume_options = ResilienceOptions(
+            checkpoint_dir=str(tmp_path), resume=True
+        )
+        resumed, report = run_faulted(random_graph, resume_options)
+        resumes = [
+            c for c in report.checkpoint_events if c.action == "resume"
+        ]
+        assert len(resumes) == 1
+        # No downgrade recorded: the resumed run stayed on the mp rung.
+        assert report.downgrades == []
+        assert np.array_equal(resumed.scores, uninterrupted.scores)

@@ -31,7 +31,7 @@ from pathlib import Path
 ROOT = Path(__file__).resolve().parent.parent
 
 #: kernels whose perf trajectory the guard protects.
-GUARDED_KERNELS = ("reduceat", "parallel")
+GUARDED_KERNELS = ("reduceat", "parallel", "parallel-mp")
 
 #: config keys that must match for speedups to be comparable.
 CONFIG_KEYS = ("graph", "block_nodes", "rank", "workers")
