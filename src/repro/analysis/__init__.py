@@ -1,6 +1,6 @@
 """Static analysis of the parallel engines' structural invariants.
 
-Three layers, all operating on the layout metadata the engines already
+Five layers, all operating on the layout metadata the engines already
 build (no new traversals of the edge structure):
 
 * :mod:`repro.analysis.races` — proves the thread-pool kernel's
@@ -11,10 +11,31 @@ build (no new traversals of the edge structure):
 * :mod:`repro.analysis.contracts` — validators for the mixed CSR/CSC
   representation, the relabeling permutation, the class boundaries and
   the 2-D block/bin layout (``python -m repro analyze``, ``--validate``);
+* :mod:`repro.analysis.dataflow` — AST abstract interpreter proving the
+  kernel/parallel modules numerically safe: no int32 flat-index product
+  can exceed ``2**31 - 1`` under the declared graph capacity, and no
+  silent float32/float64 promotion breaks bit-identity;
+* :mod:`repro.analysis.certify` — unified plan certifier: one
+  machine-readable, fingerprint-keyed proof certificate per structure x
+  backend pair, persisted in a committed ledger and verified by
+  ``python -m repro prove``; plus the registry exhaustiveness checks
+  (fault sites, exit codes, state-bundle names);
 * :mod:`repro.analysis.lint` — project-specific AST lint rules over the
   source tree (``tools/run_lint.py``).
 """
 
+from .certify import (
+    Certificate,
+    CertificateLedger,
+    ProveReport,
+    build_certificates,
+    certify_layout,
+    certify_phase_plan,
+    check_exit_codes,
+    check_fault_registry,
+    check_state_registry,
+    run_prove,
+)
 from .contracts import (
     Check,
     ContractReport,
@@ -24,6 +45,13 @@ from .contracts import (
     check_csr,
     check_layout,
     check_permutation,
+)
+from .dataflow import (
+    Finding,
+    GraphCapacity,
+    analyze_file,
+    analyze_source,
+    prove_numeric_safety,
 )
 from .races import (
     AccessInterval,
@@ -39,20 +67,35 @@ from .races import (
 
 __all__ = [
     "AccessInterval",
+    "Certificate",
+    "CertificateLedger",
     "Check",
     "ContractReport",
+    "Finding",
+    "GraphCapacity",
+    "ProveReport",
     "RaceProof",
     "TaskAccess",
+    "analyze_file",
     "analyze_graph",
+    "analyze_source",
+    "build_certificates",
+    "certify_layout",
+    "certify_phase_plan",
     "check_bins",
     "check_class_boundaries",
     "check_csr",
+    "check_exit_codes",
+    "check_fault_registry",
     "check_layout",
     "check_permutation",
+    "check_state_registry",
     "dynamic_race_check",
     "gather_accesses",
     "prove_disjoint",
+    "prove_numeric_safety",
     "prove_schedule",
     "race_check_enabled",
+    "run_prove",
     "scatter_accesses",
 ]

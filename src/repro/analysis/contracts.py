@@ -26,6 +26,7 @@ subcommand; engines run the same checks under ``--validate``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -91,7 +92,7 @@ def _check(name: str, ok: bool, good: str, bad: str) -> Check:
 # --------------------------------------------------------------------- #
 # individual validators
 # --------------------------------------------------------------------- #
-def check_csr(csr, *, name: str = "csr") -> Check:
+def check_csr(csr: Any, *, name: str = "csr") -> Check:
     """Validate one CSR/CSC sub-structure's offset and index arrays."""
     indptr = np.asarray(csr.indptr)
     indices = np.asarray(csr.indices)
@@ -129,7 +130,9 @@ def check_csr(csr, *, name: str = "csr") -> Check:
     )
 
 
-def check_permutation(perm, *, name: str = "permutation") -> Check:
+def check_permutation(
+    perm: Any, *, name: str = "permutation"
+) -> Check:
     """Validate that ``perm`` is a bijection of ``0..n-1``."""
     perm = np.asarray(perm)
     n = perm.size
@@ -154,7 +157,7 @@ def check_permutation(perm, *, name: str = "permutation") -> Check:
     return Check(name, True, f"bijection over [0, {n})")
 
 
-def check_class_boundaries(plan, graph=None) -> Check:
+def check_class_boundaries(plan: Any, graph: Any = None) -> Check:
     """Validate the filter plan's class boundary metadata.
 
     The four class slices must partition ``[0, n)`` in the paper's order
@@ -241,7 +244,7 @@ def check_class_boundaries(plan, graph=None) -> Check:
     )
 
 
-def check_bins(layout) -> Check:
+def check_bins(layout: Any) -> Check:
     """Validate the 2-D block layout's permutations and offsets."""
     name = "bins"
     m = layout.num_edges
@@ -266,8 +269,10 @@ def check_bins(layout) -> Check:
     if not perm_check.passed:
         return Check(name, False, f"gather_perm: {perm_check.detail}")
     if m:
-        i_s = layout.src_scatter // c
-        j_s = layout.dst_scatter // c
+        # int64 before the block product: i_s * b wraps int32 once
+        # b*b crosses 2**31 (the PR 5 overflow class).
+        i_s = layout.src_scatter.astype(np.int64) // c
+        j_s = layout.dst_scatter.astype(np.int64) // c
         scatter_blocks = i_s * b + j_s
         if int(np.diff(scatter_blocks).min() if m > 1 else 0) < 0:
             return Check(
@@ -337,7 +342,9 @@ def check_bins(layout) -> Check:
     )
 
 
-def check_layout(layout, tasks=None, *, dynamic: bool = False):
+def check_layout(
+    layout: Any, tasks: Any = None, *, dynamic: bool = False
+) -> ContractReport:
     """Full layout report: bin structure plus the race-freedom proof."""
     checks = [check_bins(layout)]
     try:
@@ -362,7 +369,7 @@ def check_layout(layout, tasks=None, *, dynamic: bool = False):
 # whole-pipeline report
 # --------------------------------------------------------------------- #
 def analyze_graph(
-    graph,
+    graph: Any,
     *,
     block_nodes: int = 512,
     balance: bool = True,

@@ -1,0 +1,894 @@
+"""Numeric-safety dataflow prover: dtype lattices + index-magnitude
+bounds over the kernel and parallel modules.
+
+The PR 5 bug class — ``dst[:, None] * k`` overflowing int32 once
+``dst * k`` crosses ``2**31`` — and its float twin — a silent
+float32<->float64 promotion breaking the backends' bit-identity
+contract — are both *statically visible*: the offending expression is a
+multiplication whose operand dtypes and magnitudes can be inferred from
+the source.  This module walks the AST of the kernel-bearing modules
+(:data:`PROVER_TARGETS`) with a small abstract interpreter:
+
+* every expression is abstracted to an :class:`AbstractValue` — a
+  ``(kind, dtype)`` pair on the lattice ``kind in {scalar-py,
+  scalar-np, array, range, unknown}`` and ``dtype in {bool, int32,
+  int64, int, float32, float64, float, unknown}`` — propagated through
+  assignments, NumPy constructors, ``.astype`` and arithmetic;
+* index magnitudes are **symbolic**, parameterized by the declared
+  :class:`GraphCapacity` (``n_nodes``, ``n_edges``, ``rank_k``): a
+  vertex-id array is bounded by ``n_nodes``, an edge-offset array by
+  ``n_edges``, and a product with the rank multiplies in ``rank_k``;
+* a multiplication is flagged (**REP007**) when no operand is a proven
+  ``int64`` *array* and some operand is a possibly-int32 index array
+  whose symbolic product bound exceeds ``2**31 - 1`` under the declared
+  capacity.
+
+Why "proven int64 **array**": under NumPy 1.x value-based casting,
+``int32_array * np.int64(small_scalar)`` stays int32 — wrapping the
+scalar is *not* a promotion.  Only ``.astype(np.int64)`` on the array
+operand (or an int64-constructing expression such as
+``np.arange(..., dtype=np.int64)``) certifies the product, which is
+exactly the shape of the PR 5 fix
+(:func:`repro.core.kernels._flat_rank_indices`).
+
+The float pass (**REP009**) flags ``np.zeros/ones/empty/full`` without
+an explicit ``dtype=`` (the buffer silently lands on the platform
+default instead of ``VALUE_DTYPE``), any ``float32`` creation, and any
+arithmetic mixing float32 with float64 (value-based casting makes the
+result NumPy-version-dependent — the bit-identity killer).
+
+Findings honour the project-wide ``# repro: noqa RULE`` suppression
+marker.  :func:`prove_numeric_safety` is the entry point ``python -m
+repro prove`` and the REP007 lint rule share.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+#: largest int32 value: the overflow threshold for index products.
+INT32_MAX = 2**31 - 1
+
+#: modules the prover covers (relative to ``src/repro``): every module
+#: that computes kernel indices or owns a parallel schedule.
+PROVER_TARGETS = (
+    "core/kernels.py",
+    "core/phases.py",
+    "core/driver.py",
+    "parallel/threadpool.py",
+    "parallel/procpool.py",
+    "parallel/scheduling.py",
+)
+
+#: substrings marking a name as index-like (vertex ids, edge offsets,
+#: run starts, permutations — the arrays whose products are flat
+#: indices).
+_INDEX_NAME_RE = re.compile(
+    r"(dst|src|idx|index|indices|perm|ptr|run|flat|gather|scatter|ids)",
+    re.IGNORECASE,
+)
+
+#: index-name substrings bounded by the edge count rather than the node
+#: count (offsets into edge-length arrays).
+_EDGE_NAME_RE = re.compile(r"(edge|ptr|run)", re.IGNORECASE)
+
+#: same suppression grammar as :mod:`repro.analysis.lint`.
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\s+(?P<rules>[A-Z]+\d+(?:[,\s]+[A-Z]+\d+)*))?"
+)
+
+#: dtype-name resolution: NumPy attribute / project alias -> lattice.
+_DTYPE_NAMES = {
+    "int8": "int32",
+    "int16": "int32",
+    "int32": "int32",
+    "intc": "int32",
+    "int64": "int64",
+    "intp": "int64",
+    "int_": "int64",
+    "uint32": "int32",
+    "uint64": "int64",
+    "float32": "float32",
+    "float64": "float64",
+    "double": "float64",
+    "single": "float32",
+    "bool_": "bool",
+    "bool": "bool",
+    # Project aliases (repro.types): vertex ids are int32, edge ids
+    # int64, values float64.
+    "VID_DTYPE": "int32",
+    "EID_DTYPE": "int64",
+    "VALUE_DTYPE": "float64",
+}
+
+#: NumPy functions returning platform-int (int64 on every supported
+#: host) index arrays.
+_INT64_RESULT_FUNCS = frozenset(
+    {"flatnonzero", "argsort", "searchsorted", "argwhere", "argmax",
+     "argmin", "lexsort", "count_nonzero"}
+)
+
+#: NumPy functions preserving their first argument's dtype.
+_PRESERVING_FUNCS = frozenset(
+    {"ascontiguousarray", "sort", "unique", "concatenate", "ravel",
+     "repeat", "tile", "copy", "abs", "minimum", "maximum", "cumsum"}
+)
+
+#: buffer constructors defaulting to float64 without ``dtype=``.
+_FLOAT_DEFAULT_CONSTRUCTORS = frozenset({"zeros", "ones", "empty", "full"})
+
+#: array methods preserving the receiver's abstract value.
+_PRESERVING_METHODS = frozenset(
+    {"ravel", "reshape", "copy", "flatten", "squeeze", "view",
+     "transpose"}
+)
+
+#: helpers with known return values (cross-module knowledge: the PR 5
+#: fix helper always returns an int64 index array; the engines' input
+#: coercion always returns a VALUE_DTYPE float64 vector).
+_KNOWN_HELPERS = {
+    "_flat_rank_indices": ("array", "int64"),
+    "_check_x": ("array", "float64"),
+    "segment_sum": ("array", "float64"),
+}
+
+#: path segments whose modules must pin buffer dtypes explicitly (the
+#: REP009 implicit-constructor check; measurement/bench harnesses are
+#: exempt — their buffers never feed the bit-identity contract).
+_STRICT_BUFFER_SEGMENTS = frozenset(
+    {"core", "frameworks", "parallel", "resilience", "analysis"}
+)
+
+_FLOAT_DTYPES = frozenset({"float", "float32", "float64"})
+_SCALAR_KINDS = frozenset({"scalar-py", "scalar-np", "range"})
+
+
+@dataclass(frozen=True)
+class GraphCapacity:
+    """Declared magnitude bounds the symbolic index analysis uses.
+
+    Defaults are *conservative*: a full int32 vertex/edge space and a
+    rank-64 batch, so any unpromoted index product is flagged.  Declare
+    the actual capacity of a deployment (``GraphCapacity(n_nodes=10**6,
+    rank_k=8)``) to prove its products safe instead.
+    """
+
+    n_nodes: int = INT32_MAX
+    n_edges: int = INT32_MAX
+    rank_k: int = 64
+
+    def bound_for(self, names: frozenset[str]) -> int:
+        """Magnitude bound of an index array with terminal ``names``."""
+        if any(_EDGE_NAME_RE.search(name) for name in names):
+            return self.n_edges
+        return self.n_nodes
+
+
+@dataclass(frozen=True)
+class AbstractValue:
+    """One expression's position on the ``(kind, dtype)`` lattice."""
+
+    kind: str  # scalar-py | scalar-np | array | range | unknown
+    dtype: str  # bool | int32 | int64 | int | float32 | float64 |
+    #            float | unknown
+
+    @property
+    def is_float(self) -> bool:
+        return self.dtype in _FLOAT_DTYPES
+
+    @property
+    def is_scalar(self) -> bool:
+        return self.kind in _SCALAR_KINDS
+
+    @property
+    def proves_int64(self) -> bool:
+        """True when this operand certifies an int64 product: an array
+        (not a scalar — value-based casting ignores scalar widths)
+        whose dtype is provably int64."""
+        return self.kind == "array" and self.dtype == "int64"
+
+
+_UNKNOWN = AbstractValue("unknown", "unknown")
+_PY_INT = AbstractValue("scalar-py", "int")
+_PY_FLOAT = AbstractValue("scalar-py", "float")
+_PY_BOOL = AbstractValue("scalar-py", "bool")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One numeric-safety finding (REP007 overflow / REP009 float)."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    bound: int | None = None
+
+    def render(self) -> str:
+        """``path:line:col: RULE message`` (editor-clickable)."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} {self.message}"
+        )
+
+
+def _terminal_names(node: ast.AST) -> frozenset[str]:
+    """Bare names, attribute terminals and string subscript keys under
+    ``node`` — the identifiers the index heuristics match against."""
+    names = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            names.add(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            names.add(sub.attr)
+        elif (
+            isinstance(sub, ast.Subscript)
+            and isinstance(sub.slice, ast.Constant)
+            and isinstance(sub.slice.value, str)
+        ):
+            names.add(sub.slice.value)
+    return frozenset(names)
+
+
+def _resolve_dtype_expr(node: ast.expr | None) -> str:
+    """Lattice dtype named by a ``dtype=`` argument expression."""
+    if node is None:
+        return "unknown"
+    if isinstance(node, ast.Attribute):
+        return _DTYPE_NAMES.get(node.attr, "unknown")
+    if isinstance(node, ast.Name):
+        return _DTYPE_NAMES.get(node.id, "unknown")
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return _DTYPE_NAMES.get(node.value, "unknown")
+    if isinstance(node, ast.Call):
+        # np.dtype(np.int64) and friends.
+        if node.args:
+            return _resolve_dtype_expr(node.args[0])
+    return "unknown"
+
+
+def _keyword(node: ast.Call, name: str) -> ast.expr | None:
+    for kw in node.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def _promote_dtype(a: str, b: str) -> str:
+    """Abstract result dtype of arithmetic between ``a`` and ``b``."""
+    floats = {a, b} & _FLOAT_DTYPES
+    if floats:
+        if "float32" in floats and ({a, b} & {"float64", "float"}):
+            return "float"  # NumPy-version-dependent: the REP009 hazard
+        if "float64" in floats:
+            return "float64"
+        if "float32" in floats:
+            return "float32"
+        return "float"
+    if "unknown" in (a, b):
+        # Identity, like the float branch above: ``int64_array // c``
+        # stays int64 for every integral ``c`` (value-based casting
+        # never demotes the wider array), and an unknown that is
+        # secretly float would make the product a non-index float
+        # anyway — outside REP007's bug class.
+        other = b if a == "unknown" else a
+        return other
+    for dtype in ("int64", "int", "int32", "bool"):
+        if dtype in (a, b):
+            return dtype
+    return "unknown"
+
+
+class _Analyzer:
+    """Abstract interpreter over one module's AST.
+
+    Flow is approximated per function: statements are executed in
+    source order with a single environment (no fixpoint; loop bodies
+    run once) — sound enough for the straight-line index arithmetic the
+    kernels are written in, and deliberately biased toward *flagging*
+    when a dtype cannot be proven.
+    """
+
+    def __init__(self, path: str, capacity: GraphCapacity) -> None:
+        self.path = path
+        self.capacity = capacity
+        self.findings: list[Finding] = []
+        parts = Path(path).parts
+        self.strict_buffers = bool(
+            _STRICT_BUFFER_SEGMENTS.intersection(parts)
+        )
+
+    # ------------------------------------------------------------------ #
+    # driving
+    # ------------------------------------------------------------------ #
+    def run(self, tree: ast.Module) -> list[Finding]:
+        env: dict[str, AbstractValue] = {}
+        self._exec_block(tree.body, env)
+        self.findings.sort(key=lambda f: (f.line, f.col, f.rule))
+        return self.findings
+
+    def _analyze_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        env: dict[str, AbstractValue] = {}
+        args = node.args
+        for arg in (
+            *args.posonlyargs, *args.args, *args.kwonlyargs,
+        ):
+            env[arg.arg] = self._value_of_annotation(arg.annotation)
+        self._exec_block(node.body, env)
+
+    @staticmethod
+    def _value_of_annotation(annotation: ast.expr | None) -> AbstractValue:
+        if isinstance(annotation, ast.Name):
+            if annotation.id == "int":
+                return _PY_INT
+            if annotation.id == "float":
+                return _PY_FLOAT
+            if annotation.id == "bool":
+                return _PY_BOOL
+        return _UNKNOWN
+
+    # ------------------------------------------------------------------ #
+    # statements
+    # ------------------------------------------------------------------ #
+    def _exec_block(
+        self, body: Sequence[ast.stmt], env: dict[str, AbstractValue]
+    ) -> None:
+        for stmt in body:
+            self._exec_stmt(stmt, env)
+
+    def _exec_stmt(
+        self, stmt: ast.stmt, env: dict[str, AbstractValue]
+    ) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._analyze_function(stmt)
+        elif isinstance(stmt, ast.ClassDef):
+            self._exec_block(stmt.body, {})
+        elif isinstance(stmt, ast.Assign):
+            value = self._eval(stmt.value, env)
+            for target in stmt.targets:
+                self._bind(target, value, stmt.value, env)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                value = self._eval(stmt.value, env)
+            else:
+                value = self._value_of_annotation(stmt.annotation)
+            self._bind(stmt.target, value, stmt.value, env)
+        elif isinstance(stmt, ast.AugAssign):
+            value = self._eval(stmt.value, env)
+            if isinstance(stmt.target, ast.Name):
+                old = env.get(stmt.target.id, _UNKNOWN)
+                env[stmt.target.id] = AbstractValue(
+                    old.kind if old.kind != "unknown" else value.kind,
+                    _promote_dtype(old.dtype, value.dtype),
+                )
+        elif isinstance(stmt, (ast.If, ast.While)):
+            self._eval(stmt.test, env)
+            self._exec_block(stmt.body, env)
+            self._exec_block(stmt.orelse, env)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iterable = self._eval(stmt.iter, env)
+            self._bind(
+                stmt.target, self._element_of(iterable), None, env
+            )
+            self._exec_block(stmt.body, env)
+            self._exec_block(stmt.orelse, env)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._eval(item.context_expr, env)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, _UNKNOWN, None, env)
+            self._exec_block(stmt.body, env)
+        elif isinstance(stmt, ast.Try):
+            self._exec_block(stmt.body, env)
+            for handler in stmt.handlers:
+                if handler.name:
+                    env[handler.name] = _UNKNOWN
+                self._exec_block(handler.body, env)
+            self._exec_block(stmt.orelse, env)
+            self._exec_block(stmt.finalbody, env)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._eval(stmt.value, env)
+        elif isinstance(stmt, ast.Expr):
+            self._eval(stmt.value, env)
+        else:
+            # Raise, Assert, Delete, Global, ...: evaluate any nested
+            # expressions so their findings still surface.
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._eval(child, env)
+
+    @staticmethod
+    def _element_of(iterable: AbstractValue) -> AbstractValue:
+        if iterable.kind == "range":
+            return _PY_INT
+        if iterable.kind == "array":
+            return AbstractValue("scalar-np", iterable.dtype)
+        return _UNKNOWN
+
+    def _bind(
+        self,
+        target: ast.expr,
+        value: AbstractValue,
+        value_node: ast.expr | None,
+        env: dict[str, AbstractValue],
+    ) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            elements: list[AbstractValue] | None = None
+            if isinstance(value_node, (ast.Tuple, ast.List)) and len(
+                value_node.elts
+            ) == len(target.elts):
+                elements = [
+                    self._eval(elt, env) for elt in value_node.elts
+                ]
+            elif isinstance(value_node, ast.GeneratorExp):
+                # ``a, b = (int(v) for v in row)`` unpacks the element.
+                element = self._eval(value_node.elt, env)
+                elements = [element] * len(target.elts)
+            for i, sub in enumerate(target.elts):
+                self._bind(
+                    sub,
+                    elements[i] if elements is not None else _UNKNOWN,
+                    None,
+                    env,
+                )
+        # Subscript/Attribute targets mutate containers: no binding.
+
+    # ------------------------------------------------------------------ #
+    # expressions
+    # ------------------------------------------------------------------ #
+    def _eval(
+        self, node: ast.expr, env: dict[str, AbstractValue]
+    ) -> AbstractValue:
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool):
+                return _PY_BOOL
+            if isinstance(node.value, int):
+                return _PY_INT
+            if isinstance(node.value, float):
+                return _PY_FLOAT
+            return _UNKNOWN
+        if isinstance(node, ast.Name):
+            if node.id in _DTYPE_NAMES:
+                return _UNKNOWN  # a dtype object, not a value
+            return env.get(node.id, _UNKNOWN)
+        if isinstance(node, ast.Attribute):
+            self._eval(node.value, env)
+            if node.attr in ("size", "ndim", "itemsize", "nbytes"):
+                return _PY_INT
+            return _UNKNOWN
+        if isinstance(node, ast.Subscript):
+            base = self._eval(node.value, env)
+            self._eval_slice(node.slice, env)
+            if base.kind == "array":
+                # Slicing/fancy-indexing preserves dtype; a scalar read
+                # would too, but stays array-kind conservatively (the
+                # distinction never weakens a finding).
+                return base
+            return _UNKNOWN
+        if isinstance(node, ast.BinOp):
+            return self._eval_binop(node, env)
+        if isinstance(node, ast.UnaryOp):
+            operand = self._eval(node.operand, env)
+            if isinstance(node.op, ast.Not):
+                return _PY_BOOL
+            return operand
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env)
+        if isinstance(node, ast.Compare):
+            self._eval(node.left, env)
+            for comp in node.comparators:
+                self._eval(comp, env)
+            return _PY_BOOL
+        if isinstance(node, ast.BoolOp):
+            for value in node.values:
+                self._eval(value, env)
+            return _UNKNOWN
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test, env)
+            a = self._eval(node.body, env)
+            b = self._eval(node.orelse, env)
+            if a == b:
+                return a
+            return _UNKNOWN
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            for elt in node.elts:
+                self._eval(elt, env)
+            return _UNKNOWN
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if key is not None:
+                    self._eval(key, env)
+            for value in node.values:
+                self._eval(value, env)
+            return _UNKNOWN
+        if isinstance(
+            node,
+            (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp),
+        ):
+            inner = dict(env)
+            for gen in node.generators:
+                iterable = self._eval(gen.iter, inner)
+                self._bind(
+                    gen.target, self._element_of(iterable), None, inner
+                )
+                for cond in gen.ifs:
+                    self._eval(cond, inner)
+            if isinstance(node, ast.DictComp):
+                self._eval(node.key, inner)
+                self._eval(node.value, inner)
+            else:
+                self._eval(node.elt, inner)
+            return _UNKNOWN
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value, env)
+        if isinstance(node, ast.JoinedStr):
+            for value in node.values:
+                if isinstance(value, ast.FormattedValue):
+                    self._eval(value.value, env)
+            return _UNKNOWN
+        if isinstance(node, ast.Lambda):
+            return _UNKNOWN
+        if isinstance(node, ast.NamedExpr):
+            value = self._eval(node.value, env)
+            self._bind(node.target, value, node.value, env)
+            return value
+        return _UNKNOWN
+
+    def _eval_slice(
+        self, node: ast.expr, env: dict[str, AbstractValue]
+    ) -> None:
+        if isinstance(node, ast.Slice):
+            for part in (node.lower, node.upper, node.step):
+                if part is not None:
+                    self._eval(part, env)
+        else:
+            self._eval(node, env)
+
+    # ------------------------------------------------------------------ #
+    # calls
+    # ------------------------------------------------------------------ #
+    def _eval_call(
+        self, node: ast.Call, env: dict[str, AbstractValue]
+    ) -> AbstractValue:
+        for arg in node.args:
+            self._eval(arg, env)
+        for kw in node.keywords:
+            self._eval(kw.value, env)
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id == "int":
+                return _PY_INT
+            if func.id == "float":
+                return _PY_FLOAT
+            if func.id == "bool":
+                return _PY_BOOL
+            if func.id in ("len", "sum", "ord", "id", "hash"):
+                return _PY_INT
+            if func.id == "range":
+                return AbstractValue("range", "int")
+            if func.id in ("min", "max", "abs"):
+                if node.args:
+                    return self._eval(node.args[0], env)
+                return _UNKNOWN
+            known = _KNOWN_HELPERS.get(func.id)
+            if known is not None:
+                return AbstractValue(*known)
+            return _UNKNOWN
+        if not isinstance(func, ast.Attribute):
+            return _UNKNOWN
+        receiver = func.value
+        # numpy module functions --------------------------------------- #
+        if isinstance(receiver, ast.Name) and receiver.id in (
+            "np", "numpy",
+        ):
+            return self._eval_numpy_call(func.attr, node, env)
+        # np.add.reduceat and friends ---------------------------------- #
+        if (
+            isinstance(receiver, ast.Attribute)
+            and isinstance(receiver.value, ast.Name)
+            and receiver.value.id in ("np", "numpy")
+        ):
+            return _UNKNOWN
+        # methods ------------------------------------------------------ #
+        base = self._eval(receiver, env)
+        if func.attr == "astype":
+            dtype = _resolve_dtype_expr(
+                node.args[0] if node.args else _keyword(node, "dtype")
+            )
+            return AbstractValue("array", dtype)
+        if func.attr in _PRESERVING_METHODS:
+            return base
+        if func.attr in ("sum", "max", "min", "item", "mean", "dot"):
+            return AbstractValue("scalar-np", base.dtype)
+        known = _KNOWN_HELPERS.get(func.attr)
+        if known is not None:
+            return AbstractValue(*known)
+        return _UNKNOWN
+
+    def _eval_numpy_call(
+        self, name: str, node: ast.Call, env: dict[str, AbstractValue]
+    ) -> AbstractValue:
+        dtype_kw = _keyword(node, "dtype")
+        if name in _DTYPE_NAMES:
+            # np.int64(x): a width-tagged *scalar* — NOT an array
+            # promotion under value-based casting.
+            return AbstractValue("scalar-np", _DTYPE_NAMES[name])
+        if name in _FLOAT_DEFAULT_CONSTRUCTORS:
+            # dtype may also arrive positionally: np.empty(n, np.int64),
+            # np.full(n, fill, np.int64).
+            dtype_pos = 2 if name == "full" else 1
+            if dtype_kw is None and len(node.args) > dtype_pos:
+                dtype_kw = node.args[dtype_pos]
+            if dtype_kw is not None:
+                return AbstractValue(
+                    "array", _resolve_dtype_expr(dtype_kw)
+                )
+            if name == "full" and len(node.args) > 1:
+                fill = self._eval(node.args[1], env)
+                dtype = (
+                    fill.dtype if fill.dtype != "unknown" else "float64"
+                )
+                return AbstractValue("array", dtype)
+            if self.strict_buffers:
+                self._report_implicit_float(node, name)
+            return AbstractValue("array", "float64")
+        if name == "arange":
+            if dtype_kw is not None:
+                return AbstractValue(
+                    "array", _resolve_dtype_expr(dtype_kw)
+                )
+            args = [self._eval(a, env) for a in node.args]
+            if any(v.is_float for v in args):
+                return AbstractValue("array", "float64")
+            return AbstractValue("array", "int")
+        if name in ("array", "asarray", "ascontiguousarray", "asanyarray"):
+            if dtype_kw is not None:
+                return AbstractValue(
+                    "array", _resolve_dtype_expr(dtype_kw)
+                )
+            if node.args:
+                base = self._eval(node.args[0], env)
+                if base.kind in ("array", "scalar-np"):
+                    return AbstractValue("array", base.dtype)
+            return AbstractValue("array", "unknown")
+        if name == "bincount":
+            has_weights = len(node.args) > 1 or any(
+                kw.arg == "weights" for kw in node.keywords
+            )
+            return AbstractValue(
+                "array", "float64" if has_weights else "int64"
+            )
+        if name in _INT64_RESULT_FUNCS:
+            return AbstractValue("array", "int64")
+        if name in _PRESERVING_FUNCS:
+            if dtype_kw is not None:
+                return AbstractValue(
+                    "array", _resolve_dtype_expr(dtype_kw)
+                )
+            if node.args:
+                base = self._eval(node.args[0], env)
+                return AbstractValue("array", base.dtype)
+            return AbstractValue("array", "unknown")
+        if name == "prod":
+            dtype = _resolve_dtype_expr(dtype_kw)
+            return AbstractValue(
+                "scalar-np", dtype if dtype != "unknown" else "int64"
+            )
+        if name == "linspace":
+            return AbstractValue("array", "float64")
+        if name == "sqrt" or name == "linalg":
+            return AbstractValue("array", "float64")
+        return _UNKNOWN
+
+    # ------------------------------------------------------------------ #
+    # the checks
+    # ------------------------------------------------------------------ #
+    def _eval_binop(
+        self, node: ast.BinOp, env: dict[str, AbstractValue]
+    ) -> AbstractValue:
+        left = self._eval(node.left, env)
+        right = self._eval(node.right, env)
+        if isinstance(node.op, ast.Mult):
+            self._check_index_product(node, left, right)
+        if isinstance(node.op, (ast.Mult, ast.Add, ast.Sub, ast.Div)):
+            self._check_float_mix(node, left, right)
+        dtype = _promote_dtype(left.dtype, right.dtype)
+        if isinstance(node.op, ast.Div):
+            dtype = "float64"
+        if left.kind == "array" or right.kind == "array":
+            kind = "array"
+        elif "scalar-np" in (left.kind, right.kind):
+            kind = "scalar-np"
+        elif left.kind == "scalar-py" and right.kind == "scalar-py":
+            kind = "scalar-py"
+        else:
+            kind = "unknown"
+        return AbstractValue(kind, dtype)
+
+    def _check_index_product(
+        self, node: ast.BinOp, left: AbstractValue, right: AbstractValue
+    ) -> None:
+        """REP007: an index product no operand proves int64."""
+        if left.is_float or right.is_float:
+            return
+        if left.proves_int64 or right.proves_int64:
+            return
+        if left.is_scalar and right.is_scalar:
+            # Python ints are arbitrary-precision; np-scalar arithmetic
+            # on loop counters never feeds a flat index directly.
+            return
+        candidate = None
+        for operand, value in (
+            (node.left, left), (node.right, right),
+        ):
+            if value.is_scalar or value.is_float:
+                continue
+            if value.dtype in ("bool", "float32", "float64", "float"):
+                continue
+            names = _terminal_names(operand)
+            if value.dtype == "int32" or (
+                value.dtype in ("int", "unknown")
+                and any(_INDEX_NAME_RE.search(n) for n in names)
+            ):
+                candidate = (operand, value, names)
+                break
+        if candidate is None:
+            return
+        operand, value, names = candidate
+        base = self.capacity.bound_for(names)
+        base_name = (
+            "n_edges" if base == self.capacity.n_edges else "n_nodes"
+        )
+        bound = base * self.capacity.rank_k
+        if bound <= INT32_MAX:
+            return
+        width = (
+            "int32" if value.dtype == "int32" else "possibly-int32"
+        )
+        self.findings.append(
+            Finding(
+                self.path,
+                node.lineno,
+                node.col_offset,
+                "REP007",
+                f"{width} index product may reach "
+                f"{base_name}*rank_k = {bound} > 2**31-1; promote the "
+                "array operand with .astype(np.int64) before the "
+                "multiply (np.int64(scalar) does NOT promote under "
+                "value-based casting)",
+                bound=bound,
+            )
+        )
+
+    def _check_float_mix(
+        self, node: ast.BinOp, left: AbstractValue, right: AbstractValue
+    ) -> None:
+        """REP009: float32/float64 mixing is NumPy-version-dependent."""
+        dtypes = {left.dtype, right.dtype}
+        if "float32" in dtypes and dtypes & {"float64", "float"}:
+            self.findings.append(
+                Finding(
+                    self.path,
+                    node.lineno,
+                    node.col_offset,
+                    "REP009",
+                    "float32/float64 mixed arithmetic: value-based "
+                    "casting makes the result dtype depend on the "
+                    "NumPy version, breaking backend bit-identity; "
+                    "convert to VALUE_DTYPE (float64) first",
+                )
+            )
+
+    def _report_implicit_float(self, node: ast.Call, name: str) -> None:
+        self.findings.append(
+            Finding(
+                self.path,
+                node.lineno,
+                node.col_offset,
+                "REP009",
+                f"np.{name} without an explicit dtype allocates a "
+                "float64 buffer implicitly; pin dtype=VALUE_DTYPE (or "
+                "the intended dtype) so the accumulation width is a "
+                "declared contract, not a default",
+            )
+        )
+
+
+# --------------------------------------------------------------------- #
+# entry points
+# --------------------------------------------------------------------- #
+def analyze_tree(
+    tree: ast.Module,
+    path: str,
+    *,
+    capacity: GraphCapacity | None = None,
+) -> list[Finding]:
+    """Run the prover over an already-parsed module."""
+    return _Analyzer(path, capacity or GraphCapacity()).run(tree)
+
+
+def analyze_source(
+    source: str,
+    path: str,
+    *,
+    capacity: GraphCapacity | None = None,
+) -> list[Finding]:
+    """Run the prover over one source string (honours ``# repro:
+    noqa``)."""
+    tree = ast.parse(source, filename=path)
+    findings = analyze_tree(tree, path, capacity=capacity)
+    lines = source.splitlines()
+    kept = []
+    for finding in findings:
+        if 1 <= finding.line <= len(lines):
+            match = _NOQA_RE.search(lines[finding.line - 1])
+            if match is not None:
+                rules = match.group("rules")
+                if not rules or finding.rule in re.split(
+                    r"[,\s]+", rules.strip()
+                ):
+                    continue
+        kept.append(finding)
+    return kept
+
+
+def analyze_file(
+    path: str | Path,
+    *,
+    capacity: GraphCapacity | None = None,
+) -> list[Finding]:
+    """Run the prover over one file."""
+    path = Path(path)
+    return analyze_source(
+        path.read_text(encoding="utf-8"), str(path), capacity=capacity
+    )
+
+
+def _package_root() -> Path:
+    return Path(__file__).resolve().parents[1]
+
+
+def iter_target_files(
+    root: str | Path | None = None,
+    targets: Iterable[str] | None = PROVER_TARGETS,
+) -> Iterator[Path]:
+    """The prover's target files under ``root`` (default: the installed
+    ``repro`` package).  ``targets=None`` selects every ``.py`` file
+    under the root — the whole-tree sweep ``python -m repro prove``
+    runs."""
+    base = Path(root) if root is not None else _package_root()
+    if targets is None:
+        yield from sorted(base.rglob("*.py"))
+        return
+    for rel in targets:
+        path = base / rel
+        if path.exists():
+            yield path
+
+
+def prove_numeric_safety(
+    root: str | Path | None = None,
+    *,
+    capacity: GraphCapacity | None = None,
+    targets: Iterable[str] | None = PROVER_TARGETS,
+) -> list[Finding]:
+    """Prove the kernel/parallel modules numerically safe.
+
+    Returns the (ideally empty) list of findings over
+    :data:`PROVER_TARGETS`; ``python -m repro prove`` raises
+    :class:`~repro.errors.ProofError` when any survive.
+    """
+    findings: list[Finding] = []
+    for path in iter_target_files(root, targets):
+        findings.extend(analyze_file(path, capacity=capacity))
+    return findings

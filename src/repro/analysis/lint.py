@@ -19,7 +19,15 @@ rule on that line):
 * :class:`SharedMemoryOutsidePoolRule` (REP006) — raw
   ``multiprocessing.shared_memory`` use is confined to
   ``parallel/procpool.py`` (the segment registry that guarantees
-  unlink-on-exit).
+  unlink-on-exit);
+* :class:`Int32IndexArithmeticRule` (REP007) — no int32 flat-index
+  arithmetic without explicit ``int64`` promotion in kernel/parallel
+  modules (delegates to the dataflow prover,
+  :mod:`repro.analysis.dataflow`);
+* :class:`UnregisteredLiteralRule` (REP008) — fault-kind and
+  ``StateSpec`` bundle-name string literals must agree with their
+  registries (:data:`repro.resilience.faults.FAULT_KINDS`, the
+  checkpoint v2 schema).
 
 Files are scoped by their path segments (``core``, ``frameworks``) so the
 rules work both on the real tree and on seeded test fixtures laid out the
@@ -32,6 +40,7 @@ import ast
 import re
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Any, Iterable, Iterator
 
 #: array names whose element-wise traversal means a per-edge Python loop.
 EDGE_ARRAY_NAMES = frozenset(
@@ -104,7 +113,7 @@ class Violation:
         )
 
 
-def _names_in(node: ast.AST):
+def _names_in(node: ast.AST) -> Iterator[str]:
     """All bare names and attribute terminals referenced under ``node``."""
     for sub in ast.walk(node):
         if isinstance(sub, ast.Name):
@@ -136,7 +145,9 @@ class Rule:
         """Whether this rule runs on a file with path parts ``scope``."""
         return True
 
-    def check(self, tree: ast.AST, scope: tuple):
+    def check(
+        self, tree: ast.AST, scope: tuple
+    ) -> Iterator[tuple[Any, str]]:
         """Yield ``(node, message)`` findings."""
         raise NotImplementedError
 
@@ -157,7 +168,9 @@ class PerEdgeLoopRule(Rule):
     def applies_to(self, scope: tuple) -> bool:
         return bool(HOT_PATH_SEGMENTS.intersection(scope[:-1]))
 
-    def check(self, tree: ast.AST, scope: tuple):
+    def check(
+        self, tree: ast.AST, scope: tuple
+    ) -> Iterator[tuple[Any, str]]:
         for node in ast.walk(tree):
             iters = []
             if isinstance(node, (ast.For, ast.AsyncFor)):
@@ -197,7 +210,9 @@ class ImplicitDtypeRule(Rule):
             and scope[-1] in KERNEL_FILES
         )
 
-    def check(self, tree: ast.AST, scope: tuple):
+    def check(
+        self, tree: ast.AST, scope: tuple
+    ) -> Iterator[tuple[Any, str]]:
         for node in ast.walk(tree):
             if not (isinstance(node, ast.Call) and node.args):
                 continue
@@ -230,7 +245,9 @@ class SetToArrayRule(Rule):
 
     id = "REP003"
 
-    def check(self, tree: ast.AST, scope: tuple):
+    def check(
+        self, tree: ast.AST, scope: tuple
+    ) -> Iterator[tuple[Any, str]]:
         for node in ast.walk(tree):
             if not (isinstance(node, ast.Call) and node.args):
                 continue
@@ -263,7 +280,7 @@ class UngatedOptionalImportRule(Rule):
     id = "REP004"
 
     @staticmethod
-    def _imported_roots(node: ast.AST):
+    def _imported_roots(node: ast.AST) -> Iterator[str]:
         if isinstance(node, ast.Import):
             for alias in node.names:
                 yield alias.name.partition(".")[0]
@@ -271,10 +288,14 @@ class UngatedOptionalImportRule(Rule):
             if node.module:
                 yield node.module.partition(".")[0]
 
-    def check(self, tree: ast.AST, scope: tuple):
+    def check(
+        self, tree: ast.AST, scope: tuple
+    ) -> Iterator[tuple[Any, str]]:
         yield from self._scan(tree.body, gated=False)
 
-    def _scan(self, body, *, gated: bool):
+    def _scan(
+        self, body: list, *, gated: bool
+    ) -> Iterator[tuple[Any, str]]:
         for node in body:
             if isinstance(node, (ast.Import, ast.ImportFrom)):
                 if gated:
@@ -332,7 +353,7 @@ class HandRolledLoopRule(Rule):
         return scope[-1] not in DRIVER_FILES
 
     @staticmethod
-    def _propagate_calls_in(body):
+    def _propagate_calls_in(body: list) -> Iterator[str]:
         for stmt in body:
             for sub in ast.walk(stmt):
                 if (
@@ -342,7 +363,9 @@ class HandRolledLoopRule(Rule):
                 ):
                     yield sub.func.attr
 
-    def check(self, tree: ast.AST, scope: tuple):
+    def check(
+        self, tree: ast.AST, scope: tuple
+    ) -> Iterator[tuple[Any, str]]:
         for node in ast.walk(tree):
             if not isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
                 continue
@@ -385,7 +408,9 @@ class SharedMemoryOutsidePoolRule(Rule):
             )
         return False
 
-    def check(self, tree: ast.AST, scope: tuple):
+    def check(
+        self, tree: ast.AST, scope: tuple
+    ) -> Iterator[tuple[Any, str]]:
         for node in ast.walk(tree):
             if isinstance(node, (ast.Import, ast.ImportFrom)):
                 if self._mentions_shared_memory(node):
@@ -412,6 +437,174 @@ class SharedMemoryOutsidePoolRule(Rule):
                 )
 
 
+#: path segments whose files carry flat-index arithmetic (REP007 scope).
+INDEX_MATH_SEGMENTS = frozenset({"core", "frameworks", "parallel"})
+
+
+class Int32IndexArithmeticRule(Rule):
+    """REP007: no int32 flat-index products without explicit promotion.
+
+    ``dst * k`` with an int32 ``dst`` wraps silently once the product
+    can exceed ``2**31 - 1`` — the PR 5 rank-k bug class.  The check is
+    the dataflow prover's overflow pass
+    (:func:`repro.analysis.dataflow.analyze_tree`): an index-flavored
+    product is flagged unless one operand is a *proven* int64 array
+    (``.astype(np.int64)`` first; a scalar ``np.int64`` multiplier is
+    not enough under NumPy's value-based casting).
+    """
+
+    id = "REP007"
+
+    def applies_to(self, scope: tuple) -> bool:
+        return bool(INDEX_MATH_SEGMENTS.intersection(scope[:-1]))
+
+    def check(
+        self, tree: ast.AST, scope: tuple
+    ) -> Iterator[tuple[Any, str]]:
+        from types import SimpleNamespace
+
+        from .dataflow import analyze_tree
+
+        for finding in analyze_tree(tree, "/".join(scope)):
+            if finding.rule != self.id:
+                continue
+            yield (
+                SimpleNamespace(
+                    lineno=finding.line, col_offset=finding.col
+                ),
+                finding.message,
+            )
+
+
+class UnregisteredLiteralRule(Rule):
+    """REP008: fault-site and bundle-name literals must be registered.
+
+    A ``spec.kind == "krash"`` comparison, a ``FaultSpec("krash")``
+    construction or a ``StateSpec("fingerprint")`` declaration
+    references a registry (:data:`repro.resilience.faults.FAULT_KINDS`,
+    the checkpoint v2 metadata schema) by string — a typo compiles fine
+    and silently never fires / collides at restore time.  This rule
+    checks every such literal against the live registry, so the grammar
+    and its call sites cannot drift.
+    """
+
+    id = "REP008"
+
+    @staticmethod
+    def _touches_fault_machinery(tree: ast.AST) -> bool:
+        """True when the module imports (or defines) the fault-spec
+        machinery — the only modules where a bare ``.kind`` attribute
+        means a fault kind rather than some other discriminator."""
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if module.endswith("faults") or any(
+                    alias.name
+                    in ("FaultSpec", "FaultInjector", "FAULT_KINDS")
+                    for alias in node.names
+                ):
+                    return True
+            elif isinstance(node, ast.Import):
+                if any(
+                    alias.name.endswith("faults") for alias in node.names
+                ):
+                    return True
+            elif isinstance(node, ast.ClassDef):
+                if node.name == "FaultSpec":
+                    return True
+        return False
+
+    def check(
+        self, tree: ast.AST, scope: tuple
+    ) -> Iterator[tuple[Any, str]]:
+        from ..resilience.faults import FAULT_KINDS
+        from .certify import RESERVED_STATE_KEYS
+
+        kinds = set(FAULT_KINDS)
+        expected = ", ".join(FAULT_KINDS)
+        check_kind_compares = self._touches_fault_machinery(tree)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Compare):
+                if not check_kind_compares:
+                    continue
+                if not (
+                    isinstance(node.left, ast.Attribute)
+                    and node.left.attr == "kind"
+                ):
+                    continue
+                literals = []
+                for comparator in node.comparators:
+                    if isinstance(comparator, ast.Constant):
+                        literals.append(comparator)
+                    elif isinstance(
+                        comparator, (ast.Tuple, ast.Set, ast.List)
+                    ):
+                        literals.extend(
+                            elt
+                            for elt in comparator.elts
+                            if isinstance(elt, ast.Constant)
+                        )
+                for lit in literals:
+                    if (
+                        isinstance(lit.value, str)
+                        and lit.value not in kinds
+                    ):
+                        yield (
+                            lit,
+                            f"fault kind {lit.value!r} is not in "
+                            f"FAULT_KINDS ({expected}); the comparison "
+                            "can never fire",
+                        )
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Name
+            ):
+                if node.func.id == "FaultSpec":
+                    lit = None
+                    if node.args and isinstance(
+                        node.args[0], ast.Constant
+                    ):
+                        lit = node.args[0]
+                    for kw in node.keywords:
+                        if kw.arg == "kind" and isinstance(
+                            kw.value, ast.Constant
+                        ):
+                            lit = kw.value
+                    if (
+                        lit is not None
+                        and isinstance(lit.value, str)
+                        and lit.value not in kinds
+                    ):
+                        yield (
+                            lit,
+                            f"FaultSpec kind {lit.value!r} is not in "
+                            f"FAULT_KINDS ({expected}); it will be "
+                            "rejected at parse time",
+                        )
+                elif node.func.id == "StateSpec":
+                    if not (
+                        node.args
+                        and isinstance(node.args[0], ast.Constant)
+                        and isinstance(node.args[0].value, str)
+                    ):
+                        continue
+                    lit = node.args[0]
+                    name = lit.value
+                    if not name.isidentifier():
+                        yield (
+                            lit,
+                            f"StateSpec name {name!r} is not an "
+                            "identifier; the checkpoint v2 npz schema "
+                            "and BundleGuard reports key on it",
+                        )
+                    elif name in RESERVED_STATE_KEYS:
+                        yield (
+                            lit,
+                            f"StateSpec name {name!r} shadows a "
+                            "reserved checkpoint v2 metadata key "
+                            f"({', '.join(sorted(RESERVED_STATE_KEYS))})",
+                        )
+
+
 #: rule id -> rule instance, in reporting order.
 RULES: dict = {
     rule.id: rule
@@ -422,11 +615,13 @@ RULES: dict = {
         UngatedOptionalImportRule(),
         HandRolledLoopRule(),
         SharedMemoryOutsidePoolRule(),
+        Int32IndexArithmeticRule(),
+        UnregisteredLiteralRule(),
     )
 }
 
 
-def _suppressed(source_lines, lineno: int) -> frozenset | None:
+def _suppressed(source_lines: list, lineno: int) -> frozenset | None:
     """Rules silenced on ``lineno`` (frozenset of ids, empty = all), or
     None when the line has no ``# repro: noqa`` marker."""
     if not 1 <= lineno <= len(source_lines):
@@ -441,7 +636,11 @@ def _suppressed(source_lines, lineno: int) -> frozenset | None:
 
 
 def lint_source(
-    source: str, path: str, *, scope: tuple | None = None, rules=None
+    source: str,
+    path: str,
+    *,
+    scope: tuple | None = None,
+    rules: Iterable[str] | None = None,
 ) -> list:
     """Lint one source string; ``scope`` is the path-parts tuple used
     for rule applicability (defaults to ``path``'s parts)."""
@@ -479,7 +678,12 @@ def lint_source(
     return violations
 
 
-def lint_file(path, *, root=None, rules=None) -> list:
+def lint_file(
+    path: str | Path,
+    *,
+    root: str | Path | None = None,
+    rules: Iterable[str] | None = None,
+) -> list:
     """Lint one file; scoping is computed relative to ``root`` (or to
     the deepest ``repro``/``src`` segment when present)."""
     path = Path(path)
@@ -497,7 +701,9 @@ def lint_file(path, *, root=None, rules=None) -> list:
     )
 
 
-def lint_paths(paths, *, rules=None) -> list:
+def lint_paths(
+    paths: Iterable[str | Path], *, rules: Iterable[str] | None = None
+) -> list:
     """Lint files and/or directory trees; returns all violations."""
     violations = []
     for entry in paths:

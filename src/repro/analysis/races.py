@@ -31,6 +31,7 @@ from __future__ import annotations
 import os
 import weakref
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -110,7 +111,7 @@ def race_check_enabled() -> bool:
 # --------------------------------------------------------------------- #
 # access-set computation
 # --------------------------------------------------------------------- #
-def _task_span(task) -> tuple[int, int, int | None]:
+def _task_span(task: Any) -> tuple[int, int, int | None]:
     """Normalize one scatter task to ``(lo, hi, block_id-or-None)``."""
     if isinstance(task, tuple):
         lo, hi = int(task[0]), int(task[1])
@@ -118,7 +119,7 @@ def _task_span(task) -> tuple[int, int, int | None]:
     return int(task.start), int(task.end), getattr(task, "block_id", None)
 
 
-def scatter_accesses(layout, tasks=None) -> list:
+def scatter_accesses(layout: Any, tasks: Any = None) -> list:
     """Read/write sets of the Scatter phase, one per task.
 
     Each task owns a contiguous edge slice ``[lo, hi)`` in scatter order:
@@ -201,7 +202,7 @@ def scatter_accesses(layout, tasks=None) -> list:
     return accesses
 
 
-def gather_accesses(layout, base: str = "bincount") -> list:
+def gather_accesses(layout: Any, base: str = "bincount") -> list:
     """Read/write sets of the Gather phase, one per block-column.
 
     Column ``j`` writes the ``y`` segment ``[j*c, min((j+1)*c, n))`` and
@@ -254,7 +255,7 @@ def gather_accesses(layout, base: str = "bincount") -> list:
 # --------------------------------------------------------------------- #
 # disjointness proof
 # --------------------------------------------------------------------- #
-def prove_disjoint(accesses) -> None:
+def prove_disjoint(accesses: list) -> None:
     """Prove no two tasks' accesses conflict (write-write or read-write
     overlap on the same array).  Raises :class:`RaceError` naming the
     offending pair; same-task overlaps are allowed."""
@@ -308,7 +309,7 @@ def prove_disjoint(accesses) -> None:
                 k -= 1
 
 
-def _prove_bins_coverage(scatter, num_edges: int) -> None:
+def _prove_bins_coverage(scatter: list, num_edges: int) -> None:
     """The Scatter writes must tile ``bins`` exactly: any gap is a slot
     the Gather phase would read without a writer."""
     spans = sorted(
@@ -337,7 +338,10 @@ def _prove_bins_coverage(scatter, num_edges: int) -> None:
 
 
 def prove_schedule(
-    layout, tasks=None, *, bases=("bincount", "reduceat")
+    layout: Any,
+    tasks: Any = None,
+    *,
+    bases: tuple = ("bincount", "reduceat"),
 ) -> RaceProof:
     """Prove the full Scatter/Gather schedule of ``layout`` race-free.
 
@@ -390,7 +394,10 @@ class DynamicCheckResult:
 
 
 def dynamic_race_check(
-    layout, tasks=None, *, bases=("bincount", "reduceat")
+    layout: Any,
+    tasks: Any = None,
+    *,
+    bases: tuple = ("bincount", "reduceat"),
 ) -> DynamicCheckResult:
     """Replay the schedule's actual per-task indices against the proof.
 
@@ -547,7 +554,7 @@ class PhasePlanProof:
         )
 
 
-def phase_plan_accesses(plan) -> tuple[list, list]:
+def phase_plan_accesses(plan: Any) -> tuple[list, list]:
     """Scatter/Gather access sets of a phase plan's partition schedule.
 
     Partition ``p`` scatters messages ``msgs[elo:ehi]`` (reading ``x`` at
@@ -594,12 +601,12 @@ def phase_plan_accesses(plan) -> tuple[list, list]:
     return scatter, gather
 
 
-def _require(condition: bool, plan, message: str) -> None:
+def _require(condition: bool, plan: Any, message: str) -> None:
     if not condition:
         raise RaceError(f"phase plan {plan.name!r}: {message}")
 
 
-def prove_phase_plan(plan) -> PhasePlanProof:
+def prove_phase_plan(plan: Any) -> PhasePlanProof:
     """Prove a phase plan's partition schedule race-free.
 
     Structural invariants first — partition pointers tile messages and
@@ -682,7 +689,7 @@ def prove_phase_plan(plan) -> PhasePlanProof:
     )
 
 
-def dynamic_phase_check(plan) -> PhasePlanProof:
+def dynamic_phase_check(plan: Any) -> PhasePlanProof:
     """Replay a phase plan's actual per-partition indices.
 
     Each message slot must be written by exactly one scatter partition
@@ -748,12 +755,12 @@ class MPScheduleProof:
 
 def prove_mp_reduce(
     name: str,
-    tasks,
+    tasks: Any,
     num_rows: int,
     num_messages: int,
     *,
-    dst=None,
-    run_dst=None,
+    dst: Any = None,
+    run_dst: Any = None,
 ) -> MPScheduleProof:
     """Prove a process-pool reduce task table race-free.
 
@@ -870,7 +877,7 @@ _checked_layouts: "weakref.WeakValueDictionary" = (
 )
 
 
-def ensure_layout_checked(layout, tasks=None) -> None:
+def ensure_layout_checked(layout: Any, tasks: Any = None) -> None:
     """Dynamic-check ``layout`` once per process (the ``--race-check`` /
     ``REPRO_RACE_CHECK=1`` wrap around kernel dispatch)."""
     if _checked_layouts.get(id(layout)) is layout:
@@ -884,7 +891,7 @@ _checked_phase_plans: "weakref.WeakValueDictionary" = (
 )
 
 
-def ensure_phase_plan_checked(plan) -> None:
+def ensure_phase_plan_checked(plan: Any) -> None:
     """Dynamic-check a phase plan once per process (same wrap as
     :func:`ensure_layout_checked`, for the phase dispatch path)."""
     if _checked_phase_plans.get(id(plan)) is plan:

@@ -8,7 +8,13 @@ Commands:
 * ``bfs`` — run BFS and report reach/levels;
 * ``sssp`` — run single-source shortest paths and report reach/depth;
 * ``analyze`` — check every layout contract and the race-freedom proof
-  of a dataset's prepared structures (:mod:`repro.analysis`);
+  of a dataset's prepared structures (:mod:`repro.analysis`); with
+  ``--certify``, also verify the structures' proof certificates against
+  the committed ledger;
+* ``prove`` — run the numeric-safety dataflow pass, the registry
+  exhaustiveness checks and the full structure x backend certification
+  matrix, and verify (or with ``--update`` rewrite) the certificate
+  ledger (:mod:`repro.analysis.certify`);
 * ``experiment`` — regenerate one paper table/figure (or ``all``);
 * ``engines`` — list the registered engines.
 
@@ -24,8 +30,9 @@ recovery, and ``--guard`` for the numerical-health policies.
 Failures exit with structured codes (see
 :func:`repro.errors.exit_code_for`): contract violations 3, data races
 4, ingestion errors 5, guard trips 6, checkpoint problems 7, stalls 8,
-other resilience faults 9, any other :class:`~repro.errors.ReproError`
-1 — each with a one-line ``error[Type]: ...`` summary on stderr.
+other resilience faults 9, proof failures 10, any other
+:class:`~repro.errors.ReproError` 1 — each with a one-line
+``error[Type]: ...`` summary on stderr.
 """
 
 from __future__ import annotations
@@ -143,6 +150,37 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument(
         "--dynamic", action="store_true",
         help="also replay the schedule with instrumentation",
+    )
+    analyze.add_argument(
+        "--certify", action="store_true",
+        help="also verify the structures' proof certificates against "
+        "the committed ledger",
+    )
+    analyze.add_argument(
+        "--ledger", metavar="PATH", default=None,
+        help="certificate ledger path (default: "
+        "bench_results/certificates.json)",
+    )
+
+    prove = sub.add_parser(
+        "prove",
+        help="numeric-safety dataflow pass, registry checks and the "
+        "proof-certificate matrix",
+    )
+    prove.add_argument(
+        "--graph", choices=DATASET_NAMES, default="wiki"
+    )
+    prove.add_argument("--scale", type=float, default=0.25)
+    prove.add_argument("--block-nodes", type=int, default=512)
+    prove.add_argument(
+        "--ledger", metavar="PATH", default=None,
+        help="certificate ledger path (default: "
+        "bench_results/certificates.json)",
+    )
+    prove.add_argument(
+        "--update", action="store_true",
+        help="rewrite the ledger from the freshly computed certificates "
+        "instead of verifying against it",
     )
 
     exp = sub.add_parser(
@@ -441,7 +479,51 @@ def _cmd_analyze(args, out) -> int:
         dynamic=args.dynamic,
     )
     print(report.render(), file=out)
+    if args.certify:
+        from .analysis.certify import (
+            DEFAULT_LEDGER,
+            CertificateLedger,
+            build_certificates,
+        )
+        from .errors import ProofError
+
+        ledger = CertificateLedger.load(args.ledger or DEFAULT_LEDGER)
+        certs = build_certificates(graph, block_nodes=args.block_nodes)
+        bad = []
+        for cert in certs:
+            status = ledger.verify(cert)
+            mark = "ok  " if status == "verified" else "FAIL"
+            print(
+                f"  {mark}  {cert.kind}:{cert.structure}"
+                f" x {cert.backend}: {status}"
+                f" ({cert.certificate_id[:12]})",
+                file=out,
+            )
+            if status != "verified":
+                bad.append(f"{cert.key} is {status}")
+        print(
+            f"  {len(certs)} certificates verified against "
+            f"{ledger.path}",
+            file=out,
+        )
+        if bad:
+            raise ProofError("; ".join(bad))
     return 0 if report.ok else 1
+
+
+def _cmd_prove(args, out) -> int:
+    from .analysis.certify import DEFAULT_LEDGER, run_prove
+
+    report = run_prove(
+        args.graph,
+        scale=args.scale,
+        block_nodes=args.block_nodes,
+        ledger_path=args.ledger or DEFAULT_LEDGER,
+        update=args.update,
+    )
+    print(report.render(), file=out)
+    report.raise_on_failure()
+    return 0
 
 
 def _cmd_experiment(args, out) -> int:
@@ -473,6 +555,8 @@ def main(argv=None, out=None) -> int:
             return _cmd_sssp(args, out)
         if args.command == "analyze":
             return _cmd_analyze(args, out)
+        if args.command == "prove":
+            return _cmd_prove(args, out)
         if args.command == "experiment":
             return _cmd_experiment(args, out)
     except ReproError as exc:

@@ -59,10 +59,12 @@ def dynamic_bin_stats(layout: BlockLayout) -> DynamicBinStats:
     b = layout.num_blocks_per_side
     c = layout.block_nodes
     # Unique (block, source) pairs; block of a scatter-order edge is
-    # (src // c) * b + (dst // c).
+    # (src // c) * b + (dst // c).  Promote before the multiply: the
+    # int32 scatter ids would wrap once block_ids * n crosses 2**31
+    # (value-based casting ignores the np.int64 scalar's width).
     block_ids = (
-        (layout.src_scatter // c) * b + layout.dst_scatter // c
-    )
+        layout.src_scatter.astype(np.int64) // c
+    ) * b + layout.dst_scatter // c
     keys = block_ids * np.int64(layout.num_nodes) + layout.src_scatter
     compressed = int(np.unique(keys).size)
     return DynamicBinStats(m, compressed)

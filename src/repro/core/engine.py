@@ -126,6 +126,16 @@ class MixenEngine(Engine):
         # build-time race proof, so run-phase timings exclude the sorts.
         self.mixed.seed_push_plan
         self.mixed.sink_pull_plan
+        # Machine-readable proof certificate of the Main-Phase schedule
+        # under this engine's kernel; its id travels on every result.
+        from ..analysis.certify import certify_layout
+
+        self.certificate = certify_layout(
+            self.partition.layout,
+            self.kernel,
+            tasks=self.partition.tasks,
+            structure="mixen-main",
+        )
         if self.validate:
             self._validate_contracts()
         t_partition = time.perf_counter()
@@ -278,7 +288,7 @@ class MixenEngine(Engine):
         resilience=None,
     ) -> MixenRunResult:
         self._require_prepared()
-        return run_schedule(
+        result = run_schedule(
             self.mixed,
             self._make_kernel(),
             algorithm,
@@ -287,6 +297,9 @@ class MixenEngine(Engine):
             check_convergence=check_convergence,
             resilience=resilience,
         )
+        if self.certificate is not None:
+            result.certificate_id = self.certificate.certificate_id
+        return result
 
     # ------------------------------------------------------------------ #
     # BFS (Post-Phase handles sinks; seeds are only reachable as source)

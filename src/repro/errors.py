@@ -87,6 +87,17 @@ class RaceError(AnalysisError):
         self.overlap = overlap
 
 
+class ProofError(AnalysisError):
+    """A proof obligation failed or a proof certificate is missing or
+    stale (see :mod:`repro.analysis.certify`).
+
+    Raised by ``python -m repro prove`` when the numeric-safety dataflow
+    pass reports findings, a layout×backend pair cannot be certified, or
+    the committed certificate ledger disagrees with the freshly computed
+    certificates.
+    """
+
+
 class ResilienceError(ReproError):
     """The resilient execution runtime hit an unrecoverable condition
     (bad fault spec, degradation chain exhausted, ...)."""
@@ -172,6 +183,7 @@ class GuardError(ResilienceError):
 _EXIT_CODE_TABLE: tuple[tuple[type, int], ...] = (
     (ContractError, 3),
     (RaceError, 4),
+    (ProofError, 10),
     (IngestError, 5),
     (GuardError, 6),
     (CheckpointError, 7),

@@ -49,6 +49,10 @@ class AlgorithmResult:
     #: what the resilient runtime did (None for unsupervised runs); see
     #: :class:`repro.resilience.report.ResilienceReport`.
     resilience: object | None = None
+    #: id of the proof certificate covering the schedule this result ran
+    #: on (None for engines without a certified parallel schedule); see
+    #: :mod:`repro.analysis.certify`.
+    certificate_id: str | None = None
 
     @property
     def seconds_per_iteration(self) -> float:
@@ -93,6 +97,10 @@ class Engine(abc.ABC):
                 )
         #: optional per-edge weights, aligned to ``graph.csr`` edge order.
         self.edge_values = edge_values
+        #: proof certificate of the prepared parallel schedule, set by
+        #: engines whose ``_prepare`` certifies a layout
+        #: (:func:`repro.analysis.certify.certify_layout`).
+        self.certificate = None
 
     # ------------------------------------------------------------------ #
     # preparation
@@ -229,6 +237,11 @@ class Engine(abc.ABC):
             outcome.converged,
             elapsed,
             resilience=None if resilience is None else resilience.report,
+            certificate_id=(
+                None
+                if self.certificate is None
+                else self.certificate.certificate_id
+            ),
         )
 
     def run_bfs(self, source: int, *, resilience=None) -> np.ndarray:

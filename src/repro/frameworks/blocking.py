@@ -437,6 +437,14 @@ class BlockingEngine(Engine):
             self.race_check is None and race_check_enabled()
         ):
             dynamic_race_check(self.layout, self.tasks)
+        # Machine-readable proof certificate of the block schedule under
+        # this engine's kernel; its id travels on every result.
+        from ..analysis.certify import certify_layout
+
+        self.certificate = certify_layout(
+            self.layout, self.kernel, tasks=self.tasks,
+            structure="block-main",
+        )
         if self.validate:
             from ..analysis.contracts import check_layout
 

@@ -61,6 +61,7 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from ..core.kernels import _flat_rank_indices
 from ..errors import MachineError, ResilienceError, StallError, WorkerCrashError
 
 #: prefix of every segment this module creates (``/dev/shm`` visible).
@@ -245,9 +246,7 @@ def _execute_job(msg: dict, cache: dict) -> None:
                 )
             else:
                 k = x.shape[1]
-                flat = local_dst[:, None] * np.int64(k) + np.arange(
-                    k, dtype=np.int64
-                )
+                flat = _flat_rank_indices(local_dst, k)
                 y[row_lo:row_hi] = np.bincount(
                     flat.ravel(), weights=msgs.ravel(),
                     minlength=span * k,
@@ -430,61 +429,99 @@ def phase_plan_fingerprint(plan) -> str:
     return _cached_fingerprint(plan, parts)
 
 
-def ensure_layout_plan(layout, base: str) -> ShmReducePlan:
-    """Packed shm plan of one block layout for one accumulation base.
+def layout_reduce_tasks(layout, base: str) -> tuple:
+    """The ``(num_tasks, 6)`` task table and metadata arrays of one
+    block layout for one accumulation base — the pure (no shared
+    memory, no pool) half of :func:`ensure_layout_plan`.
 
     Tasks are the layout's block-columns (the same disjoint output
     intervals the thread kernel's Gather phase owns); the metadata is
     pre-permuted so workers fuse Scatter and Gather into one pass.
+    Returns ``(tasks, arrays, dst, run_dst)`` ready for
+    :func:`repro.analysis.races.prove_mp_reduce` — which is how the
+    plan certifier proves the mp schedule without spawning workers.
     """
+    n = layout.num_nodes
+    b = layout.num_blocks_per_side
+    c = layout.block_nodes
+    rows = []
+    if base == "bincount":
+        gp = layout.gather_block_ptr
+        for j in range(b):
+            elo, ehi = int(gp[j * b]), int(gp[(j + 1) * b])
+            if ehi <= elo:
+                continue
+            rows.append(
+                (elo, ehi, 0, 0, j * c, min((j + 1) * c, n))
+            )
+        values = layout.values_scatter
+        arrays = {
+            "src": layout.src_gather,
+            "dst": layout.dst_gather,
+        }
+        if values is not None:
+            arrays["values"] = values[layout.gather_perm]
+        dst, run_dst = layout.dst_gather, None
+    else:
+        plan = layout.reduce_plan
+        ep, rp = plan.col_edge_ptr, plan.col_run_ptr
+        for j in range(b):
+            elo, ehi = int(ep[j]), int(ep[j + 1])
+            if ehi <= elo:
+                continue
+            rows.append(
+                (elo, ehi, int(rp[j]), int(rp[j + 1]),
+                 j * c, min((j + 1) * c, n))
+            )
+        arrays = {
+            "src": plan.src,
+            "run_starts": plan.run_starts,
+            "run_dst": plan.run_dst,
+        }
+        if plan.values is not None:
+            arrays["values"] = plan.values
+        dst, run_dst = None, plan.run_dst
+    tasks = np.asarray(rows, dtype=np.int64).reshape(-1, 6)
+    return tasks, arrays, dst, run_dst
+
+
+def phase_reduce_tasks(plan) -> tuple:
+    """Pure task table of one phase reduce plan (both bases share it:
+    the partition table already carries runs and edges).  Returns
+    ``(tasks, arrays, dst, run_dst)`` like :func:`layout_reduce_tasks`.
+    """
+    ep, rp = plan.part_edge_ptr, plan.part_run_ptr
+    rows = []
+    for p in range(plan.num_partitions):
+        elo, ehi = int(ep[p]), int(ep[p + 1])
+        rlo, rhi = int(rp[p]), int(rp[p + 1])
+        if ehi <= elo or rhi <= rlo:
+            continue
+        rows.append(
+            (elo, ehi, rlo, rhi,
+             int(plan.run_dst[rlo]), int(plan.run_dst[rhi - 1]) + 1)
+        )
+    arrays = {
+        "src": plan.src,
+        "dst": plan.dst,
+        "run_starts": plan.run_starts,
+        "run_dst": plan.run_dst,
+    }
+    if plan.values is not None:
+        arrays["values"] = plan.values
+    tasks = np.asarray(rows, dtype=np.int64).reshape(-1, 6)
+    return tasks, arrays, plan.dst, plan.run_dst
+
+
+def ensure_layout_plan(layout, base: str) -> ShmReducePlan:
+    """Packed shm plan of one block layout for one accumulation base."""
     key = (layout_fingerprint(layout), "layout", base)
 
     def build() -> ShmReducePlan:
-        n = layout.num_nodes
-        m = layout.num_edges
-        b = layout.num_blocks_per_side
-        c = layout.block_nodes
-        rows = []
-        if base == "bincount":
-            gp = layout.gather_block_ptr
-            for j in range(b):
-                elo, ehi = int(gp[j * b]), int(gp[(j + 1) * b])
-                if ehi <= elo:
-                    continue
-                rows.append(
-                    (elo, ehi, 0, 0, j * c, min((j + 1) * c, n))
-                )
-            values = layout.values_scatter
-            arrays = {
-                "src": layout.src_gather,
-                "dst": layout.dst_gather,
-            }
-            if values is not None:
-                arrays["values"] = values[layout.gather_perm]
-            dst, run_dst = layout.dst_gather, None
-        else:
-            plan = layout.reduce_plan
-            ep, rp = plan.col_edge_ptr, plan.col_run_ptr
-            for j in range(b):
-                elo, ehi = int(ep[j]), int(ep[j + 1])
-                if ehi <= elo:
-                    continue
-                rows.append(
-                    (elo, ehi, int(rp[j]), int(rp[j + 1]),
-                     j * c, min((j + 1) * c, n))
-                )
-            arrays = {
-                "src": plan.src,
-                "run_starts": plan.run_starts,
-                "run_dst": plan.run_dst,
-            }
-            if plan.values is not None:
-                arrays["values"] = plan.values
-            dst, run_dst = None, plan.run_dst
-        tasks = np.asarray(rows, dtype=np.int64).reshape(-1, 6)
+        tasks, arrays, dst, run_dst = layout_reduce_tasks(layout, base)
         return _finish_plan(
             key, arrays, tasks,
-            num_rows=n, num_messages=m,
+            num_rows=layout.num_nodes, num_messages=layout.num_edges,
             proof_name=f"mp-layout-{base}",
             dst=dst, run_dst=run_dst,
         )
@@ -493,36 +530,16 @@ def ensure_layout_plan(layout, base: str) -> ShmReducePlan:
 
 
 def ensure_phase_plan(plan, base: str) -> ShmReducePlan:
-    """Packed shm plan of one phase reduce plan (both bases share one
-    segment: the partition table already carries runs and edges)."""
+    """Packed shm plan of one phase reduce plan."""
     key = (phase_plan_fingerprint(plan), "phase", base)
 
     def build() -> ShmReducePlan:
-        ep, rp = plan.part_edge_ptr, plan.part_run_ptr
-        rows = []
-        for p in range(plan.num_partitions):
-            elo, ehi = int(ep[p]), int(ep[p + 1])
-            rlo, rhi = int(rp[p]), int(rp[p + 1])
-            if ehi <= elo or rhi <= rlo:
-                continue
-            rows.append(
-                (elo, ehi, rlo, rhi,
-                 int(plan.run_dst[rlo]), int(plan.run_dst[rhi - 1]) + 1)
-            )
-        arrays = {
-            "src": plan.src,
-            "dst": plan.dst,
-            "run_starts": plan.run_starts,
-            "run_dst": plan.run_dst,
-        }
-        if plan.values is not None:
-            arrays["values"] = plan.values
-        tasks = np.asarray(rows, dtype=np.int64).reshape(-1, 6)
+        tasks, arrays, dst, run_dst = phase_reduce_tasks(plan)
         return _finish_plan(
             key, arrays, tasks,
             num_rows=plan.num_rows, num_messages=plan.num_messages,
             proof_name=f"mp-phase-{plan.name}",
-            dst=plan.dst, run_dst=plan.run_dst,
+            dst=dst, run_dst=run_dst,
         )
 
     return _cache_plan(key, build)

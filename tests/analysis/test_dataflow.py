@@ -1,0 +1,230 @@
+"""Unit tests for the numeric-safety dataflow prover
+(`repro.analysis.dataflow`).
+
+The acceptance bar is two-sided: the prover must report **zero**
+findings on the clean tree, and it must detect a seeded int32-overflow
+mutant in `core/kernels.py` (the PR 5 `_flat_rank_indices` bug class).
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis.dataflow import (
+    PROVER_TARGETS,
+    Finding,
+    GraphCapacity,
+    analyze_source,
+    prove_numeric_safety,
+)
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+class TestCleanTree:
+    def test_targets_have_zero_findings(self):
+        findings = prove_numeric_safety(SRC)
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_whole_tree_sweep_has_zero_findings(self):
+        findings = prove_numeric_safety(SRC, targets=None)
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_every_target_exists(self):
+        for rel in PROVER_TARGETS:
+            assert (SRC / rel).exists(), rel
+
+
+class TestSeededOverflowMutant:
+    """Removing the explicit int64 promotion from `_flat_rank_indices`
+    must be detected — the adversarial acceptance criterion."""
+
+    def test_kernels_astype_removal_detected(self):
+        source = (SRC / "core" / "kernels.py").read_text()
+        needle = "dst.astype(np.int64, copy=False)[:, None] * np.int64(k)"
+        assert needle in source
+        mutant = source.replace(needle, "dst[:, None] * np.int64(k)")
+        findings = analyze_source(mutant, "core/kernels.py")
+        assert "REP007" in rules_of(findings)
+
+    def test_scalar_int64_multiplier_not_a_proof(self):
+        """`int32_array * np.int64(k)` stays int32 under value-based
+        casting — the scalar wrapper alone must NOT certify the product."""
+        code = (
+            "import numpy as np\n"
+            "def f(dst, k):\n"
+            "    flat = dst * np.int64(k)\n"
+            "    return flat\n"
+        )
+        findings = analyze_source(code, "core/kernels.py")
+        assert "REP007" in rules_of(findings)
+
+    def test_array_astype_promotion_is_a_proof(self):
+        code = (
+            "import numpy as np\n"
+            "def f(dst, k):\n"
+            "    flat = dst.astype(np.int64) * np.int64(k)\n"
+            "    return flat\n"
+        )
+        findings = analyze_source(code, "core/kernels.py")
+        assert "REP007" not in rules_of(findings)
+
+    def test_procpool_old_pattern_detected(self):
+        """The pre-fix procpool span arithmetic (int32 local_dst * k)
+        is exactly the pattern the prover must flag."""
+        code = (
+            "import numpy as np\n"
+            "def job(local_dst, span, k):\n"
+            "    flat = local_dst[:, None] * k + np.arange(k)\n"
+            "    return flat\n"
+        )
+        findings = analyze_source(code, "parallel/procpool.py")
+        assert "REP007" in rules_of(findings)
+
+
+class TestCapacityBounds:
+    def test_small_capacity_suppresses(self):
+        """With a declared capacity whose product stays under 2^31 the
+        index product is provably safe and must not be flagged."""
+        code = (
+            "import numpy as np\n"
+            "def f(dst, k):\n"
+            "    flat = dst * np.int64(k)\n"
+            "    return flat\n"
+        )
+        tiny = GraphCapacity(n_nodes=1000, n_edges=1000, rank_k=4)
+        findings = analyze_source(code, "core/kernels.py", capacity=tiny)
+        assert "REP007" not in rules_of(findings)
+
+    def test_default_capacity_flags(self):
+        code = (
+            "import numpy as np\n"
+            "def f(dst, k):\n"
+            "    flat = dst * np.int64(k)\n"
+            "    return flat\n"
+        )
+        findings = analyze_source(code, "core/kernels.py")
+        assert "REP007" in rules_of(findings)
+
+    def test_finding_carries_bound(self):
+        code = (
+            "import numpy as np\n"
+            "def f(dst, k):\n"
+            "    flat = dst * np.int64(k)\n"
+            "    return flat\n"
+        )
+        (finding,) = [
+            f
+            for f in analyze_source(code, "core/kernels.py")
+            if f.rule == "REP007"
+        ]
+        assert finding.bound is not None
+        assert finding.bound > np.iinfo(np.int32).max
+
+
+class TestFloatPromotion:
+    def test_float32_float64_mix_flagged(self):
+        code = (
+            "import numpy as np\n"
+            "def f(x):\n"
+            "    y = np.zeros(4, dtype=np.float32)\n"
+            "    z = np.ones(4, dtype=np.float64)\n"
+            "    return y + z\n"
+        )
+        findings = analyze_source(code, "core/kernels.py")
+        assert "REP009" in rules_of(findings)
+
+    def test_implicit_buffer_dtype_flagged_in_kernel_segment(self):
+        code = (
+            "import numpy as np\n"
+            "def f(n):\n"
+            "    return np.zeros(n)\n"
+        )
+        findings = analyze_source(code, "core/kernels.py")
+        assert "REP009" in rules_of(findings)
+
+    def test_implicit_buffer_dtype_ignored_outside_strict_segments(self):
+        code = (
+            "import numpy as np\n"
+            "def f(n):\n"
+            "    return np.zeros(n)\n"
+        )
+        findings = analyze_source(code, "bench/tables.py")
+        assert "REP009" not in rules_of(findings)
+
+
+class TestNoqa:
+    def test_inline_suppression(self):
+        code = (
+            "import numpy as np\n"
+            "def f(dst, k):\n"
+            "    flat = dst * np.int64(k)  # repro: noqa REP007\n"
+            "    return flat\n"
+        )
+        findings = analyze_source(code, "core/kernels.py")
+        assert "REP007" not in rules_of(findings)
+
+    def test_other_rule_suppression_does_not_silence(self):
+        code = (
+            "import numpy as np\n"
+            "def f(dst, k):\n"
+            "    flat = dst * np.int64(k)  # repro: noqa REP001\n"
+            "    return flat\n"
+        )
+        findings = analyze_source(code, "core/kernels.py")
+        assert "REP007" in rules_of(findings)
+
+
+class TestFindingRendering:
+    def test_render_is_editor_clickable(self):
+        finding = Finding("core/kernels.py", 3, 7, "REP007", "boom")
+        assert finding.render().startswith("core/kernels.py:3:7: REP007")
+
+
+class TestFlatRankIndicesBoundary:
+    """Regression tests at the 2^31 boundary for the promoted helper
+    (satellite: the PR 5 `_flat_rank_indices` pattern)."""
+
+    def test_flat_indices_cross_int31_correctly(self):
+        from repro.core.kernels import _flat_rank_indices
+
+        k = 64
+        # A destination row whose flat index lands just past 2^31.
+        dst = np.asarray([(2**31 // k) + 1], dtype=np.int32)
+        flat = _flat_rank_indices(dst, k)
+        assert flat.dtype == np.int64
+        expected = np.int64(dst[0]) * k + np.arange(k)
+        assert (flat[0] == expected).all()
+        assert flat.max() > np.iinfo(np.int32).max
+        assert (flat >= 0).all()
+
+    def test_unpromoted_product_would_wrap(self):
+        """The guard the helper exists for: the raw int32 product wraps
+        negative exactly where the promoted one stays correct."""
+        k = 64
+        dst = np.asarray([(2**31 // k) + 1], dtype=np.int32)
+        with np.errstate(over="ignore"):
+            wrapped = dst * np.int32(k)
+        assert wrapped[0] < 0  # silent int32 wraparound
+
+    def test_procpool_span_indices_cross_boundary(self):
+        """The mp worker's local flat computation goes through the same
+        promoted helper, so a huge block offset cannot wrap."""
+        from repro.core.kernels import _flat_rank_indices
+
+        k = 16
+        span = 8
+        base = 2**31 // k  # local rows near the wrap point
+        local_dst = (
+            np.arange(span, dtype=np.int64) + base
+        ).astype(np.int64)
+        flat = _flat_rank_indices(local_dst, k)
+        assert flat.shape == (span, k)
+        assert flat.dtype == np.int64
+        assert (np.diff(flat.ravel().reshape(span, k), axis=1) == 1).all()
+        assert flat.max() == (base + span - 1) * k + (k - 1)

@@ -300,6 +300,138 @@ class TestSuppression:
         assert "REP004" in rules_of(violations)
 
 
+class TestInt32IndexArithmeticRule:
+    CODE = (
+        "import numpy as np\n"
+        "def f(dst, k):\n"
+        "    flat = dst * k + np.arange(k)\n"
+        "    return flat\n"
+    )
+
+    def test_flagged_in_core(self):
+        violations = lint_source(
+            self.CODE, "core/kernels.py", scope=("core", "kernels.py")
+        )
+        assert "REP007" in rules_of(violations)
+
+    def test_flagged_in_parallel(self):
+        violations = lint_source(
+            self.CODE,
+            "parallel/procpool.py",
+            scope=("parallel", "procpool.py"),
+        )
+        assert "REP007" in rules_of(violations)
+
+    def test_not_flagged_outside_index_segments(self):
+        violations = lint_source(
+            self.CODE, "bench/tables.py", scope=("bench", "tables.py")
+        )
+        assert "REP007" not in rules_of(violations)
+
+    def test_promoted_product_clean(self):
+        code = (
+            "import numpy as np\n"
+            "def f(dst, k):\n"
+            "    flat = dst.astype(np.int64) * np.int64(k)\n"
+            "    return flat\n"
+        )
+        violations = lint_source(
+            code, "core/kernels.py", scope=("core", "kernels.py")
+        )
+        assert "REP007" not in rules_of(violations)
+
+    def test_noqa_suppression(self):
+        code = (
+            "import numpy as np\n"
+            "def f(dst, k):\n"
+            "    flat = dst * k  # repro: noqa REP007\n"
+            "    return flat\n"
+        )
+        violations = lint_source(
+            code, "core/kernels.py", scope=("core", "kernels.py")
+        )
+        assert "REP007" not in rules_of(violations)
+
+
+class TestUnregisteredLiteralRule:
+    def test_bogus_kind_comparison_flagged(self):
+        code = (
+            "from repro.resilience.faults import FaultSpec\n"
+            "def hook(spec):\n"
+            "    if spec.kind == 'krash':\n"
+            "        pass\n"
+        )
+        violations = lint_source(
+            code, "resilience/x.py", scope=("resilience", "x.py")
+        )
+        assert "REP008" in rules_of(violations)
+
+    def test_registered_kind_comparison_clean(self):
+        code = (
+            "from repro.resilience.faults import FaultSpec\n"
+            "def hook(spec):\n"
+            "    if spec.kind == 'crash':\n"
+            "        pass\n"
+        )
+        violations = lint_source(
+            code, "resilience/x.py", scope=("resilience", "x.py")
+        )
+        assert "REP008" not in rules_of(violations)
+
+    def test_kind_attribute_outside_fault_modules_ignored(self):
+        """Other `.kind` discriminators (the dataflow lattice, guard
+        kinds) must not be mistaken for fault kinds."""
+        code = (
+            "def f(value):\n"
+            "    return value.kind == 'array'\n"
+        )
+        violations = lint_source(
+            code, "analysis/dataflow.py", scope=("analysis", "dataflow.py")
+        )
+        assert "REP008" not in rules_of(violations)
+
+    def test_bogus_fault_spec_kind_flagged(self):
+        code = (
+            "from repro.resilience.faults import FaultSpec\n"
+            "spec = FaultSpec('boom')\n"
+        )
+        violations = lint_source(
+            code, "resilience/x.py", scope=("resilience", "x.py")
+        )
+        assert "REP008" in rules_of(violations)
+
+    def test_fault_spec_kind_kwarg_flagged(self):
+        code = (
+            "from repro.resilience.faults import FaultSpec\n"
+            "spec = FaultSpec(kind='boom', task=0)\n"
+        )
+        violations = lint_source(
+            code, "resilience/x.py", scope=("resilience", "x.py")
+        )
+        assert "REP008" in rules_of(violations)
+
+    def test_reserved_state_name_flagged(self):
+        code = "spec = StateSpec('fingerprint')\n"
+        violations = lint_source(
+            code, "algorithms/x.py", scope=("algorithms", "x.py")
+        )
+        assert "REP008" in rules_of(violations)
+
+    def test_non_identifier_state_name_flagged(self):
+        code = "spec = StateSpec('not an ident')\n"
+        violations = lint_source(
+            code, "algorithms/x.py", scope=("algorithms", "x.py")
+        )
+        assert "REP008" in rules_of(violations)
+
+    def test_valid_state_name_clean(self):
+        code = "spec = StateSpec('levels', guarded=False)\n"
+        violations = lint_source(
+            code, "algorithms/x.py", scope=("algorithms", "x.py")
+        )
+        assert "REP008" not in rules_of(violations)
+
+
 class TestLintFilesAndPaths:
     def test_syntax_error_reported(self, tmp_path):
         bad = tmp_path / "broken.py"
@@ -372,6 +504,22 @@ class TestRunLintCli:
     def test_unknown_rule_exits_two(self):
         code, _ = self.run("--rules", "REP777")
         assert code == 2
+
+    def test_nonexistent_path_exits_two(self, tmp_path, capsys):
+        missing = tmp_path / "no" / "such" / "tree"
+        code, text = self.run(str(missing))
+        assert code == 2
+        assert "lint clean" not in text
+        err = capsys.readouterr().err
+        assert "no such file or directory" in err
+        assert str(missing) in err
+
+    def test_mixed_existing_and_missing_paths_exit_two(self, tmp_path):
+        real = tmp_path / "ok.py"
+        real.write_text("x = 1\n")
+        code, text = self.run(str(real), str(tmp_path / "ghost.py"))
+        assert code == 2
+        assert "lint clean" not in text
 
     def test_list_rules(self):
         code, text = self.run("--list-rules")

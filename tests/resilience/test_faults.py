@@ -70,6 +70,120 @@ class TestSpecGrammar:
             FaultSpec("crash")
 
 
+class TestSpecGrammarErrorMessages:
+    """Each malformed-spec class produces a *distinct* error whose text
+    quotes the offending token (so a typo'd drill points at itself)."""
+
+    def test_unknown_kind_quotes_kind_and_lists_registry(self):
+        with pytest.raises(ResilienceError) as excinfo:
+            parse_fault_spec("explode:task=0")
+        msg = str(excinfo.value)
+        assert "unknown fault kind" in msg
+        assert "'explode'" in msg
+        for kind in faults.FAULT_KINDS:
+            assert kind in msg
+
+    def test_unknown_field_quotes_field_and_entry(self):
+        with pytest.raises(ResilienceError) as excinfo:
+            parse_fault_spec("crash:task=0,frequency=2")
+        msg = str(excinfo.value)
+        assert "unknown fault field" in msg
+        assert "'frequency'" in msg
+        assert "'crash:task=0,frequency=2'" in msg
+
+    def test_bad_count_quotes_key_and_entry(self):
+        with pytest.raises(ResilienceError) as excinfo:
+            parse_fault_spec("crash:task=zero")
+        msg = str(excinfo.value)
+        assert "bad value for 'task'" in msg
+        assert "'crash:task=zero'" in msg
+
+    def test_bad_float_count_distinct_from_bad_int(self):
+        with pytest.raises(ResilienceError) as excinfo:
+            parse_fault_spec("stall:task=0,seconds=soon")
+        msg = str(excinfo.value)
+        assert "bad value for 'seconds'" in msg
+        assert "'stall:task=0,seconds=soon'" in msg
+
+    def test_missing_value_quotes_pair(self):
+        with pytest.raises(ResilienceError) as excinfo:
+            parse_fault_spec("crash:task")
+        msg = str(excinfo.value)
+        assert "bad fault field" in msg
+        assert "'task'" in msg
+        assert "expected key=value" in msg
+
+    def test_empty_spec_quotes_whole_text(self):
+        with pytest.raises(ResilienceError) as excinfo:
+            parse_fault_spec("  ;  ")
+        assert "empty fault spec" in str(excinfo.value)
+        assert "'  ;  '" in str(excinfo.value)
+
+    def test_missing_required_field_names_kind_and_field(self):
+        cases = {
+            "fail": "kernel=<name>",
+            "crash": "task=<index>",
+            "kill": "worker=<rank>",
+        }
+        messages = set()
+        for kind, expected in cases.items():
+            with pytest.raises(ResilienceError) as excinfo:
+                FaultSpec(kind)
+            msg = str(excinfo.value)
+            assert f"'{kind}'" in msg
+            assert expected in msg
+            messages.add(msg)
+        # Three different kinds -> three different diagnostics.
+        assert len(messages) == len(cases)
+
+    def test_error_classes_are_pairwise_distinct(self):
+        bad = [
+            "explode:task=0",
+            "crash:task=0,frequency=2",
+            "crash:task=zero",
+            "crash:task",
+            " ; ",
+        ]
+        messages = []
+        for spec in bad:
+            with pytest.raises(ResilienceError) as excinfo:
+                parse_fault_spec(spec)
+            messages.append(str(excinfo.value))
+        assert len(set(messages)) == len(bad)
+
+
+class TestRegistryProverAgreement:
+    """The static fault-site registry check and the parser must agree
+    about what the grammar accepts (tentpole registry check #1)."""
+
+    def test_registry_check_passes_on_real_tree(self):
+        from repro.analysis.certify import check_fault_registry
+
+        check = check_fault_registry()
+        assert check.passed, check.detail
+
+    def test_every_registered_kind_parses(self):
+        from repro.analysis.certify import _MINIMAL_SPECS
+
+        assert set(_MINIMAL_SPECS) == set(faults.FAULT_KINDS)
+        for spec in _MINIMAL_SPECS.values():
+            parse_fault_spec(spec)
+
+    def test_check_flags_unregistered_kind_literal(self, tmp_path):
+        """A handler comparing against a kind outside FAULT_KINDS is a
+        registry violation the check must catch."""
+        from repro.analysis.certify import _kind_literals
+        import ast
+
+        tree = ast.parse(
+            "def hook(self, spec):\n"
+            "    if spec.kind == 'krash':\n"
+            "        pass\n"
+        )
+        assert _kind_literals(tree) == {"krash"}
+        assert "krash" not in faults.FAULT_KINDS
+
+
 class TestInjectorDeterminism:
     def test_kernel_fail_on_exact_call(self):
         inj = FaultInjector([FaultSpec("fail", kernel="bincount", call=2)])

@@ -78,6 +78,15 @@ def main(argv=None, out=None) -> int:
             )
             return 2
     paths = args.paths or [str(ROOT / "src" / "repro")]
+    missing = [p for p in paths if not Path(p).exists()]
+    if missing:
+        # A typo'd path must not read as "lint clean": nothing was
+        # linted.  Same exit code as other usage errors (unknown rules).
+        print(
+            f"error: no such file or directory: {', '.join(missing)}",
+            file=sys.stderr,
+        )
+        return 2
     violations = lint_paths(paths, rules=rules)
     for violation in violations:
         print(violation.render(), file=out)
