@@ -1,0 +1,189 @@
+"""Serving-layer microbenchmark: boot latency and batching throughput.
+
+Two questions the serving design (DESIGN 4h) rides on:
+
+* **warm vs cold boot** — how much of a server boot the persistent
+  layout store removes (a warm boot loads committed ``.npy`` artifacts
+  instead of re-running every O(m log m) preprocessing sort);
+* **batched vs sequential serving** — the throughput win of coalescing
+  the batching window's requests into one rank-K propagation instead
+  of running K rank-1 propagations back to back.
+
+Records both to ``bench_results/serve.json``.  Run from the repo
+root::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+    PYTHONPATH=src python benchmarks/bench_serve.py --quick  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+try:
+    import repro  # noqa: F401
+except ImportError:
+    sys.path.insert(0, str(ROOT / "src"))
+
+from repro.graphs import load_dataset  # noqa: E402
+from repro.resilience.retry import RetryPolicy  # noqa: E402
+from repro.serve import (  # noqa: E402
+    LayoutStore,
+    MixenServer,
+    ServeConfig,
+    boot_engine,
+)
+from repro.serve.drill import seeded_requests  # noqa: E402
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--graph", default="wiki", help="proxy dataset (default wiki)"
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="dataset scale factor (default 1.0)",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=64,
+        help="workload size per serving mode (default 64)",
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=10,
+        help="PPR iteration budget per batch (default 10)",
+    )
+    parser.add_argument(
+        "--max-batch", type=int, default=8,
+        help="rank cap of the batched mode (default 8)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--kernel", default="parallel",
+        help="serving kernel (default parallel)",
+    )
+    parser.add_argument(
+        "--out", default=str(ROOT / "bench_results" / "serve.json")
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: tiny scale and workload",
+    )
+    return parser
+
+
+def _serve_workload(engine, boot, source_sets, *, window, max_batch,
+                    iterations):
+    config = ServeConfig(
+        window=window,
+        max_batch=max_batch,
+        max_queue=max(len(source_sets), 1),
+        iterations=iterations,
+        retry=RetryPolicy(max_retries=0, backoff=0.0, deadline=None),
+    )
+    server = MixenServer(engine, config=config, boot=boot)
+
+    async def scenario():
+        await server.start()
+        try:
+            return await asyncio.gather(
+                *(server.submit(s) for s in source_sets)
+            )
+        finally:
+            await server.stop()
+
+    t0 = time.perf_counter()
+    results = asyncio.run(scenario())
+    seconds = time.perf_counter() - t0
+    assert len(results) == len(source_sets)
+    return seconds, server.report
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.quick:
+        args.scale = min(args.scale, 0.25)
+        args.requests = min(args.requests, 16)
+        args.iterations = min(args.iterations, 5)
+
+    graph = load_dataset(args.graph, scale=args.scale)
+    store_dir = Path(tempfile.mkdtemp(prefix="bench-serve-store-"))
+    try:
+        store = LayoutStore(store_dir)
+        engine, cold = boot_engine(graph, store, kernel=args.kernel)
+        warm_engine, warm = boot_engine(
+            graph, store, kernel=args.kernel
+        )
+        assert not cold.hit and warm.hit
+
+        source_sets = seeded_requests(
+            graph.num_nodes, args.requests, args.seed
+        )
+        sequential_s, _ = _serve_workload(
+            engine,
+            cold,
+            source_sets,
+            window=0.0,
+            max_batch=1,
+            iterations=args.iterations,
+        )
+        batched_s, batched_report = _serve_workload(
+            warm_engine,
+            warm,
+            source_sets,
+            window=0.05,
+            max_batch=args.max_batch,
+            iterations=args.iterations,
+        )
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
+
+    payload = {
+        "graph": graph.name,
+        "num_nodes": graph.num_nodes,
+        "num_edges": graph.num_edges,
+        "kernel": args.kernel,
+        "requests": args.requests,
+        "iterations": args.iterations,
+        "boot": {
+            "cold_s": cold.seconds,
+            "warm_s": warm.seconds,
+            "speedup": (
+                cold.seconds / warm.seconds if warm.seconds else 0.0
+            ),
+        },
+        "throughput": {
+            "sequential_s": sequential_s,
+            "batched_s": batched_s,
+            "sequential_rps": args.requests / sequential_s,
+            "batched_rps": args.requests / batched_s,
+            "speedup": sequential_s / batched_s if batched_s else 0.0,
+            "batch_occupancy": batched_report.occupancy(),
+        },
+    }
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2) + "\n", "utf-8")
+    print(
+        f"boot: cold {cold.seconds:.3f}s -> warm {warm.seconds:.3f}s "
+        f"({payload['boot']['speedup']:.1f}x)\n"
+        f"throughput: sequential "
+        f"{payload['throughput']['sequential_rps']:.1f} req/s -> "
+        f"batched {payload['throughput']['batched_rps']:.1f} req/s "
+        f"({payload['throughput']['speedup']:.1f}x, occupancy "
+        f"{batched_report.occupancy():.1f})\n"
+        f"[saved to {out}]"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

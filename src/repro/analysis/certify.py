@@ -70,13 +70,17 @@ RESERVED_STATE_KEYS = frozenset(
 )
 
 #: :class:`~repro.resilience.faults.FaultInjector` hooks the kernels
-#: must call (the fault *sites* of the ``--fault-inject`` grammar).
+#: and the serving layer must call (the fault *sites* of the
+#: ``--fault-inject`` grammar).
 FAULT_SITE_HOOKS = (
     "kernel_call",
     "parallel_call",
     "task_event",
     "worker_directive",
     "corrupt_bins",
+    "serve_admit",
+    "serve_batch",
+    "serve_store",
 )
 
 

@@ -16,7 +16,15 @@ Commands:
   matrix, and verify (or with ``--update`` rewrite) the certificate
   ledger (:mod:`repro.analysis.certify`);
 * ``experiment`` — regenerate one paper table/figure (or ``all``);
-* ``engines`` — list the registered engines.
+* ``engines`` — list the registered engines;
+* ``serve`` — boot a Mixen engine through the persistent layout store
+  (:mod:`repro.serve`) and either run the deterministic chaos drill
+  (default: a seeded workload against the batched query server, every
+  completed response checked bitwise against a fault-free offline
+  run) or listen on a unix socket (``--socket``);
+* ``query`` — client for a running ``serve --socket`` server: submit
+  one personalized-PageRank query, or probe ``--health``/``--report``/
+  ``--stop``.
 
 ``run`` and ``bfs`` accept ``--validate`` (contract checks after
 prepare) and ``--race-check`` (instrumented schedule replay) on the
@@ -30,7 +38,8 @@ recovery, and ``--guard`` for the numerical-health policies.
 Failures exit with structured codes (see
 :func:`repro.errors.exit_code_for`): contract violations 3, data races
 4, ingestion errors 5, guard trips 6, checkpoint problems 7, stalls 8,
-other resilience faults 9, proof failures 10, any other
+other resilience faults 9, proof failures 10, serve-layer failures
+(overload sheds, expired deadlines, drill mismatches) 11, any other
 :class:`~repro.errors.ReproError` 1 — each with a one-line
 ``error[Type]: ...`` summary on stderr.
 """
@@ -181,6 +190,110 @@ def build_parser() -> argparse.ArgumentParser:
         "--update", action="store_true",
         help="rewrite the ledger from the freshly computed certificates "
         "instead of verifying against it",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve batched PPR queries (chaos drill or unix socket)",
+    )
+    serve.add_argument("--graph", choices=DATASET_NAMES, default="wiki")
+    serve.add_argument("--scale", type=float, default=0.25)
+    serve.add_argument(
+        "--store-dir", metavar="DIR",
+        default="bench_results/layout_store",
+        help="persistent layout store root (default "
+        "bench_results/layout_store); a second boot with the same "
+        "graph and layout options is warm",
+    )
+    serve.add_argument(
+        "--kernel", choices=KERNEL_NAMES, default="parallel",
+        help="serving kernel (top rung of the degradation ladder)",
+    )
+    serve.add_argument(
+        "--mp-workers", type=int, default=None, metavar="N",
+        help="worker count for the parallel backends",
+    )
+    serve.add_argument("--block-nodes", type=int, default=512)
+    serve.add_argument(
+        "--socket", metavar="PATH", default=None,
+        help="listen on a unix socket instead of running the drill",
+    )
+    drill = serve.add_argument_group("drill")
+    drill.add_argument(
+        "--requests", type=int, default=24,
+        help="synthetic requests in the drill workload (default 24)",
+    )
+    drill.add_argument(
+        "--seed", type=int, default=0,
+        help="workload seed; the same seed replays the same drill",
+    )
+    drill.add_argument(
+        "--fault-inject", metavar="SPEC", default=None,
+        help="arm a fault spec for the drill, e.g. "
+        "'crash:site=serve_batch,times=2;corrupt:site=serve_store'",
+    )
+    drill.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the offline bit-identity verification",
+    )
+    drill.add_argument(
+        "--expect-warm", action="store_true",
+        help="fail unless the boot was a warm store hit (preprocessing "
+        "skipped)",
+    )
+    drill.add_argument(
+        "--json", action="store_true",
+        help="print the drill report as JSON",
+    )
+    tune = serve.add_argument_group("server")
+    tune.add_argument(
+        "--window", type=float, default=0.02,
+        help="batching window seconds (default 0.02)",
+    )
+    tune.add_argument("--max-batch", type=int, default=8)
+    tune.add_argument("--max-queue", type=int, default=64)
+    tune.add_argument(
+        "--deadline", type=float, default=None,
+        help="per-request deadline seconds (default: none)",
+    )
+    tune.add_argument(
+        "--batch-deadline", type=float, default=None,
+        help="per-attempt watchdog seconds; a stalled batch degrades "
+        "down the kernel ladder",
+    )
+    tune.add_argument(
+        "--iterations", type=int, default=20,
+        help="fixed PPR iteration budget per batch (default 20)",
+    )
+    tune.add_argument("--breaker-threshold", type=int, default=2)
+
+    query = sub.add_parser(
+        "query", help="query a running 'serve --socket' server"
+    )
+    query.add_argument(
+        "--socket", metavar="PATH", required=True,
+        help="unix socket of the serve process",
+    )
+    query.add_argument(
+        "--sources", metavar="LIST", default=None,
+        help="comma-separated PPR source nodes, e.g. '3,17'",
+    )
+    query.add_argument("--top", type=int, default=5)
+    query.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="client-side reply timeout seconds (default 30)",
+    )
+    query.add_argument(
+        "--health", action="store_true",
+        help="print the server's health/readiness probe",
+    )
+    query.add_argument(
+        "--report", action="store_true",
+        help="print the server's serve report",
+    )
+    query.add_argument(
+        "--stop", action="store_true",
+        help="ask the server to drain-stop",
     )
 
     exp = sub.add_parser(
@@ -526,6 +639,149 @@ def _cmd_prove(args, out) -> int:
     return 0
 
 
+def _serve_config(args):
+    from .resilience.retry import RetryPolicy
+    from .serve import ServeConfig
+
+    return ServeConfig(
+        window=args.window,
+        max_batch=args.max_batch,
+        max_queue=args.max_queue,
+        deadline=args.deadline,
+        iterations=args.iterations,
+        retry=RetryPolicy(
+            max_retries=0, backoff=0.0, deadline=args.batch_deadline
+        ),
+        breaker_threshold=args.breaker_threshold,
+    )
+
+
+def _cmd_serve(args, out) -> int:
+    from .serve import LayoutStore, run_drill
+
+    graph = load_dataset(args.graph, scale=args.scale)
+    store = LayoutStore(args.store_dir)
+    config = _serve_config(args)
+    if args.socket:
+        return _cmd_serve_socket(args, graph, store, config, out)
+    report = run_drill(
+        graph,
+        store,
+        requests=args.requests,
+        seed=args.seed,
+        kernel=args.kernel,
+        max_workers=args.mp_workers,
+        block_nodes=args.block_nodes,
+        config=config,
+        fault_spec=args.fault_inject,
+        verify=not args.no_verify,
+        expect_warm=args.expect_warm,
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_json(), indent=2), file=out)
+    else:
+        print(report.render(), file=out)
+    return 0
+
+
+def _cmd_serve_socket(args, graph, store, config, out) -> int:
+    import asyncio
+    import signal
+
+    from .resilience import faults
+    from .serve import MixenServer, boot_engine, ensure_warm, serve_socket
+
+    if args.fault_inject:
+        faults.install(faults.parse_fault_spec(args.fault_inject))
+    try:
+        engine, boot = boot_engine(
+            graph,
+            store,
+            kernel=args.kernel,
+            max_workers=args.mp_workers,
+            block_nodes=args.block_nodes,
+        )
+        if args.expect_warm:
+            ensure_warm(engine, boot)
+        server = MixenServer(engine, config=config, boot=boot)
+
+        async def _run() -> None:
+            ready = asyncio.Event()
+            task = asyncio.create_task(
+                serve_socket(server, args.socket, ready=ready)
+            )
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                loop.add_signal_handler(sig, task.cancel)
+            await ready.wait()
+            print(
+                f"serving on {args.socket} "
+                f"(boot {'hit' if boot.hit else 'miss'} in "
+                f"{boot.seconds:.3f}s, kernel {args.kernel})",
+                file=out,
+                flush=True,
+            )
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+
+        asyncio.run(_run())
+    finally:
+        if args.fault_inject:
+            faults.clear()
+    print(server.report.render(), file=out)
+    return 0
+
+
+def _cmd_query(args, out) -> int:
+    import json
+
+    from .serve import request as serve_request
+
+    if args.health or args.report or args.stop:
+        op = "health" if args.health else "report" if args.report else "stop"
+        reply = serve_request(
+            args.socket, {"op": op}, timeout=args.timeout
+        )
+        print(json.dumps(reply.get(op, reply), indent=2), file=out)
+        return 0
+    if not args.sources:
+        raise ReproError(
+            "query needs --sources (or one of --health/--report/--stop)"
+        )
+    sources = [
+        int(token)
+        for token in args.sources.split(",")
+        if token.strip()
+    ]
+    reply = serve_request(
+        args.socket,
+        {"op": "query", "sources": sources, "top": args.top, "id": 0},
+        timeout=args.timeout,
+    )
+    if not reply.get("ok"):
+        print(
+            f"error[{reply.get('error', 'ServeError')}]: "
+            f"{reply.get('message', '')}",
+            file=sys.stderr,
+        )
+        return int(reply.get("code", 1))
+    print(
+        f"ppr sources={sources}: kernel {reply['kernel']}, "
+        f"{reply['iterations']} iterations, batch {reply['batch_id']} "
+        f"(size {reply['batch_size']}), "
+        f"{reply['latency'] * 1e3:.1f} ms, "
+        f"digest {reply['digest'][:16]}...",
+        file=out,
+    )
+    for node, score in reply["top"]:
+        print(f"  node {node}: {score:.6g}", file=out)
+    return 0
+
+
 def _cmd_experiment(args, out) -> int:
     names = sorted(EXPERIMENTS) if args.name == "all" else [args.name]
     for name in names:
@@ -557,6 +813,10 @@ def main(argv=None, out=None) -> int:
             return _cmd_analyze(args, out)
         if args.command == "prove":
             return _cmd_prove(args, out)
+        if args.command == "serve":
+            return _cmd_serve(args, out)
+        if args.command == "query":
+            return _cmd_query(args, out)
         if args.command == "experiment":
             return _cmd_experiment(args, out)
     except ReproError as exc:

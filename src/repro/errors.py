@@ -177,6 +177,45 @@ class GuardError(ResilienceError):
         self.iteration = iteration
 
 
+class ServeError(ReproError):
+    """The serving layer failed (layout store, admission, batching).
+
+    Base class for every error the ``repro serve`` / ``repro query``
+    pair reports; subclasses refine the rejection semantics but share
+    one exit code so operators can alert on the family.
+    """
+
+
+class ServerOverload(ServeError):
+    """A request was shed by admission control: the bounded queue is
+    full.  ``depth``/``capacity`` describe the queue at rejection time.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        depth: int | None = None,
+        capacity: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.depth = depth
+        self.capacity = capacity
+
+
+class DeadlineExpired(ServeError):
+    """A request's deadline passed before a batch could serve it.
+
+    ``waited`` is how long the request sat in the queue in seconds.
+    """
+
+    def __init__(
+        self, message: str, *, waited: float | None = None
+    ) -> None:
+        super().__init__(message)
+        self.waited = waited
+
+
 #: structured CLI failure semantics: one distinct nonzero exit code per
 #: error family (most specific class wins; plain ReproError maps to 1,
 #: argparse keeps its conventional 2).
@@ -189,6 +228,7 @@ _EXIT_CODE_TABLE: tuple[tuple[type, int], ...] = (
     (CheckpointError, 7),
     (StallError, 8),
     (ResilienceError, 9),
+    (ServeError, 11),
 )
 
 

@@ -44,6 +44,35 @@ _CKPT_RE = re.compile(r"^ckpt-(\d{8})\.npz$")
 CHECKPOINT_VERSION = 2
 
 
+def sweep_tmp_files(directory: str | os.PathLike) -> int:
+    """Delete orphaned atomic-writer temporaries under ``directory``.
+
+    Every atomic writer in the package (checkpoints, the serve layout
+    store, ledgers) stages into a ``*.tmp*`` sibling and
+    ``os.replace``-s it into place, so any surviving temporary is junk
+    left by a killed process.  Sweeping on open keeps a crash-looping
+    run from accumulating garbage and keeps resume/boot scans honest.
+    Returns the number of files removed; missing directories and
+    races with concurrent sweeps are fine (best-effort).
+    """
+    root = Path(directory)
+    if not root.is_dir():
+        return 0
+    removed = 0
+    for entry in root.iterdir():
+        # a ".tmp" *extension component* marks a staged write:
+        # ".ckpt-00000007.tmp.npz", "manifest.json.tmp", "a.npy.tmp"
+        if "tmp" not in entry.name.split(".")[1:]:
+            continue
+        try:
+            if entry.is_file():
+                entry.unlink()
+                removed += 1
+        except OSError:
+            pass  # another process may have swept or committed it
+    return removed
+
+
 def state_fingerprint(*parts) -> str:
     """Stable hex digest identifying a run's layout and algorithm.
 
@@ -104,6 +133,7 @@ class CheckpointManager:
             )
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        sweep_tmp_files(self.directory)
         self.fingerprint = fingerprint
         self.every = every
         self.keep = keep

@@ -18,6 +18,13 @@ at well-defined injection points inside the kernels:
 * ``kill`` — a ``parallel-mp`` pool worker hard-exits mid-dispatch
   (``os._exit``), exercising the process failure domain.
 
+The serving layer adds three named sites (``site=`` field): ``crash``
+and ``stall`` specs aimed at ``serve_admit`` (admission control) or
+``serve_batch`` (batch execution) raise/sleep there, and ``crash`` /
+``corrupt`` specs aimed at ``serve_store`` fail a store read or flip
+bytes in a committed layout artifact (exercising the corruption
+detector and its rebuild fallback).
+
 Spec grammar (entries separated by ``;``, fields by ``,``)::
 
     crash:task=0,times=-1
@@ -26,12 +33,15 @@ Spec grammar (entries separated by ``;``, fields by ``,``)::
     fail:kernel=reduceat,times=-1
     kill:worker=0,times=1
     stall:worker=1,seconds=0.5
+    crash:site=serve_batch,times=1
+    corrupt:site=serve_store
 
 Fields: ``task`` (Scatter task index), ``worker`` (process-pool rank),
-``kernel`` (backend name), ``slot`` (bins index), ``call`` (0-based
-invocation index of the site; omitted = every call), ``times`` (max
-firings, ``-1`` = unlimited, default 1), ``seconds`` (stall duration),
-``value`` (corruption payload, default NaN).
+``kernel`` (backend name), ``site`` (named serve-layer site),
+``slot`` (bins index), ``call`` (0-based invocation index of the
+site; omitted = every call), ``times`` (max firings, ``-1`` =
+unlimited, default 1), ``seconds`` (stall duration), ``value``
+(corruption payload, default NaN).
 
 Injection is **deterministic**: sites count their own invocations, so
 the same spec against the same run fires at the same place every time.
@@ -60,9 +70,12 @@ FAULTS_ENV = "REPRO_FAULTS"
 #: recognised fault kinds.
 FAULT_KINDS = ("crash", "corrupt", "stall", "fail", "kill")
 
+#: named serve-layer injection sites a ``site=`` field may target.
+SERVE_SITES = ("serve_admit", "serve_batch", "serve_store")
+
 _INT_FIELDS = ("task", "worker", "slot", "call", "times")
 _FLOAT_FIELDS = ("seconds", "value")
-_STR_FIELDS = ("kernel",)
+_STR_FIELDS = ("kernel", "site")
 
 
 @dataclass
@@ -73,6 +86,7 @@ class FaultSpec:
     task: int | None = None
     worker: int | None = None
     kernel: str | None = None
+    site: str | None = None
     slot: int = 0
     call: int | None = None
     times: int = 1
@@ -87,13 +101,19 @@ class FaultSpec:
                 f"unknown fault kind {self.kind!r}; "
                 f"expected one of {', '.join(FAULT_KINDS)}"
             )
+        if self.site is not None and self.site not in SERVE_SITES:
+            raise ResilienceError(
+                f"unknown fault site {self.site!r}; "
+                f"expected one of {', '.join(SERVE_SITES)}"
+            )
         if self.kind == "fail" and not self.kernel:
             raise ResilienceError(
                 "fault kind 'fail' needs a kernel=<name> field"
             )
-        if self.kind == "crash" and self.task is None:
+        if self.kind == "crash" and self.task is None and self.site is None:
             raise ResilienceError(
-                "fault kind 'crash' needs a task=<index> field"
+                "fault kind 'crash' needs a task=<index> or "
+                "site=<name> field"
             )
         if self.kind == "kill" and self.worker is None:
             raise ResilienceError(
@@ -103,10 +123,11 @@ class FaultSpec:
             self.kind == "stall"
             and self.task is None
             and self.worker is None
+            and self.site is None
         ):
             raise ResilienceError(
-                "fault kind 'stall' needs a task=<index> or "
-                "worker=<rank> field"
+                "fault kind 'stall' needs a task=<index>, "
+                "worker=<rank> or site=<name> field"
             )
         self.remaining = self.times
 
@@ -243,6 +264,69 @@ class FaultInjector:
                 )
         return directive or None
 
+    def serve_admit(self) -> None:
+        """Admission-control hook: probed by the query server before a
+        request enters the bounded queue (``site=serve_admit`` specs:
+        ``crash`` raises, ``stall`` sleeps)."""
+        self._serve_event("serve_admit")
+
+    def serve_batch(self) -> None:
+        """Batch-execution hook: probed at the start of every batch
+        attempt, so a ``crash:site=serve_batch`` fails the attempt and
+        forces the server down the degradation ladder."""
+        self._serve_event("serve_batch")
+
+    def _serve_event(self, site: str) -> None:
+        call = self._bump(site)
+        for spec in self.specs:
+            if spec.site != site:
+                continue
+            if spec.kind == "stall" and self._take(spec, call):
+                self._record(
+                    "stall",
+                    site,
+                    call,
+                    f"{site} slept {spec.seconds}s",
+                )
+                time.sleep(spec.seconds)
+            elif spec.kind == "crash" and self._take(spec, call):
+                detail = f"{site} call {call}"
+                self._record("crash", site, call, detail)
+                raise InjectedFault(
+                    f"injected serve crash: {detail}",
+                    site=site,
+                    call=call,
+                )
+
+    def serve_store(self) -> dict | None:
+        """Layout-store read hook (mirrors :meth:`worker_directive`):
+        returns the directive the store obeys — ``{"corrupt": payload}``
+        makes it flip bytes in a committed artifact before reading it
+        back (exercising real corruption detection); ``crash`` raises.
+        """
+        call = self._bump("serve_store")
+        directive: dict = {}
+        for spec in self.specs:
+            if spec.site != "serve_store":
+                continue
+            if spec.kind == "corrupt" and self._take(spec, call):
+                directive["corrupt"] = spec.value
+                self._record(
+                    "corrupt",
+                    "serve_store",
+                    call,
+                    "artifact bytes flipped on disk",
+                )
+            elif spec.kind == "crash" and self._take(spec, call):
+                detail = f"serve_store call {call}"
+                self._record("crash", "serve_store", call, detail)
+                raise InjectedFault(
+                    f"injected store crash: {detail}",
+                    site="serve_store",
+                    call=call,
+                )
+        return directive or None
+
     def corrupt_bins(self, bins) -> None:
         """Post-Scatter hook: overwrite armed bins slots in place."""
         if bins.shape[0] == 0:
@@ -250,7 +334,8 @@ class FaultInjector:
         with self._lock:
             call = self._parallel_call
         for spec in self.specs:
-            if spec.kind != "corrupt":
+            # site-scoped corruption belongs to serve_store, not bins
+            if spec.kind != "corrupt" or spec.site is not None:
                 continue
             if self._take(spec, call):
                 slot = spec.slot % bins.shape[0]

@@ -13,6 +13,7 @@ of hanging the run.
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass
 from typing import Callable
@@ -20,6 +21,12 @@ from typing import Callable
 from ..errors import ResilienceError
 from ..parallel.threadpool import call_with_deadline
 from .report import ResilienceReport, RetryEvent
+
+#: ``2.0 ** _MAX_EXPONENT`` already dwarfs any sane ``backoff_cap``;
+#: clamping here keeps ``2 ** (attempt - 1)`` from growing into an
+#: arbitrary-precision int that overflows the float multiply for
+#: pathological attempt counts (e.g. ``times=-1`` drills).
+_MAX_EXPONENT = 60
 
 
 @dataclass(frozen=True)
@@ -34,6 +41,12 @@ class RetryPolicy:
     backoff_cap: float = 1.0
     #: watchdog deadline per attempt in seconds (None = no watchdog).
     deadline: float | None = None
+    #: jitter fraction in [0, 1]: each delay is stretched by up to
+    #: ``jitter * delay`` to decorrelate callers (0 = no jitter).
+    jitter: float = 0.0
+    #: seed for the jitter stream — the per-attempt draw depends only
+    #: on ``(jitter_seed, attempt)``, so a drill replays exactly.
+    jitter_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -49,10 +62,25 @@ class RetryPolicy:
             raise ResilienceError(
                 f"deadline must be positive, got {self.deadline}"
             )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ResilienceError(
+                f"jitter must be in [0, 1], got {self.jitter}"
+            )
 
     def delay(self, attempt: int) -> float:
-        """Backoff before retry ``attempt`` (1-based), capped."""
-        return min(self.backoff * (2 ** (attempt - 1)), self.backoff_cap)
+        """Backoff before retry ``attempt`` (1-based), capped.
+
+        Deterministic: the same ``(policy, attempt)`` always yields the
+        same delay, jitter included, so fault drills replay exactly.
+        """
+        exponent = min(attempt - 1, _MAX_EXPONENT)
+        base = min(self.backoff * 2.0**exponent, self.backoff_cap)
+        if self.jitter == 0.0 or base == 0.0:
+            return base
+        # A string seed hashes via sha512 (stable across processes,
+        # independent of PYTHONHASHSEED), so drills replay exactly.
+        draw = random.Random(f"{self.jitter_seed}:{attempt}").random()
+        return min(base * (1.0 + self.jitter * draw), self.backoff_cap)
 
 
 def run_with_retry(

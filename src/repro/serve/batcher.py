@@ -1,0 +1,161 @@
+"""Request batching: coalesce K personalized-PageRank queries into one
+rank-K propagation.
+
+The rank-k kernels amortize the layout traversal across columns (a
+rank-8 propagation costs ~1/3 per vector of eight rank-1 runs — see
+``bench_results/kernels_ci.json``), and because every accumulation base
+adds each destination's messages in the same per-column order, column
+``j`` of a batched run is **bitwise identical** to the rank-1 run of
+request ``j`` on that base.  The bases pair up as:
+
+* ``bincount`` serves rank-k on the bincount base — reference kernel
+  ``bincount``;
+* ``reduceat``, ``parallel`` and ``parallel-mp`` serve rank-k on the
+  reduceat base — reference kernel ``reduceat``.
+
+:data:`REFERENCE_KERNELS` records that mapping; the chaos drill uses it
+to check every served response against a fault-free offline
+:class:`~repro.core.engine.MixenEngine` run (asserted in
+``tests/serve/``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..algorithms.base import Algorithm, inverse_out_degrees
+from ..errors import ConvergenceError
+from ..graphs.graph import Graph
+from ..types import VALUE_DTYPE
+
+#: serving rung -> the rank-1 kernel whose fault-free offline run is
+#: bitwise identical to a batched column served on that rung.
+REFERENCE_KERNELS = {
+    "bincount": "bincount",
+    "reduceat": "reduceat",
+    "parallel": "reduceat",
+    "parallel-mp": "reduceat",
+}
+
+
+class BatchedPersonalizedPageRank(Algorithm):
+    """Rank-K personalized PageRank: one independent PPR per column.
+
+    Column ``j`` teleports uniformly over ``source_sets[j]``; the
+    damping is shared (one batch = one propagation schedule).  Runs a
+    *fixed* iteration budget — per-column convergence checks would let
+    batch composition change a response, breaking the bitwise contract
+    with the rank-1 reference run.
+    """
+
+    name = "batch-ppr"
+    scores_from = "x"
+
+    def __init__(self, source_sets, *, damping: float = 0.85) -> None:
+        if not 0.0 < damping < 1.0:
+            raise ConvergenceError(
+                f"damping must be in (0, 1), got {damping}"
+            )
+        if not source_sets:
+            raise ConvergenceError("batch needs at least one request")
+        self.source_sets = [
+            normalize_sources(sources) for sources in source_sets
+        ]
+        self.damping = damping
+        self.rank = len(self.source_sets)
+        self._teleport: np.ndarray | None = None
+
+    def initial(self, graph: Graph) -> np.ndarray:
+        n = graph.num_nodes
+        p = np.zeros((n, self.rank), dtype=VALUE_DTYPE)
+        for j, sources in enumerate(self.source_sets):
+            if sources.max() >= n or sources.min() < 0:
+                raise ConvergenceError(
+                    f"PPR sources outside [0, {n}) in request {j}"
+                )
+            p[sources, j] = 1.0 / sources.size
+        self._teleport = (1.0 - self.damping) * p
+        return self._teleport.copy()
+
+    def propagate_scale(self, graph: Graph) -> np.ndarray:
+        return inverse_out_degrees(graph)
+
+    def apply(self, y, iteration, nodes=None):
+        assert self._teleport is not None, "apply() before initial()"
+        teleport = (
+            self._teleport if nodes is None else self._teleport[nodes]
+        )
+        return teleport + self.damping * y
+
+    def converged(self, x_old, x_new) -> bool:
+        return False
+
+
+def normalize_sources(sources) -> np.ndarray:
+    """Canonical source set: int64, deduplicated, sorted, non-empty —
+    the exact normalization :class:`PersonalizedPageRank` applies, so
+    batched and rank-1 runs agree on the teleport vector."""
+    sources = np.unique(np.asarray(sources, dtype=np.int64).ravel())
+    if sources.size == 0:
+        raise ConvergenceError("PPR needs at least one source node")
+    return sources
+
+
+def scores_digest(scores: np.ndarray) -> str:
+    """sha256 of a response vector's raw bytes — a compact bit-identity
+    witness clients can compare without shipping the full vector."""
+    return hashlib.sha256(
+        np.ascontiguousarray(scores).tobytes()
+    ).hexdigest()
+
+
+@dataclass
+class QueryRequest:
+    """One admitted request waiting for a batch slot."""
+
+    request_id: int
+    sources: np.ndarray
+    #: event-loop time the request was admitted.
+    enqueued: float
+    #: absolute event-loop deadline, or None.
+    deadline: float | None
+    #: resolved with a :class:`QueryResult` (or a typed ServeError).
+    future: Any = field(default=None, repr=False)
+
+    def expired(self, now: float) -> bool:
+        return self.deadline is not None and now >= self.deadline
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """One served response."""
+
+    request_id: int
+    scores: np.ndarray
+    #: kernel rung the whole batch completed on (single-rung runs only:
+    #: a mid-batch downgrade restarts the batch from iteration 0).
+    kernel: str
+    iterations: int
+    batch_id: int
+    batch_size: int
+    #: admission -> response latency in seconds.
+    latency: float
+
+    @property
+    def digest(self) -> str:
+        return scores_digest(self.scores)
+
+
+def split_expired(
+    requests: list[QueryRequest], now: float
+) -> tuple[list[QueryRequest], list[QueryRequest]]:
+    """Partition a drained batch into (ready, deadline-expired)."""
+    ready: list[QueryRequest] = []
+    expired: list[QueryRequest] = []
+    for request in requests:
+        (expired if request.expired(now) else ready).append(request)
+    return ready, expired

@@ -1,0 +1,283 @@
+"""Deterministic chaos drill for the serving layer.
+
+One drill = boot through the layout store, fire a seeded synthetic
+workload at a :class:`~repro.serve.server.MixenServer` (optionally with
+a fault spec armed — injected batch crashes, store corruption, shed
+admissions), then check **every completed response bitwise** against a
+fault-free offline :class:`~repro.core.engine.MixenEngine` run of the
+rank-1 reference kernel (:data:`~repro.serve.batcher.REFERENCE_KERNELS`).
+The workload is derived from a single integer seed, so CI replays the
+exact same requests, batches and fault firings on every run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..algorithms.personalized import PersonalizedPageRank
+from ..errors import ReproError, ServeError
+from ..resilience import faults
+from .batcher import REFERENCE_KERNELS, QueryResult, scores_digest
+from .server import MixenServer, ServeConfig, ServeReport
+from .store import BootReport, LayoutStore, boot_engine
+
+
+@dataclass
+class DrillReport:
+    """Outcome of one chaos drill."""
+
+    boot: BootReport
+    serve: ServeReport
+    completed: int
+    #: typed error name -> count (ServerOverload, DeadlineExpired, ...).
+    errors: dict[str, int] = field(default_factory=dict)
+    #: responses checked bitwise against the offline reference.
+    verified: int = 0
+    mismatches: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def to_json(self) -> dict:
+        return {
+            "boot": {
+                "fingerprint": self.boot.fingerprint,
+                "hit": self.boot.hit,
+                "rebuilt": self.boot.rebuilt,
+                "seconds": self.boot.seconds,
+                "miss_reason": self.boot.miss_reason,
+            },
+            "serve": self.serve.to_json(),
+            "completed": self.completed,
+            "errors": dict(self.errors),
+            "verified": self.verified,
+            "mismatches": list(self.mismatches),
+        }
+
+    def render(self) -> str:
+        lines = [self.serve.render()]
+        if self.errors:
+            shed = ", ".join(
+                f"{name} x{count}"
+                for name, count in sorted(self.errors.items())
+            )
+            lines.append(f"  typed rejections: {shed}")
+        if self.verified or self.mismatches:
+            lines.append(
+                f"  bit-identity: {self.verified}/{self.completed} "
+                f"responses match the offline reference"
+                + (
+                    f", {len(self.mismatches)} MISMATCH"
+                    if self.mismatches
+                    else ""
+                )
+            )
+        return "\n".join(lines)
+
+
+def seeded_requests(
+    num_nodes: int,
+    count: int,
+    seed: int,
+    *,
+    max_sources: int = 3,
+) -> list[np.ndarray]:
+    """The drill workload: ``count`` source sets drawn from one seed."""
+    rng = np.random.default_rng(seed)
+    return [
+        np.unique(
+            rng.integers(
+                0,
+                num_nodes,
+                size=int(rng.integers(1, max_sources + 1)),
+            )
+        )
+        for _ in range(count)
+    ]
+
+
+def ensure_warm(engine, boot: BootReport) -> None:
+    """Assert that ``boot`` was a warm store hit: preprocessing was
+    skipped and the only prepare phase is the ``store-load`` read."""
+    breakdown = engine.prepare_stats.breakdown
+    if not boot.hit or set(breakdown) != {"store-load"}:
+        raise ServeError(
+            "expected a warm boot, got "
+            f"{'hit' if boot.hit else 'miss'} with prepare phases "
+            f"{sorted(breakdown)} (miss reason: {boot.miss_reason})"
+        )
+
+
+async def _drive(
+    server: MixenServer, source_sets: list[np.ndarray]
+) -> list[tuple[np.ndarray, object]]:
+    """Start the server, submit every request concurrently, drain-stop.
+
+    Returns ``(sources, outcome)`` pairs where the outcome is a
+    :class:`QueryResult` or the typed :class:`ReproError` the server
+    answered with — the drill counts both.
+    """
+
+    async def one(sources):
+        try:
+            return sources, await server.submit(sources)
+        except ReproError as exc:
+            return sources, exc
+
+    await server.start()
+    try:
+        return list(
+            await asyncio.gather(*(one(s) for s in source_sets))
+        )
+    finally:
+        await server.stop()
+
+
+def verify_offline(
+    graph,
+    pairs: list[tuple[np.ndarray, QueryResult]],
+    *,
+    iterations: int,
+    damping: float,
+    store: LayoutStore | None = None,
+    block_nodes: int = 512,
+) -> tuple[int, list[str]]:
+    """Check each served response bitwise against a fault-free offline
+    rank-1 run on its reference kernel.
+
+    Fault injection is silenced for the duration (an empty installed
+    injector wins over ``REPRO_FAULTS``), so the reference runs are
+    genuinely fault-free even mid-drill.
+    """
+    from ..core.engine import MixenEngine
+
+    verified = 0
+    mismatches: list[str] = []
+    engines: dict[str, object] = {}
+    faults.install(faults.FaultInjector([]))
+    try:
+        for sources, result in pairs:
+            reference_kernel = REFERENCE_KERNELS[result.kernel]
+            engine = engines.get(reference_kernel)
+            if engine is None:
+                if store is not None:
+                    engine, _ = boot_engine(
+                        graph,
+                        store,
+                        kernel=reference_kernel,
+                        block_nodes=block_nodes,
+                    )
+                else:
+                    engine = MixenEngine(
+                        graph,
+                        kernel=reference_kernel,
+                        block_nodes=block_nodes,
+                    )
+                    engine.prepare()
+                engines[reference_kernel] = engine
+            offline = engine.run(
+                PersonalizedPageRank(sources, damping=damping),
+                max_iterations=iterations,
+                check_convergence=False,
+            )
+            if scores_digest(offline.scores) == result.digest:
+                verified += 1
+            else:
+                mismatches.append(
+                    f"request {result.request_id} (batch "
+                    f"{result.batch_id}, rung {result.kernel}) differs "
+                    f"from the offline {reference_kernel} reference"
+                )
+    finally:
+        faults.clear()
+    return verified, mismatches
+
+
+def run_drill(
+    graph,
+    store: LayoutStore,
+    *,
+    requests: int = 24,
+    seed: int = 0,
+    kernel: str = "parallel",
+    max_workers: int | None = None,
+    block_nodes: int = 512,
+    config: ServeConfig | None = None,
+    fault_spec: str | None = None,
+    verify: bool = True,
+    expect_warm: bool = False,
+) -> DrillReport:
+    """Run one deterministic chaos drill and return its report.
+
+    ``expect_warm`` asserts the boot skipped preprocessing (a store
+    hit whose only prepare phase is ``store-load``) — the CI
+    kill-and-restart drill uses it to prove warm boots are real.
+    Raises :class:`ServeError` when the warm-boot assertion or any
+    bit-identity check fails.
+    """
+    if fault_spec:
+        faults.install(faults.parse_fault_spec(fault_spec))
+    try:
+        engine, boot = boot_engine(
+            graph,
+            store,
+            kernel=kernel,
+            max_workers=max_workers,
+            block_nodes=block_nodes,
+        )
+        if expect_warm:
+            ensure_warm(engine, boot)
+        server = MixenServer(engine, config=config, boot=boot)
+        source_sets = seeded_requests(graph.num_nodes, requests, seed)
+        outcomes = asyncio.run(_drive(server, source_sets))
+    finally:
+        if fault_spec:
+            faults.clear()
+    served = [
+        (sources, outcome)
+        for sources, outcome in outcomes
+        if isinstance(outcome, QueryResult)
+    ]
+    errors: dict[str, int] = {}
+    for _, outcome in outcomes:
+        if not isinstance(outcome, QueryResult):
+            name = type(outcome).__name__
+            errors[name] = errors.get(name, 0) + 1
+    verified = 0
+    mismatches: list[str] = []
+    if verify and served:
+        verified, mismatches = verify_offline(
+            graph,
+            served,
+            iterations=server.config.iterations,
+            damping=server.config.damping,
+            store=store,
+            block_nodes=block_nodes,
+        )
+    report = DrillReport(
+        boot=boot,
+        serve=server.report,
+        completed=len(served),
+        errors=errors,
+        verified=verified,
+        mismatches=mismatches,
+    )
+    if mismatches:
+        raise DrillMismatch(report)
+    return report
+
+
+class DrillMismatch(ServeError):
+    """A served response differed bitwise from its offline reference."""
+
+    def __init__(self, report: DrillReport) -> None:
+        super().__init__(
+            f"{len(report.mismatches)} of {report.completed} responses "
+            "differ from the fault-free offline reference: "
+            + "; ".join(report.mismatches[:3])
+        )
+        self.report = report

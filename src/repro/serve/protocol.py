@@ -1,0 +1,209 @@
+"""JSON-lines protocol over a unix socket.
+
+One connection carries newline-delimited JSON requests::
+
+    {"op": "query", "sources": [3, 17], "id": 0}
+    {"op": "health"}
+    {"op": "report"}
+    {"op": "stop"}
+
+and each gets one JSON reply line.  Query replies carry the top-K
+``[node, score]`` pairs plus the sha256 ``digest`` of the full response
+vector — the bit-identity witness a client (or the CI drill) can
+compare against an offline run without shipping the vector.  Failures
+reply ``{"ok": false, "error": "<TypeName>", "code": <exit code>}``
+with the server's typed error, so admission sheds and deadline expiry
+stay distinguishable across the wire.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+from typing import Any
+
+import numpy as np
+
+from ..errors import ReproError, ServeError, exit_code_for
+from .batcher import QueryResult
+from .server import MixenServer
+
+#: top-K scores included in a query reply.
+DEFAULT_TOP = 5
+
+
+def _top_pairs(scores: np.ndarray, top: int) -> list[list[float]]:
+    order = np.argsort(scores)[-max(top, 0):][::-1]
+    return [[int(v), float(scores[v])] for v in order.tolist()]
+
+
+def _query_reply(result: QueryResult, top: int) -> dict:
+    return {
+        "ok": True,
+        "digest": result.digest,
+        "kernel": result.kernel,
+        "iterations": result.iterations,
+        "batch_id": result.batch_id,
+        "batch_size": result.batch_size,
+        "latency": result.latency,
+        "top": _top_pairs(result.scores, top),
+    }
+
+
+def _error_reply(exc: Exception) -> dict:
+    if isinstance(exc, ReproError):
+        return {
+            "ok": False,
+            "error": type(exc).__name__,
+            "message": str(exc),
+            "code": exit_code_for(exc),
+        }
+    return {
+        "ok": False,
+        "error": type(exc).__name__,
+        "message": str(exc),
+        "code": 1,
+    }
+
+
+async def _handle_message(
+    server: MixenServer, message: dict, stop: asyncio.Event
+) -> dict:
+    op = message.get("op")
+    if op == "query":
+        sources = message.get("sources")
+        top = int(message.get("top", DEFAULT_TOP))
+        try:
+            if not isinstance(sources, list) or not sources:
+                raise ServeError(
+                    "query needs a non-empty 'sources' list"
+                )
+            result = await server.submit(sources)
+        except Exception as exc:  # typed errors cross the wire
+            return _error_reply(exc)
+        return _query_reply(result, top)
+    if op == "health":
+        return {"ok": True, "health": server.health()}
+    if op == "report":
+        return {"ok": True, "report": server.report.to_json()}
+    if op == "stop":
+        stop.set()
+        return {"ok": True, "stopping": True}
+    return _error_reply(ServeError(f"unknown op {op!r}"))
+
+
+async def _handle_connection(
+    server: MixenServer,
+    stop: asyncio.Event,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            try:
+                message = json.loads(line)
+                if not isinstance(message, dict):
+                    raise ValueError("request must be a JSON object")
+            except ValueError as exc:
+                reply = _error_reply(ServeError(f"bad request: {exc}"))
+            else:
+                reply_id = message.get("id")
+                reply = await _handle_message(server, message, stop)
+                if reply_id is not None:
+                    reply["id"] = reply_id
+            writer.write(json.dumps(reply).encode("utf-8") + b"\n")
+            await writer.drain()
+    except (ConnectionResetError, BrokenPipeError):
+        pass
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+async def serve_socket(
+    server: MixenServer,
+    path: str,
+    *,
+    ready: asyncio.Event | None = None,
+) -> None:
+    """Serve the JSON-lines protocol on a unix socket until a ``stop``
+    op (or task cancellation).  ``ready`` is set once the socket
+    listens — tests and the CLI use it to sequence clients."""
+    stop = asyncio.Event()
+    _unlink_quiet(path)
+    await server.start()
+    unix_server = await asyncio.start_unix_server(
+        lambda r, w: _handle_connection(server, stop, r, w),
+        path=path,
+    )
+    if ready is not None:
+        ready.set()
+    try:
+        await stop.wait()
+    finally:
+        unix_server.close()
+        await unix_server.wait_closed()
+        await server.stop()
+        _unlink_quiet(path)
+
+
+def _unlink_quiet(path: str) -> None:
+    import os
+
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
+
+
+# --------------------------------------------------------------------- #
+# synchronous client (the ``repro query`` CLI)
+# --------------------------------------------------------------------- #
+def request(
+    path: str, message: dict, *, timeout: float = 30.0
+) -> dict[str, Any]:
+    """Send one protocol message over the socket and return the reply.
+
+    Raises :class:`ServeError` when the socket is unreachable or the
+    reply is not valid JSON — the caller maps typed remote failures
+    (``reply["ok"] is False``) to exit codes itself.
+    """
+    payload = json.dumps(message).encode("utf-8") + b"\n"
+    try:
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+            sock.settimeout(timeout)
+            sock.connect(path)
+            sock.sendall(payload)
+            chunks: list[bytes] = []
+            while True:
+                chunk = sock.recv(1 << 16)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+                if chunk.endswith(b"\n"):
+                    break
+    except OSError as exc:
+        raise ServeError(
+            f"cannot reach serve socket {path!r}: {exc}"
+        ) from exc
+    raw = b"".join(chunks)
+    if not raw:
+        raise ServeError(
+            f"serve socket {path!r} closed without replying"
+        )
+    try:
+        reply = json.loads(raw)
+    except ValueError as exc:
+        raise ServeError(
+            f"malformed reply from serve socket: {exc}"
+        ) from exc
+    if not isinstance(reply, dict):
+        raise ServeError("malformed reply from serve socket")
+    return reply

@@ -1,0 +1,508 @@
+"""Asyncio query server over one prepared Mixen engine.
+
+Robustness model (the PR 3–7 resilience machinery, held continuously):
+
+* **admission control** — a bounded queue; a full queue sheds the
+  request with a typed :class:`~repro.errors.ServerOverload` instead of
+  growing memory (the ``serve_admit`` fault site injects rejections);
+* **batching window** — the first queued request opens a window of
+  ``ServeConfig.window`` seconds (capped at ``max_batch`` requests);
+  the batch runs as ONE rank-K propagation on the certified kernels;
+* **deadlines** — requests whose deadline passes while queued are
+  answered with :class:`~repro.errors.DeadlineExpired`; each batch
+  *attempt* runs under the :class:`~repro.resilience.retry.RetryPolicy`
+  watchdog (``call_with_deadline``), so a stalled kernel surfaces as a
+  :class:`~repro.errors.StallError` instead of wedging the queue;
+* **degradation ladder** — a failed or stalled attempt steps the batch
+  down ``parallel-mp -> parallel -> reduceat -> bincount`` and restarts
+  it from iteration 0 (never mid-run: a completed batch is always a
+  single-rung run, which is what keeps every response bit-identical to
+  a fault-free offline run — see
+  :data:`~repro.serve.batcher.REFERENCE_KERNELS`);
+* **circuit breaker** — ``breaker_threshold`` consecutive troubled
+  batches pin the server at the last rung that completed, surfaced in
+  :meth:`MixenServer.health`; until then every batch optimistically
+  retries the configured kernel.
+
+Everything observable lands in a structured :class:`ServeReport`
+(admission counters, per-batch occupancy/rung/seconds, per-request
+latencies, downgrade events, breaker state).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import (
+    DeadlineExpired,
+    ServeError,
+    ServerOverload,
+)
+from ..parallel.threadpool import call_with_deadline
+from ..resilience import faults
+from ..resilience.executor import DEGRADATION_CHAIN, next_backend
+from ..resilience.report import DowngradeEvent
+from ..resilience.retry import RetryPolicy
+from .batcher import (
+    BatchedPersonalizedPageRank,
+    QueryRequest,
+    QueryResult,
+    normalize_sources,
+    split_expired,
+)
+from .store import BootReport
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunables of one server instance."""
+
+    #: batching window in seconds, measured from the first queued
+    #: request; 0 serves each request alone.
+    window: float = 0.02
+    #: rank cap of one propagation (requests per batch).
+    max_batch: int = 8
+    #: admission-queue capacity; beyond it requests are shed.
+    max_queue: int = 64
+    #: per-request deadline in seconds (None = no deadline).
+    deadline: float | None = None
+    #: fixed PPR iteration budget (convergence checks are off: the
+    #: response must not depend on batch composition).
+    iterations: int = 20
+    damping: float = 0.85
+    #: retry/backoff/watchdog policy of batch attempts; its ``deadline``
+    #: is the per-attempt watchdog, its jittered delays pace the ladder.
+    retry: RetryPolicy = RetryPolicy(
+        max_retries=0, backoff=0.0, deadline=None
+    )
+    #: consecutive troubled batches before the breaker pins the rung.
+    breaker_threshold: int = 2
+
+    def __post_init__(self) -> None:
+        if self.window < 0:
+            raise ServeError(f"window must be >= 0, got {self.window}")
+        if self.max_batch <= 0:
+            raise ServeError(
+                f"max_batch must be positive, got {self.max_batch}"
+            )
+        if self.max_queue <= 0:
+            raise ServeError(
+                f"max_queue must be positive, got {self.max_queue}"
+            )
+        if self.deadline is not None and self.deadline <= 0:
+            raise ServeError(
+                f"deadline must be positive, got {self.deadline}"
+            )
+        if self.iterations <= 0:
+            raise ServeError(
+                f"iterations must be positive, got {self.iterations}"
+            )
+        if self.breaker_threshold <= 0:
+            raise ServeError(
+                "breaker_threshold must be positive, got "
+                f"{self.breaker_threshold}"
+            )
+
+
+@dataclass(frozen=True)
+class BatchStat:
+    """One executed batch."""
+
+    batch_id: int
+    size: int
+    kernel: str
+    seconds: float
+    #: rungs stepped down during this batch (0 = clean).
+    downgrades: int
+    failed: bool
+
+
+@dataclass
+class ServeReport:
+    """Structured observability of one serve session."""
+
+    fingerprint: str = ""
+    store_hit: bool = False
+    store_rebuilt: bool = False
+    boot_seconds: float = 0.0
+    admitted: int = 0
+    completed: int = 0
+    rejected_overload: int = 0
+    rejected_deadline: int = 0
+    failed: int = 0
+    batches: list[BatchStat] = field(default_factory=list)
+    downgrades: list[DowngradeEvent] = field(default_factory=list)
+    latencies: list[float] = field(default_factory=list)
+    pinned_kernel: str | None = None
+
+    def occupancy(self) -> float:
+        """Mean requests per executed batch (the amortization win)."""
+        if not self.batches:
+            return 0.0
+        return sum(b.size for b in self.batches) / len(self.batches)
+
+    def latency_quantile(self, q: float) -> float:
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        index = min(
+            int(q * len(ordered)), len(ordered) - 1
+        )
+        return ordered[index]
+
+    def to_json(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "store_hit": self.store_hit,
+            "store_rebuilt": self.store_rebuilt,
+            "boot_seconds": self.boot_seconds,
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "rejected_overload": self.rejected_overload,
+            "rejected_deadline": self.rejected_deadline,
+            "failed": self.failed,
+            "batches": len(self.batches),
+            "batch_occupancy": self.occupancy(),
+            "batch_kernels": sorted(
+                {b.kernel for b in self.batches if not b.failed}
+            ),
+            "downgrades": len(self.downgrades),
+            "pinned_kernel": self.pinned_kernel,
+            "latency_p50": self.latency_quantile(0.5),
+            "latency_p95": self.latency_quantile(0.95),
+        }
+
+    def render(self) -> str:
+        lines = [
+            "serve report:",
+            (
+                f"  boot: {'hit' if self.store_hit else 'miss'}"
+                f"{' (rebuilt)' if self.store_rebuilt else ''} "
+                f"in {self.boot_seconds:.3f}s "
+                f"[{self.fingerprint[:12]}...]"
+            ),
+            (
+                f"  requests: {self.admitted} admitted, "
+                f"{self.completed} completed, "
+                f"{self.rejected_overload} shed (overload), "
+                f"{self.rejected_deadline} expired (deadline), "
+                f"{self.failed} failed"
+            ),
+            (
+                f"  batches: {len(self.batches)} "
+                f"(occupancy {self.occupancy():.2f}), "
+                f"{len(self.downgrades)} downgrades, "
+                f"breaker {self.pinned_kernel or 'open'}"
+            ),
+        ]
+        if self.latencies:
+            lines.append(
+                f"  latency: p50 {self.latency_quantile(0.5) * 1e3:.1f}ms "
+                f"p95 {self.latency_quantile(0.95) * 1e3:.1f}ms"
+            )
+        return "\n".join(lines)
+
+
+class MixenServer:
+    """Batched PPR serving over one prepared engine.
+
+    One consumer task drains the admission queue; batches execute on a
+    worker thread (``asyncio.to_thread``) so the event loop keeps
+    admitting and shedding while a propagation runs.
+    """
+
+    def __init__(
+        self,
+        engine,
+        *,
+        config: ServeConfig | None = None,
+        boot: BootReport | None = None,
+    ) -> None:
+        if not getattr(engine, "prepared", False):
+            raise ServeError("MixenServer needs a prepared engine")
+        self.engine = engine
+        self.config = config or ServeConfig()
+        self.report = ServeReport()
+        if boot is not None:
+            self.report.fingerprint = boot.fingerprint
+            self.report.store_hit = boot.hit
+            self.report.store_rebuilt = boot.rebuilt
+            self.report.boot_seconds = boot.seconds
+        base = engine.kernel
+        if base not in DEGRADATION_CHAIN:
+            # "auto" resolves per-dispatch; serve from the thread rung so
+            # the ladder below it is well-defined.
+            base = "parallel"
+        self._base_kernel = base
+        self._pinned: str | None = None
+        self._consecutive_trouble = 0
+        self._queue: asyncio.Queue | None = None
+        self._task: asyncio.Task | None = None
+        self._next_request = 0
+        self._next_batch = 0
+        self._stop = object()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        if self._task is not None:
+            raise ServeError("server already started")
+        self._queue = asyncio.Queue()
+        self._task = asyncio.create_task(self._batch_loop())
+
+    async def stop(self) -> None:
+        """Drain-stop: queued requests are still served, then the
+        consumer exits."""
+        if self._task is None:
+            return
+        assert self._queue is not None
+        self._queue.put_nowait(self._stop)
+        await self._task
+        self._task = None
+        self._queue = None
+
+    @property
+    def running(self) -> bool:
+        return self._task is not None
+
+    # ------------------------------------------------------------------ #
+    # admission
+    # ------------------------------------------------------------------ #
+    async def submit(self, sources) -> QueryResult:
+        """Admit one PPR request and await its response.
+
+        Raises :class:`ServerOverload` when the queue is full (or the
+        ``serve_admit`` fault site sheds it) and
+        :class:`DeadlineExpired` when the configured deadline passes
+        before a batch serves it.
+        """
+        if self._queue is None:
+            raise ServeError("server is not running")
+        sources = normalize_sources(sources)
+        depth = self._queue.qsize()
+        injector = faults.active()
+        if injector is not None:
+            try:
+                injector.serve_admit()
+            except Exception as exc:
+                self.report.rejected_overload += 1
+                raise ServerOverload(
+                    f"admission shed by fault injection: {exc}",
+                    depth=depth,
+                    capacity=self.config.max_queue,
+                ) from exc
+        if depth >= self.config.max_queue:
+            self.report.rejected_overload += 1
+            raise ServerOverload(
+                f"admission queue full ({depth}/{self.config.max_queue})",
+                depth=depth,
+                capacity=self.config.max_queue,
+            )
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        deadline = (
+            None
+            if self.config.deadline is None
+            else now + self.config.deadline
+        )
+        request = QueryRequest(
+            request_id=self._next_request,
+            sources=sources,
+            enqueued=now,
+            deadline=deadline,
+            future=loop.create_future(),
+        )
+        self._next_request += 1
+        self.report.admitted += 1
+        self._queue.put_nowait(request)
+        return await request.future
+
+    # ------------------------------------------------------------------ #
+    # health
+    # ------------------------------------------------------------------ #
+    def health(self) -> dict:
+        """Readiness + breaker state for probes."""
+        return {
+            "ready": self.running,
+            "store_hit": self.report.store_hit,
+            "queue_depth": (
+                self._queue.qsize() if self._queue is not None else 0
+            ),
+            "queue_capacity": self.config.max_queue,
+            "kernel": self._current_rung(),
+            "pinned_kernel": self._pinned,
+            "consecutive_trouble": self._consecutive_trouble,
+            "admitted": self.report.admitted,
+            "completed": self.report.completed,
+            "failed": self.report.failed,
+        }
+
+    # ------------------------------------------------------------------ #
+    # batching
+    # ------------------------------------------------------------------ #
+    def _current_rung(self) -> str:
+        return self._pinned or self._base_kernel
+
+    async def _batch_loop(self) -> None:
+        assert self._queue is not None
+        loop = asyncio.get_running_loop()
+        stopping = False
+        while not stopping:
+            first = await self._queue.get()
+            if first is self._stop:
+                break
+            batch = [first]
+            window_end = loop.time() + self.config.window
+            while len(batch) < self.config.max_batch:
+                remaining = window_end - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    item = await asyncio.wait_for(
+                        self._queue.get(), remaining
+                    )
+                except asyncio.TimeoutError:
+                    break
+                if item is self._stop:
+                    stopping = True
+                    break
+                batch.append(item)
+            await self._execute(batch, loop)
+
+    async def _execute(self, batch: list, loop) -> None:
+        ready, expired = split_expired(batch, loop.time())
+        for request in expired:
+            self.report.rejected_deadline += 1
+            waited = loop.time() - request.enqueued
+            request.future.set_exception(
+                DeadlineExpired(
+                    f"request {request.request_id} expired after "
+                    f"{waited:.3f}s in queue",
+                    waited=waited,
+                )
+            )
+        if not ready:
+            return
+        batch_id = self._next_batch
+        self._next_batch += 1
+        t0 = time.perf_counter()
+        try:
+            result, rung, downgrades = await asyncio.to_thread(
+                self._run_batch, batch_id, ready
+            )
+        except ServeError as exc:
+            seconds = time.perf_counter() - t0
+            self.report.failed += len(ready)
+            self.report.batches.append(
+                BatchStat(
+                    batch_id,
+                    len(ready),
+                    DEGRADATION_CHAIN[-1],
+                    seconds,
+                    getattr(exc, "downgrades", 0),
+                    True,
+                )
+            )
+            self._note_trouble("bincount")
+            for request in ready:
+                request.future.set_exception(
+                    ServeError(
+                        f"batch {batch_id} exhausted the degradation "
+                        f"ladder: {exc}"
+                    )
+                )
+            return
+        seconds = time.perf_counter() - t0
+        self.report.batches.append(
+            BatchStat(
+                batch_id, len(ready), rung, seconds, downgrades, False
+            )
+        )
+        if downgrades:
+            self._note_trouble(rung)
+        else:
+            self._consecutive_trouble = 0
+        now = loop.time()
+        scores = result.scores
+        for column, request in enumerate(ready):
+            latency = now - request.enqueued
+            self.report.completed += 1
+            self.report.latencies.append(latency)
+            request.future.set_result(
+                QueryResult(
+                    request_id=request.request_id,
+                    scores=np.ascontiguousarray(scores[:, column]),
+                    kernel=rung,
+                    iterations=result.iterations,
+                    batch_id=batch_id,
+                    batch_size=len(ready),
+                    latency=latency,
+                )
+            )
+
+    def _note_trouble(self, rung: str) -> None:
+        self._consecutive_trouble += 1
+        if (
+            self._pinned is None
+            and self._consecutive_trouble >= self.config.breaker_threshold
+        ):
+            self._pinned = rung
+            self.report.pinned_kernel = rung
+
+    def _run_batch(self, batch_id: int, ready: list):
+        """Worker-thread body: run one rank-K propagation, walking the
+        ladder on failure.  Every attempt restarts from iteration 0, so
+        a completed batch is a single-rung run (the bit-identity
+        invariant).  Returns ``(result, rung, downgrade_count)``."""
+        algorithm = BatchedPersonalizedPageRank(
+            [request.sources for request in ready],
+            damping=self.config.damping,
+        )
+        policy = self.config.retry
+        rung: str | None = self._current_rung()
+        attempt = 0
+        downgrades = 0
+        while True:
+            assert rung is not None
+            self.engine.kernel = rung
+            try:
+                injector = faults.active()
+                if injector is not None:
+                    injector.serve_batch()
+                return (
+                    call_with_deadline(
+                        lambda: self.engine.run(
+                            algorithm,
+                            max_iterations=self.config.iterations,
+                            check_convergence=False,
+                        ),
+                        policy.deadline,
+                    ),
+                    rung,
+                    downgrades,
+                )
+            except Exception as exc:
+                lower = next_backend(rung)
+                self.report.downgrades.append(
+                    DowngradeEvent(
+                        batch_id, rung, lower or "(floor)", repr(exc)
+                    )
+                )
+                if lower is None:
+                    floor_error = ServeError(
+                        f"batch {batch_id} failed on the serial floor: "
+                        f"{exc!r}"
+                    )
+                    floor_error.downgrades = downgrades
+                    raise floor_error from exc
+                rung = lower
+                downgrades += 1
+                attempt += 1
+                delay = policy.delay(attempt)
+                if delay > 0:
+                    time.sleep(delay)

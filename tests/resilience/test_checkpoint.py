@@ -7,6 +7,7 @@ from repro.errors import CheckpointError
 from repro.resilience.checkpoint import (
     CheckpointManager,
     state_fingerprint,
+    sweep_tmp_files,
 )
 
 
@@ -92,3 +93,34 @@ class TestCheckpointManager:
         (tmp_path / "notes.txt").write_text("hi")
         mgr = CheckpointManager(tmp_path)
         assert mgr.list() == []
+
+
+class TestSweepTmpFiles:
+    def test_sweeps_orphaned_temporaries(self, tmp_path):
+        # The staging names both the checkpoint and the layout-store
+        # writers use for their atomic tmp+rename commits.
+        (tmp_path / ".ckpt-00000007.tmp.npz").write_bytes(b"partial")
+        (tmp_path / "manifest.json.tmp").write_text("{}")
+        (tmp_path / "perm.npy.tmp").write_bytes(b"partial")
+        assert sweep_tmp_files(tmp_path) == 3
+        assert list(tmp_path.iterdir()) == []
+
+    def test_keeps_committed_files(self, tmp_path):
+        (tmp_path / "ckpt-00000001.npz").write_bytes(b"data")
+        (tmp_path / "manifest.json").write_text("{}")
+        # "tmp" only counts as a *suffix* component, not a stem.
+        (tmp_path / "tmp.npy").write_bytes(b"data")
+        assert sweep_tmp_files(tmp_path) == 0
+        assert len(list(tmp_path.iterdir())) == 3
+
+    def test_missing_directory_is_noop(self, tmp_path):
+        assert sweep_tmp_files(tmp_path / "nope") == 0
+
+    def test_manager_sweeps_on_open(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        mgr.save(0, np.ones(4))
+        orphan = tmp_path / ".ckpt-00000009.tmp.npz"
+        orphan.write_bytes(b"partial")
+        CheckpointManager(tmp_path)
+        assert not orphan.exists()
+        assert mgr.load_latest() is not None

@@ -1,0 +1,112 @@
+"""Degradation ladders under concurrent callers.
+
+Two executors sharing one thread pool must walk their ladders
+independently: one caller's failures degrade only its own holder, and
+neither report records the other's downgrades (no cross-talk through
+shared state).
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.resilience.executor import (
+    DEGRADATION_CHAIN,
+    ResilientExecutor,
+)
+from repro.resilience.retry import RetryPolicy
+
+
+class _Holder:
+    def __init__(self, kernel: str) -> None:
+        self.kernel = kernel
+
+
+def _failing_until(holder: _Holder, good_kernel: str):
+    """A call site that fails on every rung above ``good_kernel``."""
+
+    def call(xs):
+        if holder.kernel != good_kernel:
+            raise ValueError(f"{holder.kernel} refuses")
+        return xs
+
+    return call
+
+
+def _executor(holder: _Holder, good_kernel: str) -> ResilientExecutor:
+    return ResilientExecutor(
+        _failing_until(holder, good_kernel),
+        holder,
+        policy=RetryPolicy(max_retries=0, backoff=0.0),
+    )
+
+
+class TestConcurrentLadders:
+    def test_two_executors_degrade_independently(self):
+        xs = np.ones(8)
+        first = _Holder("parallel-mp")
+        second = _Holder("parallel")
+        ex1 = _executor(first, "reduceat")
+        ex2 = _executor(second, "bincount")
+
+        def drive(executor):
+            outputs = [
+                executor.run(xs, iteration) for iteration in range(4)
+            ]
+            for output in outputs:
+                np.testing.assert_array_equal(output, xs)
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            for future in [
+                pool.submit(drive, ex1), pool.submit(drive, ex2)
+            ]:
+                future.result()
+
+        # Each ladder stopped exactly where its own call site heals.
+        assert first.kernel == "reduceat"
+        assert second.kernel == "bincount"
+        # No cross-talk: each report holds only its own walk, taken on
+        # the first iteration and never revisited.
+        walk1 = [
+            (event.from_kernel, event.to_kernel)
+            for event in ex1.report.downgrades
+        ]
+        walk2 = [
+            (event.from_kernel, event.to_kernel)
+            for event in ex2.report.downgrades
+        ]
+        assert walk1 == [
+            ("parallel-mp", "parallel"),
+            ("parallel", "reduceat"),
+        ]
+        assert walk2 == [
+            ("parallel", "reduceat"),
+            ("reduceat", "bincount"),
+        ]
+
+    def test_many_concurrent_callers_one_ladder_each(self):
+        xs = np.ones(4)
+        holders = [_Holder("parallel") for _ in range(6)]
+        floors = [
+            DEGRADATION_CHAIN[2 + (i % 2)]  # reduceat or bincount
+            for i in range(6)
+        ]
+        executors = [
+            _executor(holder, floor)
+            for holder, floor in zip(holders, floors)
+        ]
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            futures = [
+                pool.submit(executor.run, xs, 0)
+                for executor in executors
+            ]
+            for future in futures:
+                future.result()
+        for holder, floor, executor in zip(
+            holders, floors, executors
+        ):
+            assert holder.kernel == floor
+            expected = DEGRADATION_CHAIN.index(floor) - (
+                DEGRADATION_CHAIN.index("parallel")
+            )
+            assert len(executor.report.downgrades) == expected

@@ -30,6 +30,52 @@ class TestRetryPolicy:
         assert policy.delay(2) == pytest.approx(0.2)
         assert policy.delay(3) == pytest.approx(0.25)  # capped
 
+    def test_huge_attempt_does_not_overflow(self):
+        # 2 ** (attempt - 1) for times=-1 drills grows into an
+        # arbitrary-precision int; the exponent clamp keeps the float
+        # multiply finite and capped.
+        policy = RetryPolicy(backoff=0.1, backoff_cap=5.0)
+        assert policy.delay(10_000) == pytest.approx(5.0)
+        assert policy.delay(2 ** 40) == pytest.approx(5.0)
+
+    def test_jitter_deterministic_per_seed(self):
+        a = RetryPolicy(backoff=0.1, jitter=0.5, jitter_seed=7)
+        b = RetryPolicy(backoff=0.1, jitter=0.5, jitter_seed=7)
+        attempts = range(1, 6)
+        assert [a.delay(i) for i in attempts] == [
+            b.delay(i) for i in attempts
+        ]
+
+    def test_jitter_seed_changes_draws(self):
+        a = RetryPolicy(backoff=0.1, backoff_cap=10.0, jitter=0.5,
+                        jitter_seed=1)
+        b = RetryPolicy(backoff=0.1, backoff_cap=10.0, jitter=0.5,
+                        jitter_seed=2)
+        attempts = range(1, 6)
+        assert [a.delay(i) for i in attempts] != [
+            b.delay(i) for i in attempts
+        ]
+
+    def test_jitter_bounded_by_fraction_and_cap(self):
+        policy = RetryPolicy(backoff=0.1, backoff_cap=10.0, jitter=0.5,
+                             jitter_seed=3)
+        for attempt in range(1, 8):
+            base = min(0.1 * 2.0 ** (attempt - 1), 10.0)
+            assert base <= policy.delay(attempt) <= min(
+                base * 1.5, 10.0
+            )
+
+    def test_zero_jitter_is_exact(self):
+        with_seed = RetryPolicy(backoff=0.1, jitter_seed=9)
+        plain = RetryPolicy(backoff=0.1)
+        assert with_seed.delay(2) == plain.delay(2)
+
+    def test_jitter_validation(self):
+        with pytest.raises(ResilienceError):
+            RetryPolicy(jitter=-0.1)
+        with pytest.raises(ResilienceError):
+            RetryPolicy(jitter=1.5)
+
 
 class TestRunWithRetry:
     def test_success_passthrough(self):

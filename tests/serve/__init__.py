@@ -1,0 +1,1 @@
+"""Tests for the Mixen serving layer (:mod:`repro.serve`)."""

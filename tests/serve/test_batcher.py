@@ -1,0 +1,118 @@
+"""Bit-identity contract of the rank-K batcher.
+
+The serving layer's central correctness claim: column ``j`` of a
+batched rank-K propagation is bitwise identical to a rank-1
+personalized-PageRank run of request ``j`` on the batch rung's
+*reference kernel* (:data:`repro.serve.batcher.REFERENCE_KERNELS`).
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.personalized import PersonalizedPageRank
+from repro.core.engine import MixenEngine
+from repro.errors import ConvergenceError
+from repro.serve import (
+    REFERENCE_KERNELS,
+    BatchedPersonalizedPageRank,
+    scores_digest,
+)
+from repro.serve.batcher import normalize_sources
+
+ITERATIONS = 8
+SOURCE_SETS = [[3], [17, 42], [5, 5, 99], [0, 1, 2]]
+
+
+def _batched(graph, kernel):
+    engine = MixenEngine(graph, kernel=kernel)
+    engine.prepare()
+    return engine.run(
+        BatchedPersonalizedPageRank(SOURCE_SETS),
+        max_iterations=ITERATIONS,
+        check_convergence=False,
+    )
+
+
+def _rank1(graph, kernel, sources):
+    engine = MixenEngine(graph, kernel=kernel)
+    engine.prepare()
+    return engine.run(
+        PersonalizedPageRank(sources),
+        max_iterations=ITERATIONS,
+        check_convergence=False,
+    )
+
+
+class TestReferenceKernels:
+    def test_covers_the_whole_ladder(self):
+        from repro.resilience.executor import DEGRADATION_CHAIN
+
+        assert set(REFERENCE_KERNELS) == set(DEGRADATION_CHAIN)
+
+    @pytest.mark.parametrize(
+        "kernel", ["bincount", "reduceat", "parallel"]
+    )
+    def test_batched_columns_match_rank1_reference(
+        self, random_graph, kernel
+    ):
+        batched = _batched(random_graph, kernel)
+        reference_kernel = REFERENCE_KERNELS[kernel]
+        for column, sources in enumerate(SOURCE_SETS):
+            rank1 = _rank1(random_graph, reference_kernel, sources)
+            np.testing.assert_array_equal(
+                batched.scores[:, column],
+                rank1.scores,
+                err_msg=f"{kernel} column {column}",
+            )
+
+    def test_single_request_batch_matches(self, random_graph):
+        engine = MixenEngine(random_graph, kernel="bincount")
+        engine.prepare()
+        batched = engine.run(
+            BatchedPersonalizedPageRank([[7, 8]]),
+            max_iterations=ITERATIONS,
+            check_convergence=False,
+        )
+        rank1 = _rank1(random_graph, "bincount", [7, 8])
+        np.testing.assert_array_equal(
+            batched.scores[:, 0], rank1.scores
+        )
+
+
+class TestBatchedAlgorithm:
+    def test_never_converges_early(self, random_graph):
+        # Fixed budgets only: early convergence would make a response
+        # depend on what else shared its batch.
+        algo = BatchedPersonalizedPageRank([[1], [2]])
+        x = algo.initial(random_graph)
+        assert algo.converged(x, x) is False
+
+    def test_rank_and_teleport_columns(self, random_graph):
+        algo = BatchedPersonalizedPageRank([[1], [2, 3]])
+        assert algo.rank == 2
+        x = algo.initial(random_graph)
+        assert x.shape == (random_graph.num_nodes, 2)
+        assert x[1, 0] == pytest.approx(0.15)
+        assert x[2, 1] == pytest.approx(0.075)
+
+    def test_validation(self, random_graph):
+        with pytest.raises(ConvergenceError):
+            BatchedPersonalizedPageRank([])
+        with pytest.raises(ConvergenceError):
+            BatchedPersonalizedPageRank([[1]], damping=1.5)
+        algo = BatchedPersonalizedPageRank([[random_graph.num_nodes]])
+        with pytest.raises(ConvergenceError, match="outside"):
+            algo.initial(random_graph)
+
+
+class TestHelpers:
+    def test_normalize_sources(self):
+        out = normalize_sources([5, 5, 3])
+        np.testing.assert_array_equal(out, [3, 5])
+        with pytest.raises(ConvergenceError):
+            normalize_sources([])
+
+    def test_scores_digest_is_bitwise(self):
+        a = np.array([1.0, 2.0, 3.0])
+        assert scores_digest(a) == scores_digest(a.copy())
+        assert scores_digest(a) != scores_digest(np.nextafter(a, 2.0))

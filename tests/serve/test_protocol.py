@@ -1,0 +1,145 @@
+"""JSON-lines unix-socket protocol round trips."""
+
+import asyncio
+import json
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServeError
+from repro.resilience.retry import RetryPolicy
+from repro.serve import (
+    LayoutStore,
+    MixenServer,
+    ServeConfig,
+    boot_engine,
+    request,
+    serve_socket,
+)
+
+
+def _make_server(graph, tmp_path):
+    engine, boot = boot_engine(
+        graph, LayoutStore(tmp_path / "store"), kernel="bincount"
+    )
+    config = ServeConfig(
+        window=0.0,
+        iterations=5,
+        retry=RetryPolicy(max_retries=0, backoff=0.0, deadline=None),
+    )
+    return MixenServer(engine, config=config, boot=boot)
+
+
+class TestAsyncProtocol:
+    def test_query_health_report_stop(self, random_graph, tmp_path):
+        server = _make_server(random_graph, tmp_path)
+        path = str(tmp_path / "serve.sock")
+
+        async def scenario():
+            ready = asyncio.Event()
+            task = asyncio.create_task(
+                serve_socket(server, path, ready=ready)
+            )
+            await ready.wait()
+            reader, writer = await asyncio.open_unix_connection(path)
+
+            async def call(message):
+                writer.write(json.dumps(message).encode() + b"\n")
+                await writer.drain()
+                return json.loads(await reader.readline())
+
+            reply = await call(
+                {"op": "query", "sources": [3, 17], "id": 7, "top": 3}
+            )
+            assert reply["ok"] and reply["id"] == 7
+            assert reply["kernel"] == "bincount"
+            assert len(reply["top"]) == 3
+            assert len(reply["digest"]) == 64
+
+            health = await call({"op": "health"})
+            assert health["ok"] and health["health"]["ready"]
+
+            report = await call({"op": "report"})
+            assert report["report"]["completed"] == 1
+
+            bad_sources = await call({"op": "query", "sources": []})
+            assert not bad_sources["ok"]
+            assert bad_sources["code"] == 11
+
+            unknown = await call({"op": "nope"})
+            assert not unknown["ok"]
+            assert unknown["error"] == "ServeError"
+
+            garbage_reply = await call_raw(writer, reader, b"not json\n")
+            assert not garbage_reply["ok"]
+
+            stopping = await call({"op": "stop"})
+            assert stopping["stopping"]
+            writer.close()
+            await writer.wait_closed()
+            await task
+
+        async def call_raw(writer, reader, raw):
+            writer.write(raw)
+            await writer.drain()
+            return json.loads(await reader.readline())
+
+        asyncio.run(scenario())
+        # The socket file is removed on shutdown.
+        assert not (tmp_path / "serve.sock").exists()
+
+
+class TestSyncClient:
+    def test_request_round_trip(self, random_graph, tmp_path):
+        server = _make_server(random_graph, tmp_path)
+        path = str(tmp_path / "client.sock")
+        started = threading.Event()
+
+        def run_server():
+            async def main():
+                ready = asyncio.Event()
+                task = asyncio.create_task(
+                    serve_socket(server, path, ready=ready)
+                )
+                await ready.wait()
+                started.set()
+                await task
+
+            asyncio.run(main())
+
+        thread = threading.Thread(target=run_server, daemon=True)
+        thread.start()
+        assert started.wait(30.0)
+        try:
+            health = request(path, {"op": "health"})
+            assert health["ok"] and health["health"]["ready"]
+            reply = request(
+                path, {"op": "query", "sources": [1, 2], "id": 0}
+            )
+            assert reply["ok"] and reply["id"] == 0
+        finally:
+            request(path, {"op": "stop"})
+            thread.join(timeout=30.0)
+        assert not thread.is_alive()
+
+    def test_unreachable_socket_is_typed(self, tmp_path):
+        with pytest.raises(ServeError, match="cannot reach"):
+            request(str(tmp_path / "missing.sock"), {"op": "health"})
+
+    def test_kill_and_restart_is_warm(self, random_graph, tmp_path):
+        # Simulated kill/restart: the first server process dies, a new
+        # one boots from the same store directory and must come up warm.
+        store_dir = tmp_path / "store"
+        engine, boot = boot_engine(
+            random_graph, LayoutStore(store_dir), kernel="bincount"
+        )
+        assert not boot.hit
+        t0 = time.perf_counter()
+        engine2, boot2 = boot_engine(
+            random_graph, LayoutStore(store_dir), kernel="bincount"
+        )
+        warm_seconds = time.perf_counter() - t0
+        assert boot2.hit
+        assert set(engine2.prepare_stats.breakdown) == {"store-load"}
+        assert warm_seconds < 30.0  # sanity, not a perf assertion
