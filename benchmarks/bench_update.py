@@ -1,0 +1,280 @@
+"""Dynamic-graph update microbenchmark: patch + delta re-score vs
+full rebuild (DESIGN 4i).
+
+Two questions the epoch layer rides on:
+
+* **amortized per-batch patch cost** — landing one
+  :class:`~repro.graphs.updates.UpdateBatch` through the incremental
+  path (``O(m + k log k)`` CSR patch + spill-overlay merge +
+  incremental class maintenance) must beat rebuilding the edge set and
+  re-running the whole ``O(m log m)`` layout pipeline; the guard below
+  requires a measured >= 3x win at the smallest batch size, which is
+  what makes the epoch machinery worth its complexity.  The bench also
+  records the end-to-end ratio (patch + warm delta re-score vs rebuild
+  + cold solve) — the warm win grows with graph size as the residual
+  start shrinks relative to the cold iteration count;
+* **degradation crossover** — the overlay is bounded: past
+  ``max_spill_fraction`` the engine transparently rebuilds.  The bench
+  streams fixed-size batches until the threshold trips and records how
+  many batches one rebuild amortizes over.
+
+Records both to ``bench_results/update.json``.  Run from the repo
+root::
+
+    PYTHONPATH=src python benchmarks/bench_update.py
+    PYTHONPATH=src python benchmarks/bench_update.py --quick  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+try:
+    import repro  # noqa: F401
+except ImportError:
+    sys.path.insert(0, str(ROOT / "src"))
+
+from repro.algorithms import ALGORITHMS  # noqa: E402
+from repro.core import EpochConfig, EpochEngine, MixenEngine  # noqa: E402
+from repro.graphs import load_dataset  # noqa: E402
+from repro.graphs.updates import (  # noqa: E402
+    random_batches,
+    rebuild_from_batch,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--graph", default="wiki", help="proxy dataset (default wiki)"
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="dataset scale factor (default 1.0)",
+    )
+    parser.add_argument(
+        "--batch-sizes", default="8,64,512",
+        help="comma-separated update-batch sizes (default 8,64,512)",
+    )
+    parser.add_argument(
+        "--batches", type=int, default=6,
+        help="update batches timed per size (default 6)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=1e-6,
+        help="delta re-scoring residual tolerance (default 1e-6; the "
+        "warm answer sits within 2d/(1-d)*tol of the cold fixed point)",
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=200,
+        help="iteration cap per solve (default 200)",
+    )
+    parser.add_argument(
+        "--kernel", default="reduceat",
+        help="propagation kernel (default reduceat)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--min-speedup", type=float, default=3.0,
+        help="fail unless the smallest batch size's patch path beats "
+        "the full layout rebuild by this factor (default 3.0)",
+    )
+    parser.add_argument(
+        "--out", default=str(ROOT / "bench_results" / "update.json")
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: tiny scale and workload",
+    )
+    return parser
+
+
+def _time_incremental(graph, batches, *, tolerance, iterations, kernel):
+    """Per-batch (patch_seconds, rescore_seconds, iterations, spill)
+    of the incremental path.  The warm-up solve that seeds the state
+    bundle is not timed — it replaces the one cold solve every
+    deployment runs at boot."""
+    config = EpochConfig(tolerance=tolerance)
+    engine = EpochEngine(graph, config=config, kernel=kernel)
+    algorithm = ALGORITHMS["pagerank"]()
+    engine.rescore(algorithm, max_iterations=iterations)
+    patch_s, rescore_s, iters, spills = [], [], [], []
+    for batch in batches:
+        t0 = time.perf_counter()
+        engine.apply(batch)
+        t1 = time.perf_counter()
+        result = engine.rescore(algorithm, max_iterations=iterations)
+        patch_s.append(t1 - t0)
+        rescore_s.append(time.perf_counter() - t1)
+        iters.append(result.iterations)
+        spills.append(engine.spill_fraction)
+    return patch_s, rescore_s, iters, spills
+
+
+def _time_rebuild(graph, batches, *, iterations, kernel):
+    """Per-batch (layout_seconds, solve_seconds, iterations) of the
+    from-scratch oracle: rebuild the edge set, re-run the whole layout
+    pipeline, cold-solve."""
+    algorithm = ALGORITHMS["pagerank"]()
+    layout_s, solve_s, iters = [], [], []
+    current = graph
+    for batch in batches:
+        t0 = time.perf_counter()
+        current = rebuild_from_batch(current, batch)
+        engine = MixenEngine(current, kernel=kernel)
+        engine.prepare()
+        t1 = time.perf_counter()
+        result = engine.run(algorithm, max_iterations=iterations)
+        layout_s.append(t1 - t0)
+        solve_s.append(time.perf_counter() - t1)
+        iters.append(result.iterations)
+    return layout_s, solve_s, iters
+
+
+def _degradation_crossover(graph, *, batch_size, tolerance, kernel,
+                           max_spill_fraction, seed, cap=256):
+    """Stream fixed-size batches until the spill threshold trips;
+    returns (batches_to_trip, spill_fraction_before_trip)."""
+    config = EpochConfig(
+        tolerance=tolerance, max_spill_fraction=max_spill_fraction
+    )
+    engine = EpochEngine(graph, config=config, kernel=kernel)
+    batches = random_batches(graph, cap, batch_size, seed=seed)
+    last_spill = 0.0
+    for count, batch in enumerate(batches, start=1):
+        report = engine.apply(batch)
+        if report.rebuilt:
+            return count, last_spill
+        last_spill = report.spill_fraction
+    return None, last_spill
+
+
+def _mean(values) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.quick:
+        args.scale = min(args.scale, 0.25)
+        args.batches = min(args.batches, 4)
+        args.batch_sizes = "8,64"
+        args.iterations = min(args.iterations, 100)
+
+    graph = load_dataset(args.graph, scale=args.scale)
+    sizes = [int(s) for s in args.batch_sizes.split(",") if s.strip()]
+
+    sweeps = []
+    for size in sizes:
+        batches = random_batches(
+            graph, args.batches, size, seed=args.seed
+        )
+        patch_s, rescore_s, inc_iters, spills = _time_incremental(
+            graph,
+            batches,
+            tolerance=args.tolerance,
+            iterations=args.iterations,
+            kernel=args.kernel,
+        )
+        layout_s, solve_s, reb_iters = _time_rebuild(
+            graph,
+            batches,
+            iterations=args.iterations,
+            kernel=args.kernel,
+        )
+        patch = _mean(patch_s)
+        rescore = _mean(rescore_s)
+        layout = _mean(layout_s)
+        solve = _mean(solve_s)
+        sweeps.append(
+            {
+                "batch_size": size,
+                "batches": args.batches,
+                "patch_s_per_batch": patch,
+                "rescore_s_per_batch": rescore,
+                "rebuild_s_per_batch": layout,
+                "cold_solve_s_per_batch": solve,
+                "patch_speedup": layout / patch if patch else 0.0,
+                "end_to_end_speedup": (
+                    (layout + solve) / (patch + rescore)
+                    if patch + rescore
+                    else 0.0
+                ),
+                "warm_iterations": _mean(inc_iters),
+                "cold_iterations": _mean(reb_iters),
+                "final_spill_fraction": spills[-1],
+            }
+        )
+
+    max_spill = 0.02
+    trip_batches, trip_spill = _degradation_crossover(
+        graph,
+        batch_size=sizes[0],
+        tolerance=args.tolerance,
+        kernel=args.kernel,
+        max_spill_fraction=max_spill,
+        seed=args.seed + 1,
+    )
+
+    payload = {
+        "graph": graph.name,
+        "num_nodes": graph.num_nodes,
+        "num_edges": graph.num_edges,
+        "kernel": args.kernel,
+        "tolerance": args.tolerance,
+        "iterations": args.iterations,
+        "sweeps": sweeps,
+        "degradation": {
+            "max_spill_fraction": max_spill,
+            "batch_size": sizes[0],
+            "batches_to_trip": trip_batches,
+            "spill_fraction_before_trip": trip_spill,
+        },
+    }
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2) + "\n", "utf-8")
+
+    for sweep in sweeps:
+        print(
+            f"batch {sweep['batch_size']:>4}: patch "
+            f"{sweep['patch_s_per_batch'] * 1e3:.2f} ms vs rebuild "
+            f"{sweep['rebuild_s_per_batch'] * 1e3:.2f} ms -> "
+            f"{sweep['patch_speedup']:.1f}x | end-to-end "
+            f"{sweep['end_to_end_speedup']:.1f}x "
+            f"(warm {sweep['warm_iterations']:.0f} vs cold "
+            f"{sweep['cold_iterations']:.0f} iters, spill "
+            f"{sweep['final_spill_fraction']:.4f})"
+        )
+    if trip_batches is None:
+        print(
+            f"degradation: threshold {max_spill} never tripped "
+            f"(spill reached {trip_spill:.4f})"
+        )
+    else:
+        print(
+            f"degradation: threshold {max_spill} tripped after "
+            f"{trip_batches} batches of {sizes[0]} "
+            f"(spill {trip_spill:.4f} before the rebuild)"
+        )
+    print(f"[saved to {out}]")
+
+    smallest = sweeps[0]
+    if smallest["patch_speedup"] < args.min_speedup:
+        print(
+            f"FAIL: batch {smallest['batch_size']} patch speedup "
+            f"{smallest['patch_speedup']:.2f}x is below the "
+            f"{args.min_speedup:.1f}x guard",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -66,7 +66,7 @@ PHASE_PLAN = "phase-plan"
 #: and v1-compat reads even though the ``state_`` prefix disambiguates
 #: the archive itself.
 RESERVED_STATE_KEYS = frozenset(
-    {"version", "names", "iteration", "fingerprint"}
+    {"version", "names", "iteration", "fingerprint", "epoch"}
 )
 
 #: :class:`~repro.resilience.faults.FaultInjector` hooks the kernels
@@ -81,6 +81,8 @@ FAULT_SITE_HOOKS = (
     "serve_admit",
     "serve_batch",
     "serve_store",
+    "update_apply",
+    "update_patch",
 )
 
 
@@ -103,6 +105,10 @@ class Certificate:
     fingerprint: str
     evidence: dict
     version: int = CERTIFICATE_VERSION
+    #: graph epoch the certified structure was built at (DESIGN 4i) —
+    #: part of the content-addressed id, so a certificate minted
+    #: against an older edge set can never vouch for a newer layout.
+    epoch: int = 0
 
     @property
     def key(self) -> str:
@@ -119,6 +125,7 @@ class Certificate:
                 "structure": self.structure,
                 "backend": self.backend,
                 "fingerprint": self.fingerprint,
+                "epoch": self.epoch,
                 "evidence": self.evidence,
             },
             sort_keys=True,
@@ -262,6 +269,7 @@ class CertificateLedger:
             "structure": cert.structure,
             "backend": cert.backend,
             "fingerprint": cert.fingerprint,
+            "epoch": cert.epoch,
             "evidence": cert.evidence,
         }
         return cert.key
@@ -582,6 +590,8 @@ class CertRecord:
     fingerprint: str
     certificate_id: str
     status: str  # certified | verified | uncertified | stale
+    #: graph epoch the certificate was minted at (DESIGN 4i).
+    epoch: int = 0
 
     @property
     def ok(self) -> bool:
@@ -594,7 +604,7 @@ class CertRecord:
         return (
             f"  [{mark:>4}] {self.kind}:{self.structure}"
             f" x {self.backend}: {self.status}"
-            f" ({self.certificate_id[:12]})"
+            f" ({self.certificate_id[:12]}, epoch {self.epoch})"
         )
 
 
@@ -752,6 +762,7 @@ def run_prove(
                 fingerprint=cert.fingerprint,
                 certificate_id=cert.certificate_id,
                 status=status,
+                epoch=cert.epoch,
             )
         )
     if update:

@@ -21,9 +21,13 @@ Commands:
   (:mod:`repro.serve`) and either run the deterministic chaos drill
   (default: a seeded workload against the batched query server, every
   completed response checked bitwise against a fault-free offline
-  run) or listen on a unix socket (``--socket``);
+  run), run the update-stream drill (``--update-drill``: queries race
+  a seeded edge-update stream, every response checked against a fresh
+  build of the graph version its epoch names), or listen on a unix
+  socket (``--socket``);
 * ``query`` — client for a running ``serve --socket`` server: submit
-  one personalized-PageRank query, or probe ``--health``/``--report``/
+  one personalized-PageRank query, stream an edge-update batch
+  (``--insert``/``--delete``), or probe ``--health``/``--report``/
   ``--stop``.
 
 ``run`` and ``bfs`` accept ``--validate`` (contract checks after
@@ -39,9 +43,10 @@ Failures exit with structured codes (see
 :func:`repro.errors.exit_code_for`): contract violations 3, data races
 4, ingestion errors 5, guard trips 6, checkpoint problems 7, stalls 8,
 other resilience faults 9, proof failures 10, serve-layer failures
-(overload sheds, expired deadlines, drill mismatches) 11, any other
-:class:`~repro.errors.ReproError` 1 — each with a one-line
-``error[Type]: ...`` summary on stderr.
+(overload sheds, expired deadlines, drill mismatches) 11, update
+failures (malformed or rejected update batches, stale-epoch
+artifacts) 12, any other :class:`~repro.errors.ReproError` 1 — each
+with a one-line ``error[Type]: ...`` summary on stderr.
 """
 
 from __future__ import annotations
@@ -245,6 +250,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="print the drill report as JSON",
     )
+    updates = serve.add_argument_group("update stream")
+    updates.add_argument(
+        "--update-drill", action="store_true",
+        help="run the update-stream chaos drill: queries race a seeded "
+        "edge-update stream and every response is checked bitwise "
+        "against a fresh build of the graph version its epoch names",
+    )
+    updates.add_argument(
+        "--updates", type=int, default=4,
+        help="update batches in the stream (default 4)",
+    )
+    updates.add_argument(
+        "--queries-per-epoch", type=int, default=4, metavar="N",
+        help="queries launched around each update (default 4)",
+    )
+    updates.add_argument(
+        "--update-batch-size", type=int, default=8, metavar="K",
+        help="edge operations per update batch (default 8)",
+    )
     tune = serve.add_argument_group("server")
     tune.add_argument(
         "--window", type=float, default=0.02,
@@ -279,6 +303,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated PPR source nodes, e.g. '3,17'",
     )
     query.add_argument("--top", type=int, default=5)
+    query.add_argument(
+        "--insert", metavar="PAIRS", default=None,
+        help="edges to insert as semicolon-separated src,dst pairs, "
+        "e.g. '0,5;3,7' — sends one update batch instead of a query",
+    )
+    query.add_argument(
+        "--delete", metavar="PAIRS", default=None,
+        help="edges to delete (same syntax as --insert)",
+    )
     query.add_argument(
         "--timeout", type=float, default=30.0,
         help="client-side reply timeout seconds (default 30)",
@@ -609,7 +642,7 @@ def _cmd_analyze(args, out) -> int:
             print(
                 f"  {mark}  {cert.kind}:{cert.structure}"
                 f" x {cert.backend}: {status}"
-                f" ({cert.certificate_id[:12]})",
+                f" ({cert.certificate_id[:12]}, epoch {cert.epoch})",
                 file=out,
             )
             if status != "verified":
@@ -657,13 +690,35 @@ def _serve_config(args):
 
 
 def _cmd_serve(args, out) -> int:
-    from .serve import LayoutStore, run_drill
+    from .serve import LayoutStore, run_drill, run_update_drill
 
     graph = load_dataset(args.graph, scale=args.scale)
     store = LayoutStore(args.store_dir)
     config = _serve_config(args)
     if args.socket:
         return _cmd_serve_socket(args, graph, store, config, out)
+    if args.update_drill:
+        report = run_update_drill(
+            graph,
+            store,
+            updates=args.updates,
+            queries_per_epoch=args.queries_per_epoch,
+            update_batch_size=args.update_batch_size,
+            seed=args.seed,
+            kernel=args.kernel,
+            max_workers=args.mp_workers,
+            block_nodes=args.block_nodes,
+            config=config,
+            fault_spec=args.fault_inject,
+            verify=not args.no_verify,
+        )
+        if args.json:
+            import json
+
+            print(json.dumps(report.to_json(), indent=2), file=out)
+        else:
+            print(report.render(), file=out)
+        return 0
     report = run_drill(
         graph,
         store,
@@ -705,7 +760,7 @@ def _cmd_serve_socket(args, graph, store, config, out) -> int:
         )
         if args.expect_warm:
             ensure_warm(engine, boot)
-        server = MixenServer(engine, config=config, boot=boot)
+        server = MixenServer(engine, config=config, boot=boot, store=store)
 
         async def _run() -> None:
             ready = asyncio.Event()
@@ -748,9 +803,32 @@ def _cmd_query(args, out) -> int:
         )
         print(json.dumps(reply.get(op, reply), indent=2), file=out)
         return 0
+    if args.insert or args.delete:
+        message = {
+            "op": "update",
+            "inserts": _parse_pairs(args.insert),
+            "deletes": _parse_pairs(args.delete),
+        }
+        reply = serve_request(args.socket, message, timeout=args.timeout)
+        if not reply.get("ok"):
+            print(
+                f"error[{reply.get('error', 'UpdateError')}]: "
+                f"{reply.get('message', '')}",
+                file=sys.stderr,
+            )
+            return int(reply.get("code", 1))
+        print(
+            f"update applied: epoch {reply['epoch']}, "
+            f"{reply['inserts']} inserts, {reply['deletes']} deletes"
+            + (" (patch fell back to rebuild)"
+               if reply.get("fell_back") else ""),
+            file=out,
+        )
+        return 0
     if not args.sources:
         raise ReproError(
-            "query needs --sources (or one of --health/--report/--stop)"
+            "query needs --sources, --insert/--delete, or one of "
+            "--health/--report/--stop"
         )
     sources = [
         int(token)
@@ -770,7 +848,8 @@ def _cmd_query(args, out) -> int:
         )
         return int(reply.get("code", 1))
     print(
-        f"ppr sources={sources}: kernel {reply['kernel']}, "
+        f"ppr sources={sources}: epoch {reply.get('epoch', 0)}, "
+        f"kernel {reply['kernel']}, "
         f"{reply['iterations']} iterations, batch {reply['batch_id']} "
         f"(size {reply['batch_size']}), "
         f"{reply['latency'] * 1e3:.1f} ms, "
@@ -780,6 +859,31 @@ def _cmd_query(args, out) -> int:
     for node, score in reply["top"]:
         print(f"  node {node}: {score:.6g}", file=out)
     return 0
+
+
+def _parse_pairs(spec: str | None) -> list[list[int]]:
+    """Parse ``'0,5;3,7'`` into ``[[0, 5], [3, 7]]`` (typed errors)."""
+    from .errors import UpdateError
+
+    if not spec:
+        return []
+    pairs = []
+    for token in spec.split(";"):
+        token = token.strip()
+        if not token:
+            continue
+        parts = token.split(",")
+        if len(parts) != 2:
+            raise UpdateError(
+                f"bad edge pair {token!r}: expected 'src,dst'"
+            )
+        try:
+            pairs.append([int(parts[0]), int(parts[1])])
+        except ValueError as exc:
+            raise UpdateError(
+                f"bad edge pair {token!r}: {exc}"
+            ) from exc
+    return pairs
 
 
 def _cmd_experiment(args, out) -> int:

@@ -1,7 +1,20 @@
 """Mixen: the paper's connectivity-aware link-analysis framework."""
 
-from .bins import DynamicBinStats, build_static_bins, dynamic_bin_stats
+from .bins import (
+    DynamicBinStats,
+    SpillBinStats,
+    build_static_bins,
+    dynamic_bin_stats,
+    spill_bin_stats,
+)
 from .engine import MixenEngine
+from .epoch import (
+    ApplyReport,
+    EpochConfig,
+    EpochEngine,
+    EpochResult,
+    checked_apply,
+)
 from .extension import FilteredEngine
 from .filtering import FilterPlan, filter_graph
 from .kernels import (
@@ -14,7 +27,7 @@ from .kernels import (
     spmv_parallel,
     spmv_reduceat,
 )
-from .mixed_format import MixedGraph, build_mixed
+from .mixed_format import MixedGraph, SpillOverlay, build_mixed
 from .partition import (
     BlockTask,
     RegularPartition,
@@ -34,8 +47,12 @@ from .scheduler import MixenRunResult, run_schedule
 from .semiring import MIN_PLUS, PLUS_TIMES, Semiring
 
 __all__ = [
+    "ApplyReport",
     "BlockTask",
     "DynamicBinStats",
+    "EpochConfig",
+    "EpochEngine",
+    "EpochResult",
     "FilteredEngine",
     "FilterPlan",
     "KERNEL_NAMES",
@@ -48,9 +65,12 @@ __all__ = [
     "RegularPartition",
     "ScgaKernel",
     "Semiring",
+    "SpillBinStats",
+    "SpillOverlay",
     "build_mixed",
     "build_reduce_plan",
     "build_static_bins",
+    "checked_apply",
     "compose",
     "dynamic_bin_stats",
     "filter_graph",
@@ -64,6 +84,7 @@ __all__ = [
     "register_kernel",
     "resolve_kernel",
     "run_schedule",
+    "spill_bin_stats",
     "spmv_bincount",
     "spmv_parallel",
     "spmv_reduceat",

@@ -216,6 +216,38 @@ class DeadlineExpired(ServeError):
         self.waited = waited
 
 
+class UpdateError(ReproError):
+    """A graph update stream could not be applied.
+
+    Covers malformed :class:`~repro.graphs.updates.UpdateBatch`
+    payloads (out-of-range endpoints, deleting a missing edge,
+    duplicate inserts), epoch bookkeeping violations, and incremental
+    layouts that failed verification and could not fall back to a full
+    rebuild.
+    """
+
+
+class StaleEpochError(UpdateError):
+    """An artifact produced against an older graph epoch was offered to
+    a newer one (checkpoint resume, layout-store boot, certificates).
+
+    ``artifact_epoch`` is the epoch the artifact was produced against,
+    ``current_epoch`` the epoch of the live graph.  Stale artifacts are
+    refused — never silently applied — and rebuilt by the caller.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        artifact_epoch: int | None = None,
+        current_epoch: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.artifact_epoch = artifact_epoch
+        self.current_epoch = current_epoch
+
+
 #: structured CLI failure semantics: one distinct nonzero exit code per
 #: error family (most specific class wins; plain ReproError maps to 1,
 #: argparse keeps its conventional 2).
@@ -229,6 +261,7 @@ _EXIT_CODE_TABLE: tuple[tuple[type, int], ...] = (
     (StallError, 8),
     (ResilienceError, 9),
     (ServeError, 11),
+    (UpdateError, 12),
 )
 
 

@@ -1,6 +1,11 @@
 """Graph substrate: containers, generators, datasets, statistics."""
 
-from .classify import ConnectivityClasses, classify_nodes, hub_edge_fraction
+from .classify import (
+    ConnectivityClasses,
+    IncrementalClassifier,
+    classify_nodes,
+    hub_edge_fraction,
+)
 from .csr import CSR
 from .datasets import (
     DATASET_NAMES,
@@ -37,6 +42,13 @@ from .reorder import (
     hub_cluster_order,
     random_order,
 )
+from .updates import (
+    UpdateBatch,
+    apply_batch,
+    random_batches,
+    rebuild_from_batch,
+    verify_patch,
+)
 from .stats import (
     GraphStats,
     compute_stats,
@@ -56,7 +68,10 @@ __all__ = [
     "Graph",
     "GraphProfile",
     "GraphStats",
+    "IncrementalClassifier",
+    "UpdateBatch",
     "SKEWED_NAMES",
+    "apply_batch",
     "classify_nodes",
     "compute_stats",
     "dataset_spec",
@@ -74,7 +89,9 @@ __all__ = [
     "degree_sort",
     "hub_cluster_order",
     "powerlaw",
+    "random_batches",
     "random_order",
+    "rebuild_from_batch",
     "profile_graph",
     "regular_edge_count",
     "rmat",
@@ -83,5 +100,6 @@ __all__ = [
     "save_edgelist",
     "save_ligra_adj",
     "uniform_random",
+    "verify_patch",
     "zipf_weights",
 ]

@@ -36,7 +36,7 @@ from typing import Mapping
 
 import numpy as np
 
-from ..errors import CheckpointError
+from ..errors import CheckpointError, StaleEpochError
 
 _CKPT_RE = re.compile(r"^ckpt-(\d{8})\.npz$")
 
@@ -113,6 +113,13 @@ class CheckpointManager:
         iteration).
     keep:
         Snapshots retained (older ones are pruned); ``None`` keeps all.
+    epoch:
+        The graph epoch the run executes against (DESIGN 4i).  Every
+        snapshot embeds it; loading a snapshot taken at a different
+        epoch raises :class:`~repro.errors.StaleEpochError` — a rank
+        vector converged against epoch ``e`` is not a valid resume
+        point once the edge set has moved on.  Archives written before
+        the epoch schema load as epoch 0.
     """
 
     def __init__(
@@ -122,6 +129,7 @@ class CheckpointManager:
         fingerprint: str = "",
         every: int = 1,
         keep: int | None = 3,
+        epoch: int = 0,
     ) -> None:
         if every <= 0:
             raise CheckpointError(
@@ -137,6 +145,7 @@ class CheckpointManager:
         self.fingerprint = fingerprint
         self.every = every
         self.keep = keep
+        self.epoch = int(epoch)
 
     # ------------------------------------------------------------------ #
     # writing
@@ -169,6 +178,7 @@ class CheckpointManager:
             names=np.array(names),
             iteration=np.int64(iteration),
             fingerprint=np.array(self.fingerprint),
+            epoch=np.int64(self.epoch),
             **arrays,
         )
         os.replace(tmp, final)
@@ -222,6 +232,9 @@ class CheckpointManager:
                     bundle = {"x": data["x"]}
                 iteration = int(data["iteration"])
                 fingerprint = str(data["fingerprint"])
+                saved_epoch = (
+                    int(data["epoch"]) if "epoch" in data.files else 0
+                )
         except (OSError, KeyError, ValueError) as exc:
             raise CheckpointError(
                 f"unreadable checkpoint {info.path}: {exc}"
@@ -231,6 +244,15 @@ class CheckpointManager:
                 f"checkpoint {info.path} belongs to a different run: "
                 f"fingerprint {fingerprint[:12]}... != "
                 f"{self.fingerprint[:12]}..."
+            )
+        if saved_epoch != self.epoch:
+            raise StaleEpochError(
+                f"checkpoint {info.path} was taken at graph epoch "
+                f"{saved_epoch} but the run executes against epoch "
+                f"{self.epoch}; the snapshot is stale and must be "
+                "rebuilt, not resumed",
+                artifact_epoch=saved_epoch,
+                current_epoch=self.epoch,
             )
         return iteration, bundle
 

@@ -221,6 +221,7 @@ class LoopSupervisor:
                 fingerprint=fingerprint,
                 every=options.checkpoint_every,
                 keep=options.checkpoint_keep,
+                epoch=options.epoch,
             )
         self._resume = options.resume
         self._max_rollbacks = options.max_rollbacks
@@ -340,6 +341,10 @@ class ResilienceOptions:
     checkpoint_dir: str | None = None
     checkpoint_every: int = 1
     checkpoint_keep: int | None = 3
+    #: graph epoch the run executes against — embedded in every
+    #: snapshot; resuming across an epoch boundary raises
+    #: :class:`~repro.errors.StaleEpochError` (DESIGN 4i).
+    epoch: int = 0
     resume: bool = False
     #: None = guards off; else a :data:`GUARD_POLICIES` member.
     guard_policy: str | None = None

@@ -25,6 +25,13 @@ and ``stall`` specs aimed at ``serve_admit`` (admission control) or
 bytes in a committed layout artifact (exercising the corruption
 detector and its rebuild fallback).
 
+The dynamic-update layer adds two more: ``crash``/``stall`` aimed at
+``update_apply`` fire at the start of an epoch-apply attempt (before
+any engine state mutates, so a retry sees a clean epoch), and
+``crash``/``corrupt`` aimed at ``update_patch`` fail or vandalize a
+freshly patched CSR before verification (exercising the
+detect-and-fall-back-to-full-rebuild path).
+
 Spec grammar (entries separated by ``;``, fields by ``,``)::
 
     crash:task=0,times=-1
@@ -35,6 +42,8 @@ Spec grammar (entries separated by ``;``, fields by ``,``)::
     stall:worker=1,seconds=0.5
     crash:site=serve_batch,times=1
     corrupt:site=serve_store
+    crash:site=update_apply,times=2
+    corrupt:site=update_patch
 
 Fields: ``task`` (Scatter task index), ``worker`` (process-pool rank),
 ``kernel`` (backend name), ``site`` (named serve-layer site),
@@ -73,6 +82,12 @@ FAULT_KINDS = ("crash", "corrupt", "stall", "fail", "kill")
 #: named serve-layer injection sites a ``site=`` field may target.
 SERVE_SITES = ("serve_admit", "serve_batch", "serve_store")
 
+#: named update-layer injection sites a ``site=`` field may target.
+UPDATE_SITES = ("update_apply", "update_patch")
+
+#: every named site the grammar accepts.
+NAMED_SITES = SERVE_SITES + UPDATE_SITES
+
 _INT_FIELDS = ("task", "worker", "slot", "call", "times")
 _FLOAT_FIELDS = ("seconds", "value")
 _STR_FIELDS = ("kernel", "site")
@@ -101,10 +116,10 @@ class FaultSpec:
                 f"unknown fault kind {self.kind!r}; "
                 f"expected one of {', '.join(FAULT_KINDS)}"
             )
-        if self.site is not None and self.site not in SERVE_SITES:
+        if self.site is not None and self.site not in NAMED_SITES:
             raise ResilienceError(
                 f"unknown fault site {self.site!r}; "
-                f"expected one of {', '.join(SERVE_SITES)}"
+                f"expected one of {', '.join(NAMED_SITES)}"
             )
         if self.kind == "fail" and not self.kernel:
             raise ResilienceError(
@@ -323,6 +338,62 @@ class FaultInjector:
                 raise InjectedFault(
                     f"injected store crash: {detail}",
                     site="serve_store",
+                    call=call,
+                )
+        return directive or None
+
+    def update_apply(self) -> None:
+        """Epoch-apply hook: probed at the start of every
+        :meth:`~repro.core.epoch.EpochEngine.apply` attempt, before any
+        engine state mutates (``site=update_apply`` specs: ``crash``
+        raises — the epoch stays clean and a retry succeeds — and
+        ``stall`` sleeps)."""
+        call = self._bump("update_apply")
+        for spec in self.specs:
+            if spec.site != "update_apply":
+                continue
+            if spec.kind == "stall" and self._take(spec, call):
+                self._record(
+                    "stall",
+                    "update_apply",
+                    call,
+                    f"update_apply slept {spec.seconds}s",
+                )
+                time.sleep(spec.seconds)
+            elif spec.kind == "crash" and self._take(spec, call):
+                detail = f"update_apply call {call}"
+                self._record("crash", "update_apply", call, detail)
+                raise InjectedFault(
+                    f"injected update crash: {detail}",
+                    site="update_apply",
+                    call=call,
+                )
+
+    def update_patch(self) -> dict | None:
+        """CSR-patch hook (mirrors :meth:`serve_store`): returns the
+        directive the incremental patcher obeys —
+        ``{"corrupt": payload}`` vandalizes a freshly patched index
+        array *before* verification, exercising the corruption detector
+        and its fall-back-to-full-rebuild path; ``crash`` raises."""
+        call = self._bump("update_patch")
+        directive: dict = {}
+        for spec in self.specs:
+            if spec.site != "update_patch":
+                continue
+            if spec.kind == "corrupt" and self._take(spec, call):
+                directive["corrupt"] = spec.value
+                self._record(
+                    "corrupt",
+                    "update_patch",
+                    call,
+                    "patched indices vandalized before verification",
+                )
+            elif spec.kind == "crash" and self._take(spec, call):
+                detail = f"update_patch call {call}"
+                self._record("crash", "update_patch", call, detail)
+                raise InjectedFault(
+                    f"injected patch crash: {detail}",
+                    site="update_patch",
                     call=call,
                 )
         return directive or None

@@ -8,8 +8,8 @@
 * :mod:`repro.serve.server` — asyncio front-end with admission
   control, deadlines, a batch-level degradation ladder and a
   circuit breaker.
-* :mod:`repro.serve.drill` — deterministic chaos drill with offline
-  bit-identity verification.
+* :mod:`repro.serve.drill` — deterministic chaos drills (query-only
+  and update-stream) with offline bit-identity verification.
 * :mod:`repro.serve.protocol` — JSON-lines unix-socket protocol
   (``repro serve --socket`` / ``repro query``).
 """
@@ -24,8 +24,10 @@ from .batcher import (
 from .drill import (
     DrillMismatch,
     DrillReport,
+    UpdateDrillReport,
     ensure_warm,
     run_drill,
+    run_update_drill,
     seeded_requests,
     verify_offline,
 )
@@ -48,8 +50,10 @@ __all__ = [
     "scores_digest",
     "DrillMismatch",
     "DrillReport",
+    "UpdateDrillReport",
     "ensure_warm",
     "run_drill",
+    "run_update_drill",
     "seeded_requests",
     "verify_offline",
     "request",

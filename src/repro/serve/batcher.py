@@ -144,6 +144,9 @@ class QueryResult:
     batch_size: int
     #: admission -> response latency in seconds.
     latency: float
+    #: graph epoch the batch executed at (DESIGN 4i); in-flight
+    #: queries finish at the pre-update epoch, never a mixed one.
+    epoch: int = 0
 
     @property
     def digest(self) -> str:

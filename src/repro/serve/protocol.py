@@ -3,17 +3,21 @@
 One connection carries newline-delimited JSON requests::
 
     {"op": "query", "sources": [3, 17], "id": 0}
+    {"op": "update", "inserts": [[0, 5]], "deletes": [[2, 3]]}
     {"op": "health"}
     {"op": "report"}
     {"op": "stop"}
 
 and each gets one JSON reply line.  Query replies carry the top-K
-``[node, score]`` pairs plus the sha256 ``digest`` of the full response
-vector — the bit-identity witness a client (or the CI drill) can
-compare against an offline run without shipping the vector.  Failures
-reply ``{"ok": false, "error": "<TypeName>", "code": <exit code>}``
-with the server's typed error, so admission sheds and deadline expiry
-stay distinguishable across the wire.
+``[node, score]`` pairs, the graph ``epoch`` the batch executed at,
+plus the sha256 ``digest`` of the full response vector — the
+bit-identity witness a client (or the CI drill) can compare against an
+offline run without shipping the vector.  ``update`` replies carry the
+post-commit epoch and whether the incremental patch fell back to the
+from-scratch rebuild.  Failures reply ``{"ok": false, "error":
+"<TypeName>", "code": <exit code>}`` with the server's typed error, so
+admission sheds, deadline expiry and rejected updates stay
+distinguishable across the wire.
 """
 
 from __future__ import annotations
@@ -26,6 +30,7 @@ from typing import Any
 import numpy as np
 
 from ..errors import ReproError, ServeError, exit_code_for
+from ..graphs.updates import UpdateBatch
 from .batcher import QueryResult
 from .server import MixenServer
 
@@ -47,6 +52,7 @@ def _query_reply(result: QueryResult, top: int) -> dict:
         "batch_id": result.batch_id,
         "batch_size": result.batch_size,
         "latency": result.latency,
+        "epoch": result.epoch,
         "top": _top_pairs(result.scores, top),
     }
 
@@ -83,6 +89,13 @@ async def _handle_message(
         except Exception as exc:  # typed errors cross the wire
             return _error_reply(exc)
         return _query_reply(result, top)
+    if op == "update":
+        try:
+            batch = UpdateBatch.from_json(message)
+            summary = await server.submit_update(batch)
+        except Exception as exc:  # typed errors cross the wire
+            return _error_reply(exc)
+        return {"ok": True, **summary}
     if op == "health":
         return {"ok": True, "health": server.health()}
     if op == "report":

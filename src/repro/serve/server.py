@@ -22,7 +22,22 @@ Robustness model (the PR 3–7 resilience machinery, held continuously):
 * **circuit breaker** — ``breaker_threshold`` consecutive troubled
   batches pin the server at the last rung that completed, surfaced in
   :meth:`MixenServer.health`; until then every batch optimistically
-  retries the configured kernel.
+  retries the configured kernel;
+* **update stream** (DESIGN 4i) — :meth:`MixenServer.submit_update`
+  rides the same admission queue as queries, so an
+  :class:`~repro.graphs.updates.UpdateBatch` lands *between* batching
+  windows: an update arriving mid-window closes the window, the
+  collected queries execute at the pre-update epoch, and only then does
+  the fault-probed :func:`~repro.core.epoch.checked_apply` commit the
+  batch, advance the epoch and swap in an engine rebooted (through the
+  epoch-keyed layout store when one is attached) on the updated graph.
+  In-flight queries are never dropped and every
+  :class:`~repro.serve.batcher.QueryResult` carries the epoch it was
+  computed at.  A crashed apply (``crash:site=update_apply``) is
+  transactional — the serving graph, engine and epoch are untouched —
+  and a corrupted patch (``corrupt:site=update_patch``) falls back to
+  the from-scratch rebuild, so a faulted update can never change a
+  served score.
 
 Everything observable lands in a structured :class:`ServeReport`
 (admission counters, per-batch occupancy/rung/seconds, per-request
@@ -34,14 +49,18 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
 from ..errors import (
     DeadlineExpired,
+    ReproError,
     ServeError,
     ServerOverload,
+    UpdateError,
 )
+from ..graphs.updates import UpdateBatch
 from ..parallel.threadpool import call_with_deadline
 from ..resilience import faults
 from ..resilience.executor import DEGRADATION_CHAIN, next_backend
@@ -54,7 +73,7 @@ from .batcher import (
     normalize_sources,
     split_expired,
 )
-from .store import BootReport
+from .store import BootReport, LayoutStore, boot_engine
 
 
 @dataclass(frozen=True)
@@ -138,6 +157,15 @@ class ServeReport:
     downgrades: list[DowngradeEvent] = field(default_factory=list)
     latencies: list[float] = field(default_factory=list)
     pinned_kernel: str | None = None
+    #: update batches committed (each advances the epoch by one).
+    updates_applied: int = 0
+    #: updates whose incremental patch failed verification and landed
+    #: through the from-scratch rebuild path instead.
+    update_fallbacks: int = 0
+    #: updates rejected with a typed error (state untouched).
+    update_errors: int = 0
+    #: graph epoch at the end of the session.
+    epoch: int = 0
 
     def occupancy(self) -> float:
         """Mean requests per executed batch (the amortization win)."""
@@ -174,6 +202,10 @@ class ServeReport:
             "pinned_kernel": self.pinned_kernel,
             "latency_p50": self.latency_quantile(0.5),
             "latency_p95": self.latency_quantile(0.95),
+            "updates_applied": self.updates_applied,
+            "update_fallbacks": self.update_fallbacks,
+            "update_errors": self.update_errors,
+            "epoch": self.epoch,
         }
 
     def render(self) -> str:
@@ -199,6 +231,13 @@ class ServeReport:
                 f"breaker {self.pinned_kernel or 'open'}"
             ),
         ]
+        if self.updates_applied or self.update_errors:
+            lines.append(
+                f"  updates: {self.updates_applied} applied "
+                f"({self.update_fallbacks} fell back to rebuild), "
+                f"{self.update_errors} rejected, "
+                f"epoch {self.epoch}"
+            )
         if self.latencies:
             lines.append(
                 f"  latency: p50 {self.latency_quantile(0.5) * 1e3:.1f}ms "
@@ -207,12 +246,25 @@ class ServeReport:
         return "\n".join(lines)
 
 
+@dataclass
+class _UpdateTicket:
+    """One queued update batch waiting for the current window to end."""
+
+    batch: UpdateBatch
+    #: resolved with an apply summary dict (or a typed UpdateError).
+    future: Any = field(default=None, repr=False)
+
+
 class MixenServer:
     """Batched PPR serving over one prepared engine.
 
     One consumer task drains the admission queue; batches execute on a
     worker thread (``asyncio.to_thread``) so the event loop keeps
-    admitting and shedding while a propagation runs.
+    admitting and shedding while a propagation runs.  Update batches
+    ride the same queue (see the module docstring): they commit between
+    batching windows, advance :attr:`epoch`, and swap the serving
+    engine for one rebooted on the updated graph — through the
+    epoch-keyed ``store`` when one is attached.
     """
 
     def __init__(
@@ -221,12 +273,17 @@ class MixenServer:
         *,
         config: ServeConfig | None = None,
         boot: BootReport | None = None,
+        store: LayoutStore | None = None,
     ) -> None:
         if not getattr(engine, "prepared", False):
             raise ServeError("MixenServer needs a prepared engine")
         self.engine = engine
+        self.graph = engine.graph
+        self.store = store
+        self.epoch = 0 if boot is None else int(boot.epoch)
         self.config = config or ServeConfig()
         self.report = ServeReport()
+        self.report.epoch = self.epoch
         if boot is not None:
             self.report.fingerprint = boot.fingerprint
             self.report.store_hit = boot.hit
@@ -322,6 +379,27 @@ class MixenServer:
         self._queue.put_nowait(request)
         return await request.future
 
+    async def submit_update(self, batch: UpdateBatch) -> dict:
+        """Enqueue one edge-update batch and await its commit summary.
+
+        The batch applies between batching windows — queries already
+        collected finish at the pre-update epoch first.  Updates are
+        control-plane traffic: they bypass overload shedding and the
+        per-request deadline.  Raises :class:`UpdateError` (typed, exit
+        code 12) when the apply fails; a failed apply leaves the
+        serving graph, engine and epoch untouched.
+        """
+        if self._queue is None:
+            raise ServeError("server is not running")
+        if not isinstance(batch, UpdateBatch):
+            raise UpdateError(
+                f"submit_update needs an UpdateBatch, got {type(batch)!r}"
+            )
+        loop = asyncio.get_running_loop()
+        ticket = _UpdateTicket(batch=batch, future=loop.create_future())
+        self._queue.put_nowait(ticket)
+        return await ticket.future
+
     # ------------------------------------------------------------------ #
     # health
     # ------------------------------------------------------------------ #
@@ -329,6 +407,8 @@ class MixenServer:
         """Readiness + breaker state for probes."""
         return {
             "ready": self.running,
+            "epoch": self.epoch,
+            "updates_applied": self.report.updates_applied,
             "store_hit": self.report.store_hit,
             "queue_depth": (
                 self._queue.qsize() if self._queue is not None else 0
@@ -356,7 +436,12 @@ class MixenServer:
             first = await self._queue.get()
             if first is self._stop:
                 break
+            if isinstance(first, _UpdateTicket):
+                # no window open: the update commits immediately
+                await self._apply_update(first)
+                continue
             batch = [first]
+            pending_update: _UpdateTicket | None = None
             window_end = loop.time() + self.config.window
             while len(batch) < self.config.max_batch:
                 remaining = window_end - loop.time()
@@ -371,8 +456,85 @@ class MixenServer:
                 if item is self._stop:
                     stopping = True
                     break
+                if isinstance(item, _UpdateTicket):
+                    # close the window: the collected queries execute
+                    # at the pre-update epoch, then the update commits
+                    pending_update = item
+                    break
                 batch.append(item)
             await self._execute(batch, loop)
+            if pending_update is not None:
+                await self._apply_update(pending_update)
+
+    async def _apply_update(self, ticket: _UpdateTicket) -> None:
+        """Commit one update batch and swap in an engine for the new
+        epoch.  Runs off-loop; the swap itself is atomic from the batch
+        loop's perspective (no batch executes concurrently), and any
+        failure leaves graph/engine/epoch exactly as they were."""
+        try:
+            graph, engine, fell_back = await asyncio.to_thread(
+                self._rebuild_for, ticket.batch
+            )
+        except ReproError as exc:
+            self.report.update_errors += 1
+            ticket.future.set_exception(exc)
+            return
+        except Exception as exc:  # noqa: BLE001 - typed surface
+            self.report.update_errors += 1
+            ticket.future.set_exception(
+                UpdateError(f"update apply failed: {exc!r}")
+            )
+            return
+        self.graph = graph
+        self.engine = engine
+        self.epoch += 1
+        self.report.updates_applied += 1
+        self.report.epoch = self.epoch
+        if fell_back:
+            self.report.update_fallbacks += 1
+        ticket.future.set_result(
+            {
+                "epoch": self.epoch,
+                "fell_back": fell_back,
+                "inserts": ticket.batch.num_inserts,
+                "deletes": ticket.batch.num_deletes,
+            }
+        )
+
+    def _rebuild_for(self, batch: UpdateBatch):
+        """Worker-thread body of one update: fault-probed patch, then a
+        prepared engine on the updated graph at the next epoch."""
+        from ..core.epoch import checked_apply
+
+        new_graph, fell_back = checked_apply(self.graph, batch)
+        next_epoch = self.epoch + 1
+        source = self.engine
+        options = dict(
+            block_nodes=source.block_nodes,
+            balance=source.balance,
+            max_load_factor=source.max_load_factor,
+            hub_reorder=source.hub_reorder,
+            cache_step=source.cache_step,
+            max_workers=source.max_workers,
+        )
+        if self.store is not None:
+            engine, _ = boot_engine(
+                new_graph,
+                self.store,
+                kernel=self._base_kernel,
+                epoch=next_epoch,
+                **options,
+            )
+        else:
+            from ..core.engine import MixenEngine
+            from .store import _stamp_epoch
+
+            engine = MixenEngine(
+                new_graph, kernel=self._base_kernel, **options
+            )
+            engine.prepare()
+            _stamp_epoch(engine, next_epoch)
+        return new_graph, engine, fell_back
 
     async def _execute(self, batch: list, loop) -> None:
         ready, expired = split_expired(batch, loop.time())
@@ -390,6 +552,7 @@ class MixenServer:
             return
         batch_id = self._next_batch
         self._next_batch += 1
+        epoch = self.epoch
         t0 = time.perf_counter()
         try:
             result, rung, downgrades = await asyncio.to_thread(
@@ -442,6 +605,7 @@ class MixenServer:
                     batch_id=batch_id,
                     batch_size=len(ready),
                     latency=latency,
+                    epoch=epoch,
                 )
             )
 

@@ -110,8 +110,11 @@ class BootReport:
     #: dropped (the boot then rebuilt and re-committed).
     rebuilt: bool
     seconds: float
-    #: why the store missed ("absent", "corrupt artifact ...", ...).
+    #: why the store missed ("absent", "corrupt artifact ...",
+    #: "stale epoch ...").
     miss_reason: str | None = None
+    #: graph epoch the booted layout serves (DESIGN 4i).
+    epoch: int = 0
 
 
 class LayoutStore:
@@ -325,6 +328,17 @@ class LayoutStore:
             except OSError:
                 continue
             return
+
+
+def _stamp_epoch(engine, epoch: int) -> None:
+    """Re-key the engine's layout certificate to the served epoch so
+    its content-addressed id vouches for exactly this edge-set
+    version (mirrors ``EpochEngine._stamp_certificate``)."""
+    from dataclasses import replace
+
+    cert = getattr(engine, "certificate", None)
+    if cert is not None:
+        engine.certificate = replace(cert, epoch=int(epoch))
 
 
 def _file_digest(path: Path) -> str:
@@ -588,11 +602,18 @@ def boot_engine(
     hub_reorder: bool = True,
     cache_step: bool = True,
     edge_values=None,
+    epoch: int = 0,
 ):
     """Boot a :class:`MixenEngine` through ``store``: warm when the
     fingerprinted layout is committed and verifies, cold (build then
     commit) otherwise.  Never raises on store trouble — a corrupt or
     crashing store read degrades to the cold path.
+
+    ``epoch`` keys the entry to one version of the mutable edge set
+    (DESIGN 4i): a committed layout whose recorded epoch differs from
+    the requested one is *stale* — it is dropped and rebuilt even if
+    its adjacency fingerprint matches, so an update stream can never
+    resurrect a pre-update layout.
 
     Returns ``(engine, BootReport)``.
     """
@@ -629,18 +650,34 @@ def boot_engine(
         miss_reason = f"store read failed: {exc}"
     if loaded is not None:
         arrays, meta = loaded
-        install_layout(engine, arrays, meta)
-        seconds = time.perf_counter() - t0
-        engine.prepare_stats = PrepareStats(
-            seconds, {"store-load": seconds}
-        )
-        engine.prepared = True
-        return engine, BootReport(fingerprint, True, False, seconds)
+        saved_epoch = int(meta.get("epoch", 0))
+        if saved_epoch != int(epoch):
+            # stale-epoch artifact: same adjacency fingerprint but a
+            # different edge-set version — reject and rebuild
+            miss_reason = (
+                f"stale epoch {saved_epoch} != {int(epoch)}"
+            )
+            store.drop(fingerprint)
+            loaded = None
+        else:
+            install_layout(engine, arrays, meta)
+            _stamp_epoch(engine, epoch)
+            seconds = time.perf_counter() - t0
+            engine.prepare_stats = PrepareStats(
+                seconds, {"store-load": seconds}
+            )
+            engine.prepared = True
+            return engine, BootReport(
+                fingerprint, True, False, seconds, epoch=int(epoch)
+            )
     rebuilt = miss_reason is not None and miss_reason != "absent"
     engine.prepare()
+    _stamp_epoch(engine, epoch)
     arrays, meta = pack_engine(engine)
+    meta["epoch"] = int(epoch)
     store.put(fingerprint, arrays, meta)
     seconds = time.perf_counter() - t0
     return engine, BootReport(
-        fingerprint, False, rebuilt, seconds, miss_reason
+        fingerprint, False, rebuilt, seconds, miss_reason,
+        epoch=int(epoch),
     )
