@@ -13,10 +13,19 @@ predicts the process-pool speedup from the scatter-task load vector, and
 is recorded next to the measured ``parallel-mp`` vs ``parallel`` ratio so
 regressions in either the model or the pool show up in one place.
 
+``--tuning`` switches to the auto-tuner comparison: every committed
+proxy graph is tuned (:func:`repro.tuning.tune_graph`) and the modeled
+per-iteration cycles of the tuned choice are recorded next to the
+untuned default (reorder ``none`` at ``block_nodes=512``) in
+``bench_results/tuning.json``.  The run fails if any graph tunes
+modeled-slower than its default — the bench-guard invariant.
+
 Run from the repo root::
 
     PYTHONPATH=src python benchmarks/bench_kernels.py
     PYTHONPATH=src python benchmarks/bench_kernels.py --quick  # CI smoke
+    PYTHONPATH=src python benchmarks/bench_kernels.py --tuning \
+        --out bench_results/tuning.json
 """
 
 from __future__ import annotations
@@ -71,11 +80,28 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: affinity-aware default_workers())",
     )
     parser.add_argument(
-        "--out", default=str(ROOT / "bench_results" / "kernels.json")
+        "--out", default=None,
+        help="output JSON path (default bench_results/kernels.json, "
+        "or bench_results/tuning.json under --tuning)",
     )
     parser.add_argument(
         "--quick", action="store_true",
-        help="tiny smoke configuration for CI (scale 10, 2 repeats)",
+        help="tiny smoke configuration for CI (scale 10, 2 repeats; "
+        "proxy scale 0.25 under --tuning)",
+    )
+    tuning = parser.add_argument_group("tuning comparison")
+    tuning.add_argument(
+        "--tuning", action="store_true",
+        help="compare the auto-tuned config against the untuned "
+        "default on the committed proxy graphs (modeled cycles)",
+    )
+    tuning.add_argument(
+        "--graphs", metavar="LIST", default=None,
+        help="comma-separated proxy graphs to tune (default: all)",
+    )
+    tuning.add_argument(
+        "--proxy-scale", type=float, default=1.0,
+        help="proxy-graph scale for --tuning (default 1.0)",
     )
     return parser
 
@@ -184,6 +210,74 @@ def run_cases(args) -> dict:
     return results
 
 
+def run_tuning(args) -> dict:
+    """Tune every proxy graph and compare against the untuned default.
+
+    Raises :class:`RuntimeError` when any graph tunes modeled-slower
+    than the default — the same invariant the CI bench-guard asserts.
+    """
+    from repro.graphs.datasets import DATASET_NAMES, load_dataset
+    from repro.tuning import (
+        CANDIDATE_BLOCK_NODES,
+        DEFAULT_BLOCK_NODES,
+        DEFAULT_REORDER,
+        tune_graph,
+    )
+
+    names = (
+        [n.strip() for n in args.graphs.split(",") if n.strip()]
+        if args.graphs
+        else list(DATASET_NAMES)
+    )
+    results = {
+        "scale": args.proxy_scale,
+        "default": {
+            "reorder": DEFAULT_REORDER,
+            "block_nodes": DEFAULT_BLOCK_NODES,
+        },
+        "block_sweep": list(CANDIDATE_BLOCK_NODES),
+        "graphs": {},
+    }
+    for name in names:
+        graph = load_dataset(name, scale=args.proxy_scale)
+        config = tune_graph(graph, name=name)
+        if config.tuned_cycles > config.default_cycles:
+            raise RuntimeError(
+                f"tuning guard: {name} tuned to "
+                f"{config.reorder}:{config.block_nodes} is modeled "
+                f"SLOWER than the default ({config.tuned_cycles:.0f} "
+                f"> {config.default_cycles:.0f} cycles)"
+            )
+        results["graphs"][name] = {
+            "reorder": config.reorder,
+            "block_nodes": config.block_nodes,
+            "tuned_cycles": config.tuned_cycles,
+            "default_cycles": config.default_cycles,
+            "gain": config.gain,
+            "fingerprint": config.fingerprint,
+            "blob_id": config.blob_id,
+        }
+    return results
+
+
+def render_tuning(results: dict) -> str:
+    lines = [
+        "auto-tuner vs default (modeled cycles/iter, scale "
+        f"{results['scale']:g}, default "
+        f"{results['default']['reorder']}:"
+        f"{results['default']['block_nodes']})"
+    ]
+    for name, data in results["graphs"].items():
+        lines.append(
+            f"  {name:<8} {data['reorder']:>10}:"
+            f"{data['block_nodes']:<5} "
+            f"tuned {data['tuned_cycles']:>12.0f}  "
+            f"default {data['default_cycles']:>12.0f}  "
+            f"gain {data['gain']:5.2f}x"
+        )
+    return "\n".join(lines)
+
+
 def render(results: dict) -> str:
     lines = [
         "kernel microbench on rmat(scale={scale}, ef={edge_factor}): "
@@ -224,9 +318,16 @@ def main(argv=None) -> int:
         args.scale = min(args.scale, 10)
         args.edge_factor = min(args.edge_factor, 4)
         args.repeats = min(args.repeats, 2)
-    results = run_cases(args)
-    print(render(results))
-    out = Path(args.out)
+        args.proxy_scale = min(args.proxy_scale, 0.25)
+    if args.tuning:
+        results = run_tuning(args)
+        print(render_tuning(results))
+        default_out = ROOT / "bench_results" / "tuning.json"
+    else:
+        results = run_cases(args)
+        print(render(results))
+        default_out = ROOT / "bench_results" / "kernels.json"
+    out = Path(args.out) if args.out else default_out
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(results, indent=2) + "\n")
     print(f"[saved to {out}]")
@@ -252,6 +353,20 @@ def test_propagate_kernel(benchmark, bench_layout, kernel):
     layout, tasks = bench_layout
     x = np.random.default_rng(0).random(layout.num_nodes)
     benchmark(spmv, layout, x, kernel=kernel, scatter_tasks=tasks)
+
+
+def test_report_tuning(tmp_path):
+    out = tmp_path / "tuning.json"
+    assert main(
+        ["--tuning", "--quick", "--graphs", "wiki,road",
+         "--out", str(out)]
+    ) == 0
+    data = json.loads(out.read_text())
+    assert set(data["graphs"]) == {"wiki", "road"}
+    for entry in data["graphs"].values():
+        # the bench-guard invariant: tuned never modeled-slower
+        assert entry["tuned_cycles"] <= entry["default_cycles"]
+        assert entry["gain"] >= 1.0
 
 
 def test_report_kernels(tmp_path):

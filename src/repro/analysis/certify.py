@@ -28,9 +28,12 @@ module unifies them behind one **certificate** abstraction:
 
 The module also hosts the static **registry exhaustiveness checks** —
 the ``--fault-inject`` grammar against :mod:`repro.resilience.faults`,
-the typed exit codes against the CLI docs, and the ``StateSpec`` bundle
-names against the checkpoint v2 schema — plus :func:`run_prove`, the
-driver behind ``python -m repro prove`` and ``analyze --certify``.
+the typed exit codes against the CLI docs, the ``StateSpec`` bundle
+names against the checkpoint v2 schema, and the
+:data:`~repro.graphs.reorder.REORDERINGS` registry against adversarial
+probe graphs and the auto-tuner's candidate space — plus
+:func:`run_prove`, the driver behind ``python -m repro prove`` and
+``analyze --certify``.
 """
 
 from __future__ import annotations
@@ -566,14 +569,116 @@ def check_state_registry(
     )
 
 
+def _reorder_probe_graphs():
+    """Small adversarial graphs every reordering must survive: empty,
+    all-isolated, multi-component, and a single supernode."""
+    from ..graphs.graph import Graph
+
+    empty = Graph.from_edges(0, [], [], name="probe-empty")
+    isolated = Graph.from_edges(5, [], [], name="probe-isolated")
+    components = Graph.from_edges(
+        6, [0, 1, 3, 4], [1, 0, 4, 5], name="probe-components"
+    )
+    supernode = Graph.from_edges(
+        8,
+        [0, 0, 0, 0, 0, 0, 0],
+        [1, 2, 3, 4, 5, 6, 7],
+        name="probe-supernode",
+    )
+    return (empty, isolated, components, supernode)
+
+
+def check_reorder_registry() -> Check:
+    """Every registered reordering is well-formed and documented.
+
+    Requires: every :data:`~repro.graphs.reorder.REORDERINGS` key is a
+    Python identifier (it becomes a CLI choice and a tuning-blob
+    field), every strategy returns a valid permutation on each
+    adversarial probe graph (checked through
+    :func:`~repro.analysis.contracts.check_permutation`), every key is
+    mentioned in the module docstring of ``graphs/reorder.py``, and the
+    tuner's candidate space covers the whole registry with the untuned
+    default among the block-size candidates.
+    """
+    from ..errors import ReproError
+    from ..graphs import reorder as reorder_mod
+    from ..graphs.reorder import REORDERINGS
+    from ..tuning import (
+        CANDIDATE_BLOCK_NODES,
+        DEFAULT_BLOCK_NODES,
+        DEFAULT_REORDER,
+        candidate_orderings,
+    )
+    from .contracts import check_permutation
+
+    problems: list[str] = []
+    doc = reorder_mod.__doc__ or ""
+    probes = _reorder_probe_graphs()
+    for name in sorted(REORDERINGS):
+        if not name.isidentifier():
+            problems.append(
+                f"reordering name {name!r} is not an identifier"
+            )
+        if name not in doc:
+            problems.append(
+                f"reordering {name!r} undocumented in graphs/reorder.py"
+            )
+        strategy = REORDERINGS[name]
+        for probe in probes:
+            try:
+                perm = strategy(probe)
+            except ReproError as exc:
+                problems.append(
+                    f"{name} failed on {probe.name}: {exc}"
+                )
+                continue
+            verdict = check_permutation(
+                perm, name=f"{name} on {probe.name}"
+            )
+            if not verdict.passed:
+                problems.append(f"{verdict.name}: {verdict.detail}")
+            elif perm.size != probe.num_nodes:
+                problems.append(
+                    f"{name} on {probe.name}: permutation size "
+                    f"{perm.size} != {probe.num_nodes} nodes"
+                )
+    missing = set(REORDERINGS) - set(candidate_orderings())
+    if missing:
+        problems.append(
+            f"tuner sweep misses registered reordering(s) "
+            f"{sorted(missing)}"
+        )
+    if DEFAULT_REORDER in REORDERINGS:
+        problems.append(
+            f"the identity sentinel {DEFAULT_REORDER!r} shadows a "
+            "registered reordering"
+        )
+    if DEFAULT_BLOCK_NODES not in CANDIDATE_BLOCK_NODES:
+        problems.append(
+            f"default block_nodes {DEFAULT_BLOCK_NODES} missing from "
+            f"the candidate sweep {CANDIDATE_BLOCK_NODES}"
+        )
+    return Check(
+        "registry:reorderings",
+        not problems,
+        "; ".join(problems)
+        if problems
+        else (
+            f"{len(REORDERINGS)} reorderings valid on "
+            f"{len(probes)} probe graphs, documented and swept"
+        ),
+    )
+
+
 def registry_checks(
     root: str | os.PathLike | None = None,
 ) -> list[Check]:
-    """All three registry exhaustiveness checks."""
+    """All four registry exhaustiveness checks."""
     return [
         check_fault_registry(root),
         check_exit_codes(),
         check_state_registry(root),
+        check_reorder_registry(),
     ]
 
 
@@ -732,7 +837,7 @@ def run_prove(
 ) -> ProveReport:
     """The ``python -m repro prove`` driver.
 
-    Runs the whole-tree numeric-safety dataflow pass, the three registry
+    Runs the whole-tree numeric-safety dataflow pass, the four registry
     exhaustiveness checks, and the structure x backend certification
     matrix; verifies (or with ``update=True`` rewrites) the certificate
     ledger.  The caller decides whether a failed report raises

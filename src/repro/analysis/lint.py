@@ -6,7 +6,7 @@ a stable ID, and any finding can be suppressed in place with a trailing
 rule on that line):
 
 * :class:`PerEdgeLoopRule` (REP001) — no Python-level per-edge loops in
-  ``core/``/``frameworks/`` hot paths;
+  ``core/``/``frameworks/`` hot paths or ``graphs/reorder.py``;
 * :class:`ImplicitDtypeRule` (REP002) — array coercions in the kernel
   modules must pin an explicit ``dtype``;
 * :class:`SetToArrayRule` (REP003) — no ``set`` iteration feeding array
@@ -52,11 +52,16 @@ EDGE_ARRAY_NAMES = frozenset(
         "dst_gather",
         "gather_perm",
         "num_edges",
+        "frontier",
     }
 )
 
 #: path segments marking engine hot paths (REP001 scope).
 HOT_PATH_SEGMENTS = frozenset({"core", "frameworks"})
+
+#: O(n + m) preprocessing files held to the same no-per-edge-loop bar
+#: (REP001 scope extension): reorderings run over every edge too.
+REORDER_FILES = frozenset({"reorder.py"})
 
 #: kernel module file names (REP002 scope, inside a hot-path segment).
 KERNEL_FILES = frozenset({"kernels.py", "scga.py", "bins.py"})
@@ -154,19 +159,24 @@ class Rule:
 
 class PerEdgeLoopRule(Rule):
     """REP001: no Python per-edge loops in ``core/``/``frameworks/`` hot
-    paths.
+    paths (nor in ``graphs/reorder.py``, whose strategies also traverse
+    every edge).
 
     A ``for`` statement (or comprehension) iterating over an edge array
-    (``indices``, ``src_scatter``, ``gather_perm``, ...) or over
-    ``range(num_edges)`` executes interpreter bytecode once per edge —
-    O(m) Python overhead on paths the kernels keep vectorized.  Stream
-    the edges through NumPy instead, or loop per *block* / per *task*.
+    (``indices``, ``src_scatter``, ``gather_perm``, ``frontier``, ...)
+    or over ``range(num_edges)`` executes interpreter bytecode once per
+    edge — O(m) Python overhead on paths the kernels keep vectorized.
+    Stream the edges through NumPy instead, or loop per *block* / per
+    *task*.
     """
 
     id = "REP001"
 
     def applies_to(self, scope: tuple) -> bool:
-        return bool(HOT_PATH_SEGMENTS.intersection(scope[:-1]))
+        return (
+            bool(HOT_PATH_SEGMENTS.intersection(scope[:-1]))
+            or scope[-1] in REORDER_FILES
+        )
 
     def check(
         self, tree: ast.AST, scope: tuple

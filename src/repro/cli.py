@@ -7,6 +7,13 @@ Commands:
   the coupled hub/authority workloads ``hits`` and ``salsa``);
 * ``bfs`` — run BFS and report reach/levels;
 * ``sssp`` — run single-source shortest paths and report reach/depth;
+* ``tune`` — auto-tune the reordering and ``block_nodes`` for one
+  graph by sweeping the registered reorderings crossed with a
+  block-size candidate list through the modeled Figure 6/7 cost
+  (:mod:`repro.tuning`), and write a versioned, graph-fingerprinted
+  config blob; ``run``/``bfs``/``sssp``/``serve`` consume it via
+  ``--tuned <path>`` (explicit ``--reorder``/``--block-nodes``/
+  ``--kernel`` flags always win);
 * ``analyze`` — check every layout contract and the race-freedom proof
   of a dataset's prepared structures (:mod:`repro.analysis`); with
   ``--certify``, also verify the structures' proof certificates against
@@ -45,8 +52,10 @@ Failures exit with structured codes (see
 other resilience faults 9, proof failures 10, serve-layer failures
 (overload sheds, expired deadlines, drill mismatches) 11, update
 failures (malformed or rejected update batches, stale-epoch
-artifacts) 12, any other :class:`~repro.errors.ReproError` 1 — each
-with a one-line ``error[Type]: ...`` summary on stderr.
+artifacts) 12, tuning failures (stale, mismatched or malformed
+tuned-config blobs) 13, any other
+:class:`~repro.errors.ReproError` 1 — each with a one-line
+``error[Type]: ...`` summary on stderr.
 """
 
 from __future__ import annotations
@@ -65,8 +74,9 @@ from .algorithms.salsa import salsa
 from .algorithms.sssp import sssp
 from .core.kernels import KERNEL_NAMES
 from .errors import ReproError, exit_code_for
+from .core.permutation import unpermute_values
 from .frameworks import engine_names, make_engine
-from .graphs import DATASET_NAMES, load_dataset
+from .graphs import DATASET_NAMES, REORDERINGS, load_dataset
 from .resilience import ResilienceContext, ResilienceOptions
 from .resilience.guards import GUARD_POLICIES
 
@@ -150,7 +160,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-iterations", type=int, default=None,
         help="round cap (default: the node count)",
     )
+    _add_tuning_options(sssp_cmd)
     _add_resilience_options(sssp_cmd)
+
+    tune_cmd = sub.add_parser(
+        "tune",
+        help="auto-tune reordering and block size from the machine "
+        "model, writing a graph-fingerprinted config blob",
+    )
+    tune_cmd.add_argument(
+        "--graph", choices=DATASET_NAMES, default="wiki"
+    )
+    tune_cmd.add_argument("--scale", type=float, default=1.0)
+    tune_cmd.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="blob path (default bench_results/tuned/<graph>.json)",
+    )
+    tune_cmd.add_argument(
+        "--orderings", metavar="LIST", default=None,
+        help="comma-separated reorderings to sweep (default: 'none' "
+        "plus the full registry)",
+    )
+    tune_cmd.add_argument(
+        "--block-sweep", metavar="LIST", default=None,
+        help="comma-separated block_nodes candidates "
+        "(default 128,256,512,1024,2048; 512 always participates)",
+    )
+    tune_cmd.add_argument(
+        "--json", action="store_true",
+        help="also print the blob JSON",
+    )
 
     analyze = sub.add_parser(
         "analyze",
@@ -218,7 +257,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--mp-workers", type=int, default=None, metavar="N",
         help="worker count for the parallel backends",
     )
-    serve.add_argument("--block-nodes", type=int, default=512)
+    serve.add_argument(
+        "--block-nodes", type=int, default=None, metavar="C",
+        help="nodes per block (default 512, or the tuned blob's "
+        "choice under --tuned)",
+    )
+    serve.add_argument(
+        "--tuned", metavar="PATH", default=None,
+        help="tuned-config blob written by 'repro tune'; supplies "
+        "block_nodes unless --block-nodes is given, and is recorded "
+        "in layout manifests so warm boots refuse a stale blob (the "
+        "blob's reordering is not applied — serving keeps original "
+        "node ids)",
+    )
     serve.add_argument(
         "--socket", metavar="PATH", default=None,
         help="listen on a unix socket instead of running the drill",
@@ -366,6 +417,28 @@ def _add_kernel_options(parser) -> None:
         "(default: the affinity-aware host width, capped by "
         "REPRO_MAX_WORKERS)",
     )
+    parser.add_argument(
+        "--block-nodes", type=int, default=None, metavar="C",
+        help="nodes per block for the blocked engines "
+        f"({', '.join(KERNEL_ENGINES)}; default 512)",
+    )
+    _add_tuning_options(parser)
+
+
+def _add_tuning_options(parser) -> None:
+    """Reordering/auto-tuning options shared by the graph commands."""
+    parser.add_argument(
+        "--reorder", choices=("none", *sorted(REORDERINGS)),
+        default=None,
+        help="relabel the graph with a registered reordering before "
+        "running; reported node ids stay in the original space",
+    )
+    parser.add_argument(
+        "--tuned", metavar="PATH", default=None,
+        help="apply a tuned-config blob written by 'repro tune' "
+        "(explicit --reorder/--block-nodes flags win; a blob minted "
+        "for a different graph or scale is refused)",
+    )
 
 
 def _add_resilience_options(parser) -> None:
@@ -456,6 +529,7 @@ def _engine_options(args) -> dict:
         ("validate", "--validate", False),
         ("race_check", "--race-check", False),
         ("mp_workers", "--mp-workers", None),
+        ("block_nodes", "--block-nodes", None),
     )
     for attr, flag, default in flags:
         value = getattr(args, attr, default)
@@ -471,11 +545,51 @@ def _engine_options(args) -> dict:
     return options
 
 
+def _apply_tuning(args, graph):
+    """Resolve ``--tuned``/``--reorder`` against ``graph``.
+
+    Explicit flags always win over the blob.  Returns ``(graph, perm,
+    block_nodes)``: the (possibly relabeled) graph, the applied
+    permutation (``None`` for the identity), and the blob's
+    ``block_nodes`` when the flag was not given explicitly (``None``
+    otherwise — an explicit flag already flows through
+    :func:`_engine_options`).
+    """
+    tuned = None
+    if getattr(args, "tuned", None):
+        from .tuning import load_tuned
+
+        tuned = load_tuned(args.tuned, graph=graph)
+    reorder = getattr(args, "reorder", None)
+    if reorder is None:
+        reorder = tuned.reorder if tuned is not None else "none"
+    block_nodes = None
+    if tuned is not None and getattr(args, "block_nodes", None) is None:
+        block_nodes = tuned.block_nodes
+    from .tuning import apply_reordering
+
+    graph, perm = apply_reordering(graph, reorder)
+    return graph, perm, block_nodes
+
+
+def _map_source(source: int, perm, num_nodes: int) -> int:
+    """Relabeled id of an original-space source node."""
+    if perm is None:
+        return source
+    if not 0 <= source < num_nodes:
+        raise ReproError(f"source {source} outside [0, {num_nodes})")
+    return int(perm[source])
+
+
 def _cmd_run(args, out) -> int:
     if args.algorithm in COUPLED_ALGORITHMS:
         return _cmd_run_coupled(args, out)
     graph = load_dataset(args.graph, scale=args.scale)
-    engine = make_engine(args.engine, graph, **_engine_options(args))
+    graph, perm, tuned_block = _apply_tuning(args, graph)
+    options = _engine_options(args)
+    if tuned_block is not None and args.engine in KERNEL_ENGINES:
+        options["block_nodes"] = tuned_block
+    engine = make_engine(args.engine, graph, **options)
     prep = engine.prepare()
     algorithm = ALGORITHMS[args.algorithm]()
     resilience = _resilience_context(args)
@@ -513,6 +627,9 @@ def _cmd_run(args, out) -> int:
     scores = result.scores
     if scores.ndim > 1:
         scores = np.linalg.norm(scores, axis=1)
+    if perm is not None:
+        # report in original node ids: out[v] = scores[perm[v]]
+        scores = unpermute_values(scores, perm)
     top = np.argsort(scores)[-args.top:][::-1]
     for v in top.tolist():
         print(f"  node {v}: {scores[v]:.6g}", file=out)
@@ -522,7 +639,11 @@ def _cmd_run(args, out) -> int:
 def _cmd_run_coupled(args, out) -> int:
     """``run`` for the driver-based hub/authority pair (HITS/SALSA)."""
     graph = load_dataset(args.graph, scale=args.scale)
-    engine = make_engine(args.engine, graph, **_engine_options(args))
+    graph, perm, tuned_block = _apply_tuning(args, graph)
+    options = _engine_options(args)
+    if tuned_block is not None and args.engine in KERNEL_ENGINES:
+        options["block_nodes"] = tuned_block
+    engine = make_engine(args.engine, graph, **options)
     prep = engine.prepare()
     runner = COUPLED_ALGORITHMS[args.algorithm]
     resilience = _resilience_context(args)
@@ -546,11 +667,15 @@ def _cmd_run_coupled(args, out) -> int:
     )
     if resilience is not None and resilience.report.num_events:
         print(resilience.report.render(), file=out)
-    top = np.argsort(result.authorities)[-args.top:][::-1]
+    authorities, hubs = result.authorities, result.hubs
+    if perm is not None:
+        authorities = unpermute_values(authorities, perm)
+        hubs = unpermute_values(hubs, perm)
+    top = np.argsort(authorities)[-args.top:][::-1]
     for v in top.tolist():
         print(
-            f"  node {v}: authority {result.authorities[v]:.6g}, "
-            f"hub {result.hubs[v]:.6g}",
+            f"  node {v}: authority {authorities[v]:.6g}, "
+            f"hub {hubs[v]:.6g}",
             file=out,
         )
     return 0
@@ -558,15 +683,24 @@ def _cmd_run_coupled(args, out) -> int:
 
 def _cmd_bfs(args, out) -> int:
     graph = load_dataset(args.graph, scale=args.scale)
-    engine = make_engine(args.engine, graph, **_engine_options(args))
-    engine.prepare()
+    # the reported source id lives in the original space, so pick the
+    # default before any relabeling
     source = (
         args.source if args.source is not None else default_source(graph)
     )
+    graph, perm, tuned_block = _apply_tuning(args, graph)
+    options = _engine_options(args)
+    if tuned_block is not None and args.engine in KERNEL_ENGINES:
+        options["block_nodes"] = tuned_block
+    engine = make_engine(args.engine, graph, **options)
+    engine.prepare()
     resilience = _resilience_context(args)
     start = time.perf_counter()
     try:
-        levels = engine.run_bfs(source, resilience=resilience)
+        levels = engine.run_bfs(
+            _map_source(source, perm, graph.num_nodes),
+            resilience=resilience,
+        )
     finally:
         if resilience is not None:
             resilience.close()
@@ -589,12 +723,13 @@ def _cmd_sssp(args, out) -> int:
     source = (
         args.source if args.source is not None else default_source(graph)
     )
+    graph, perm, _ = _apply_tuning(args, graph)
     resilience = _resilience_context(args)
     start = time.perf_counter()
     try:
         result = sssp(
             graph,
-            source,
+            _map_source(source, perm, graph.num_nodes),
             max_iterations=args.max_iterations,
             resilience=resilience,
         )
@@ -612,6 +747,56 @@ def _cmd_sssp(args, out) -> int:
     )
     if resilience is not None and resilience.report.num_events:
         print(resilience.report.render(), file=out)
+    return 0
+
+
+def _cmd_tune(args, out) -> int:
+    from .tuning import CANDIDATE_BLOCK_NODES, tune_graph
+
+    graph = load_dataset(args.graph, scale=args.scale)
+    orderings = None
+    if args.orderings:
+        orderings = tuple(
+            token.strip()
+            for token in args.orderings.split(",")
+            if token.strip()
+        )
+    block_sweep = CANDIDATE_BLOCK_NODES
+    if args.block_sweep:
+        try:
+            block_sweep = tuple(
+                int(token)
+                for token in args.block_sweep.split(",")
+                if token.strip()
+            )
+        except ValueError as exc:
+            raise ReproError(f"bad --block-sweep: {exc}") from exc
+    config = tune_graph(
+        graph,
+        name=args.graph,
+        orderings=orderings,
+        block_sweep=block_sweep,
+    )
+    path = config.save(
+        args.out or f"bench_results/tuned/{args.graph}.json"
+    )
+    print(
+        f"tuned {args.graph} (scale {args.scale:g}, "
+        f"{len(config.sweep)} candidates): reorder={config.reorder}, "
+        f"block_nodes={config.block_nodes} — modeled "
+        f"{config.tuned_cycles:.0f} vs default "
+        f"{config.default_cycles:.0f} cycles/iter "
+        f"({config.gain:.2f}x)",
+        file=out,
+    )
+    print(f"[saved to {path}] (blob {config.blob_id[:12]})", file=out)
+    if args.json:
+        import json
+
+        print(
+            json.dumps(config.to_json(), indent=2, sort_keys=True),
+            file=out,
+        )
     return 0
 
 
@@ -695,8 +880,18 @@ def _cmd_serve(args, out) -> int:
     graph = load_dataset(args.graph, scale=args.scale)
     store = LayoutStore(args.store_dir)
     config = _serve_config(args)
+    tuned = None
+    if args.tuned:
+        from .tuning import load_tuned
+
+        tuned = load_tuned(args.tuned, graph=graph)
+    block_nodes = args.block_nodes
+    if block_nodes is None:
+        block_nodes = tuned.block_nodes if tuned is not None else 512
     if args.socket:
-        return _cmd_serve_socket(args, graph, store, config, out)
+        return _cmd_serve_socket(
+            args, graph, store, config, block_nodes, tuned, out
+        )
     if args.update_drill:
         report = run_update_drill(
             graph,
@@ -707,10 +902,11 @@ def _cmd_serve(args, out) -> int:
             seed=args.seed,
             kernel=args.kernel,
             max_workers=args.mp_workers,
-            block_nodes=args.block_nodes,
+            block_nodes=block_nodes,
             config=config,
             fault_spec=args.fault_inject,
             verify=not args.no_verify,
+            tuned=tuned,
         )
         if args.json:
             import json
@@ -726,11 +922,12 @@ def _cmd_serve(args, out) -> int:
         seed=args.seed,
         kernel=args.kernel,
         max_workers=args.mp_workers,
-        block_nodes=args.block_nodes,
+        block_nodes=block_nodes,
         config=config,
         fault_spec=args.fault_inject,
         verify=not args.no_verify,
         expect_warm=args.expect_warm,
+        tuned=tuned,
     )
     if args.json:
         import json
@@ -741,7 +938,9 @@ def _cmd_serve(args, out) -> int:
     return 0
 
 
-def _cmd_serve_socket(args, graph, store, config, out) -> int:
+def _cmd_serve_socket(
+    args, graph, store, config, block_nodes, tuned, out
+) -> int:
     import asyncio
     import signal
 
@@ -756,7 +955,8 @@ def _cmd_serve_socket(args, graph, store, config, out) -> int:
             store,
             kernel=args.kernel,
             max_workers=args.mp_workers,
-            block_nodes=args.block_nodes,
+            block_nodes=block_nodes,
+            tuned=tuned,
         )
         if args.expect_warm:
             ensure_warm(engine, boot)
@@ -913,6 +1113,8 @@ def main(argv=None, out=None) -> int:
             return _cmd_bfs(args, out)
         if args.command == "sssp":
             return _cmd_sssp(args, out)
+        if args.command == "tune":
+            return _cmd_tune(args, out)
         if args.command == "analyze":
             return _cmd_analyze(args, out)
         if args.command == "prove":

@@ -248,6 +248,28 @@ class StaleEpochError(UpdateError):
         self.current_epoch = current_epoch
 
 
+class TuningError(ReproError):
+    """A tuned-config blob is unusable: unknown schema version, a graph
+    fingerprint that does not match the graph it is offered for, or a
+    choice outside the reordering registry.
+
+    Stale blobs are refused — never silently applied — exactly like
+    stale-epoch artifacts; re-run ``python -m repro tune`` to mint a
+    fresh blob for the current graph.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        blob_fingerprint: str | None = None,
+        graph_fingerprint: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.blob_fingerprint = blob_fingerprint
+        self.graph_fingerprint = graph_fingerprint
+
+
 #: structured CLI failure semantics: one distinct nonzero exit code per
 #: error family (most specific class wins; plain ReproError maps to 1,
 #: argparse keeps its conventional 2).
@@ -262,6 +284,7 @@ _EXIT_CODE_TABLE: tuple[tuple[type, int], ...] = (
     (ResilienceError, 9),
     (ServeError, 11),
     (UpdateError, 12),
+    (TuningError, 13),
 )
 
 

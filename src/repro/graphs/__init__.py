@@ -38,8 +38,11 @@ from .io import (
 from .reorder import (
     REORDERINGS,
     bfs_order,
+    dbg_order,
     degree_sort,
     hub_cluster_order,
+    hub_cluster_total_order,
+    hub_sort_order,
     random_order,
 )
 from .updates import (
@@ -86,8 +89,11 @@ __all__ = [
     "load_ligra_adj",
     "REORDERINGS",
     "bfs_order",
+    "dbg_order",
     "degree_sort",
     "hub_cluster_order",
+    "hub_cluster_total_order",
+    "hub_sort_order",
     "powerlaw",
     "random_batches",
     "random_order",

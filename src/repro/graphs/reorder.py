@@ -2,20 +2,33 @@
 
 The paper's filtering step is a *connectivity-aware* reordering; the
 literature it builds on (the authors' own TPDS'21 reordering work, and
-degree-sort baselines in cache-blocking papers) offers simpler
-alternatives.  This module implements those so the benchmarks can compare
-Mixen's filter against them:
+the lightweight-reordering zoo of "A Closer Look at Lightweight Graph
+Reordering", IISWC'18) offers simpler alternatives.  This module
+implements those so the benchmarks and the auto-tuner
+(:mod:`repro.tuning`) can compare Mixen's filter against them:
 
-* :func:`degree_sort` — nodes by descending in- (or out-) degree;
-* :func:`random_order` — a seeded shuffle (the locality-destroying
-  baseline);
-* :func:`bfs_order` — visit order of a BFS from a given/high-degree
-  source (a cheap locality-friendly ordering);
-* :func:`hub_cluster_order` — hubs first, the rest in original order
-  (Mixen's step 2 alone, without the class grouping).
+* :func:`degree_sort` (``degree``) — nodes by descending in- (or
+  out-) degree;
+* :func:`random_order` (``random``) — a seeded shuffle (the
+  locality-destroying baseline);
+* :func:`bfs_order` (``bfs``) — visit order of a BFS from a
+  given/high-degree source (a cheap locality-friendly ordering);
+* :func:`hub_cluster_order` (``hubs``) — hubs first, the rest in
+  original order (Mixen's step 2 alone, without the class grouping);
+* :func:`dbg_order` (``dbg``) — Degree-Based Grouping: coarse
+  power-of-two degree bins, hottest bin first, original order within
+  a bin;
+* :func:`hub_sort_order` (``hubsort``) — HubSort: hot nodes (degree
+  above average) sorted by descending degree up front, cold nodes
+  after in original order;
+* :func:`hub_cluster_total_order` (``hubcluster``) — HubCluster with
+  the Closer Look paper's total-degree threshold (hot/cold split
+  only, no sort).
 
 All return a permutation ``perm`` with the :mod:`repro.core.permutation`
-convention: node ``v`` receives new id ``perm[v]``.
+convention: node ``v`` receives new id ``perm[v]``.  The registry
+:data:`REORDERINGS` maps strategy names to callables and is pinned by
+the registry exhaustiveness checks (``python -m repro prove``).
 """
 
 from __future__ import annotations
@@ -24,30 +37,67 @@ import numpy as np
 
 from ..errors import GraphFormatError
 from .classify import classify_nodes
+from .csr import _slices_to_indices
 from .graph import Graph
 
 
 def _order_to_perm(order: np.ndarray, n: int) -> np.ndarray:
-    """Convert a visit order (new id -> old id) into old id -> new id."""
-    perm = np.empty(n, dtype=np.int64)
+    """Convert a visit order (new id -> old id) into old id -> new id.
+
+    A visit order with duplicate, missing or out-of-range ids is not a
+    permutation — scattering it into a buffer would leave garbage slots
+    that flow straight into layouts, so it is rejected here.
+    """
+    order = np.asarray(order, dtype=np.int64)
+    if order.ndim != 1 or order.size != n:
+        raise GraphFormatError(
+            f"visit order has {order.size} entries for {n} nodes"
+        )
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    if order.min() < 0 or order.max() >= n:
+        raise GraphFormatError(
+            f"visit order references node ids outside [0, {n})"
+        )
+    perm = np.full(n, -1, dtype=np.int64)
     perm[order] = np.arange(n, dtype=np.int64)
+    unvisited = int(np.count_nonzero(perm < 0))
+    if unvisited:
+        raise GraphFormatError(
+            f"visit order is not a permutation: {unvisited} node(s) "
+            "duplicated or missing"
+        )
     return perm
+
+
+def _degree_key(graph: Graph, by: str) -> np.ndarray:
+    """Degree array for ``by`` in ('in', 'out', 'total'), promoted to a
+    signed 64-bit key.
+
+    External CSRs can hand back unsigned or 32-bit degree counts;
+    negating those for a descending sort wraps around instead of
+    flipping sign, so the promotion must happen before negation.
+    """
+    if by == "in":
+        deg = graph.in_degrees()
+    elif by == "out":
+        deg = graph.out_degrees()
+    elif by == "total":
+        deg = np.asarray(graph.in_degrees()).astype(
+            np.int64, copy=False
+        ) + np.asarray(graph.out_degrees()).astype(np.int64, copy=False)
+    else:
+        raise GraphFormatError(
+            f"unknown degree kind {by!r}; use 'in', 'out' or 'total'"
+        )
+    return np.asarray(deg).astype(np.int64, copy=False)
 
 
 def degree_sort(
     graph: Graph, *, by: str = "in", descending: bool = True
 ) -> np.ndarray:
     """Sort nodes by degree (stable; ties keep original order)."""
-    if by == "in":
-        deg = graph.in_degrees()
-    elif by == "out":
-        deg = graph.out_degrees()
-    elif by == "total":
-        deg = graph.in_degrees() + graph.out_degrees()
-    else:
-        raise GraphFormatError(
-            f"unknown degree kind {by!r}; use 'in', 'out' or 'total'"
-        )
+    deg = _degree_key(graph, by)
     key = -deg if descending else deg
     order = np.argsort(key, kind="stable")
     return _order_to_perm(order, graph.num_nodes)
@@ -63,6 +113,8 @@ def bfs_order(graph: Graph, *, source: int | None = None) -> np.ndarray:
     """BFS visit order from ``source`` (default: max-out-degree node).
 
     Unreached nodes keep their relative order after the reached ones.
+    The frontier expansion gathers all neighbor slices in one vectorized
+    indptr-sliced pass — no per-node Python loop.
     """
     n = graph.num_nodes
     if n == 0:
@@ -71,22 +123,22 @@ def bfs_order(graph: Graph, *, source: int | None = None) -> np.ndarray:
         source = int(np.argmax(graph.out_degrees()))
     if not 0 <= source < n:
         raise GraphFormatError(f"BFS source {source} outside [0, {n})")
-    csr = graph.csr
+    indptr = np.asarray(graph.csr.indptr, dtype=np.int64)
+    indices = np.asarray(graph.csr.indices, dtype=np.int64)
     visited = np.zeros(n, dtype=bool)
-    order: list[int] = []
-    frontier = np.array([source], dtype=np.int64)
+    levels: list[np.ndarray] = [np.array([source], dtype=np.int64)]
+    frontier = levels[0]
     visited[source] = True
-    order.append(source)
     while frontier.size:
-        neighbors = np.unique(
-            np.concatenate([csr.row(int(u)) for u in frontier])
-        ) if frontier.size else np.empty(0, np.int64)
+        starts = indptr[frontier]
+        lengths = indptr[frontier + 1] - starts
+        neighbors = np.unique(indices[_slices_to_indices(starts, lengths)])
         fresh = neighbors[~visited[neighbors]]
         visited[fresh] = True
-        order.extend(fresh.tolist())
+        levels.append(fresh)
         frontier = fresh
     rest = np.flatnonzero(~visited)
-    full = np.concatenate([np.array(order, dtype=np.int64), rest])
+    full = np.concatenate([*levels, rest])
     return _order_to_perm(full, n)
 
 
@@ -99,10 +151,63 @@ def hub_cluster_order(graph: Graph) -> np.ndarray:
     return _order_to_perm(order, graph.num_nodes)
 
 
-#: name -> strategy registry for the benchmarks.
+def dbg_order(graph: Graph, *, by: str = "in") -> np.ndarray:
+    """Degree-Based Grouping (Closer Look, IISWC'18).
+
+    Nodes fall into coarse frequency bins with power-of-two degree
+    boundaries (bin ``k`` holds degrees in ``[2**(k-1), 2**k)``); bins
+    are laid out hottest-first and nodes keep their original order
+    within a bin — the cheap middle ground between a full degree sort
+    and the hot/cold split.
+    """
+    deg = _degree_key(graph, by)
+    bins = np.zeros(graph.num_nodes, dtype=np.int64)
+    hot = deg > 0
+    bins[hot] = np.floor(np.log2(deg[hot])).astype(np.int64) + 1
+    order = np.argsort(-bins, kind="stable")
+    return _order_to_perm(order, graph.num_nodes)
+
+
+def hub_sort_order(graph: Graph, *, by: str = "in") -> np.ndarray:
+    """HubSort (Closer Look, IISWC'18): hot nodes (degree above the
+    average) sorted by descending degree at the front, cold nodes after
+    in their original order."""
+    n = graph.num_nodes
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    deg = _degree_key(graph, by)
+    hot = deg > deg.mean()
+    hot_ids = np.flatnonzero(hot)
+    hot_sorted = hot_ids[np.argsort(-deg[hot_ids], kind="stable")]
+    order = np.concatenate([hot_sorted, np.flatnonzero(~hot)])
+    return _order_to_perm(order, n)
+
+
+def hub_cluster_total_order(graph: Graph) -> np.ndarray:
+    """HubCluster (Closer Look, IISWC'18): hot/cold split on the
+    *total*-degree average, both halves in original order.
+
+    Differs from :func:`hub_cluster_order` (Mixen's step 2) only in the
+    hub criterion: total degree above the average total degree, rather
+    than in-degree above ``m/n``.
+    """
+    n = graph.num_nodes
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    deg = _degree_key(graph, "total")
+    key = np.where(deg > deg.mean(), 0, 1)
+    order = np.argsort(key, kind="stable")
+    return _order_to_perm(order, n)
+
+
+#: name -> strategy registry for the benchmarks, the CLI ``--reorder``
+#: flag and the auto-tuner; pinned by ``check_reorder_registry``.
 REORDERINGS = {
     "degree": degree_sort,
     "random": random_order,
     "bfs": bfs_order,
     "hubs": hub_cluster_order,
+    "dbg": dbg_order,
+    "hubsort": hub_sort_order,
+    "hubcluster": hub_cluster_total_order,
 }

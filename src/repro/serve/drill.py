@@ -161,6 +161,7 @@ def verify_offline(
     damping: float,
     store: LayoutStore | None = None,
     block_nodes: int = 512,
+    tuned=None,
 ) -> tuple[int, list[str]]:
     """Check each served response bitwise against a fault-free offline
     rank-1 run on its reference kernel.
@@ -186,6 +187,7 @@ def verify_offline(
                         store,
                         kernel=reference_kernel,
                         block_nodes=block_nodes,
+                        tuned=tuned,
                     )
                 else:
                     engine = MixenEngine(
@@ -226,6 +228,7 @@ def run_drill(
     fault_spec: str | None = None,
     verify: bool = True,
     expect_warm: bool = False,
+    tuned=None,
 ) -> DrillReport:
     """Run one deterministic chaos drill and return its report.
 
@@ -244,6 +247,7 @@ def run_drill(
             kernel=kernel,
             max_workers=max_workers,
             block_nodes=block_nodes,
+            tuned=tuned,
         )
         if expect_warm:
             ensure_warm(engine, boot)
@@ -273,6 +277,7 @@ def run_drill(
             damping=server.config.damping,
             store=store,
             block_nodes=block_nodes,
+            tuned=tuned,
         )
     report = DrillReport(
         boot=boot,
@@ -438,6 +443,7 @@ def run_update_drill(
     config: ServeConfig | None = None,
     fault_spec: str | None = None,
     verify: bool = True,
+    tuned=None,
 ) -> UpdateDrillReport:
     """Serve a query workload while streaming edge updates, then check
     every completed response bitwise against a **fresh from-scratch
@@ -470,6 +476,7 @@ def run_update_drill(
             kernel=kernel,
             max_workers=max_workers,
             block_nodes=block_nodes,
+            tuned=tuned,
         )
         server = MixenServer(
             engine, config=config, boot=boot, store=store

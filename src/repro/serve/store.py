@@ -603,6 +603,7 @@ def boot_engine(
     cache_step: bool = True,
     edge_values=None,
     epoch: int = 0,
+    tuned=None,
 ):
     """Boot a :class:`MixenEngine` through ``store``: warm when the
     fingerprinted layout is committed and verifies, cold (build then
@@ -614,6 +615,12 @@ def boot_engine(
     the requested one is *stale* — it is dropped and rebuilt even if
     its adjacency fingerprint matches, so an update stream can never
     resurrect a pre-update layout.
+
+    ``tuned`` (a :class:`~repro.tuning.TunedConfig` or ``None``)
+    records the tuned-config blob the boot was configured from in the
+    manifest; a committed layout whose recorded blob id differs from
+    the offered one is refused and rebuilt exactly like a stale epoch,
+    so retuning can never warm-boot into a pre-retune layout.
 
     Returns ``(engine, BootReport)``.
     """
@@ -648,14 +655,25 @@ def boot_engine(
     except InjectedFault as exc:
         loaded = None
         miss_reason = f"store read failed: {exc}"
+    tuned_id = "" if tuned is None else str(tuned.blob_id)
     if loaded is not None:
         arrays, meta = loaded
         saved_epoch = int(meta.get("epoch", 0))
+        saved_tuned = str(meta.get("tuned_id", ""))
         if saved_epoch != int(epoch):
             # stale-epoch artifact: same adjacency fingerprint but a
             # different edge-set version — reject and rebuild
             miss_reason = (
                 f"stale epoch {saved_epoch} != {int(epoch)}"
+            )
+            store.drop(fingerprint)
+            loaded = None
+        elif saved_tuned != tuned_id:
+            # stale tuned config: the layout was committed under a
+            # different (or no) tuning blob — reject and rebuild
+            miss_reason = (
+                f"stale tuned config {saved_tuned[:12] or '<none>'} != "
+                f"{tuned_id[:12] or '<none>'}"
             )
             store.drop(fingerprint)
             loaded = None
@@ -675,6 +693,7 @@ def boot_engine(
     _stamp_epoch(engine, epoch)
     arrays, meta = pack_engine(engine)
     meta["epoch"] = int(epoch)
+    meta["tuned_id"] = tuned_id
     store.put(fingerprint, arrays, meta)
     seconds = time.perf_counter() - t0
     return engine, BootReport(

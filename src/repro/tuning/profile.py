@@ -1,0 +1,80 @@
+"""Structural profiles for the auto-tuner.
+
+Section 5 of the paper models Mixen's per-iteration cost as a function
+of the structural profile — ``alpha`` (regular-node ratio), ``beta``
+(regular-subgraph edge ratio) and the block capacity ``c``.  The tuner
+therefore records the full profile next to every tuned choice: the
+profile is the *explanation* of the choice, and two graphs with the
+same profile should tune to the same configuration.
+
+:func:`graph_fingerprint` identifies the exact adjacency a blob was
+computed for (sha256 over the CSR arrays, via the same
+:func:`~repro.resilience.checkpoint.state_fingerprint` helper the
+checkpoint and layout-store systems use), so a blob can never be
+applied to a different graph — the staleness model of DESIGN 4i,
+extended to tuning artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from ..graphs.graph import Graph
+from ..graphs.stats import compute_stats
+from ..resilience.checkpoint import state_fingerprint
+
+
+def graph_fingerprint(graph: Graph) -> str:
+    """Content fingerprint of one graph's adjacency structure."""
+    return state_fingerprint(
+        "tuning-graph",
+        graph.num_nodes,
+        graph.csr.indptr,
+        graph.csr.indices,
+    )
+
+
+@dataclass(frozen=True)
+class StructuralProfile:
+    """The profile features the tuner conditions on (Tables 1–2)."""
+
+    num_nodes: int
+    num_edges: int
+    alpha: float  #: regular nodes / all nodes (Section 5)
+    beta: float  #: regular-subgraph edges / all edges (Section 5)
+    v_hub: float  #: hub share of nodes
+    e_hub: float  #: hub share of edges
+    class_fractions: tuple[float, float, float, float]  #: reg/seed/sink/iso
+    gini: float  #: in-degree Gini coefficient (skew diagnostic)
+    max_in_degree: int
+    skewed: bool
+
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "StructuralProfile":
+        """Compute the profile via :func:`repro.graphs.stats.compute_stats`."""
+        stats = compute_stats(graph)
+        return cls(
+            num_nodes=stats.num_nodes,
+            num_edges=stats.num_edges,
+            alpha=stats.alpha,
+            beta=stats.beta,
+            v_hub=stats.v_hub,
+            e_hub=stats.e_hub,
+            class_fractions=tuple(stats.class_fractions),
+            gini=stats.gini,
+            max_in_degree=stats.max_in_degree,
+            skewed=stats.skewed,
+        )
+
+    def to_json(self) -> dict:
+        """JSON-safe dict (tuples become lists on the way out)."""
+        payload = asdict(self)
+        payload["class_fractions"] = list(self.class_fractions)
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "StructuralProfile":
+        """Inverse of :meth:`to_json`."""
+        data = dict(payload)
+        data["class_fractions"] = tuple(data["class_fractions"])
+        return cls(**data)

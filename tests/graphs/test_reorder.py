@@ -3,17 +3,22 @@
 import numpy as np
 import pytest
 
+from repro.analysis.contracts import check_permutation
 from repro.core.permutation import is_permutation
 from repro.errors import GraphFormatError
 from repro.graphs import (
     Graph,
     REORDERINGS,
     bfs_order,
+    dbg_order,
     degree_sort,
     hub_cluster_order,
+    hub_cluster_total_order,
+    hub_sort_order,
     load_dataset,
     random_order,
 )
+from repro.graphs.reorder import _order_to_perm
 
 
 @pytest.fixture(scope="module")
@@ -25,6 +30,9 @@ def wiki():
 def test_all_strategies_produce_permutations(name, wiki):
     perm = REORDERINGS[name](wiki)
     assert is_permutation(perm)
+    # every registry output must also satisfy the layout contract
+    verdict = check_permutation(perm, name=name)
+    assert verdict.passed, verdict.detail
 
 
 @pytest.mark.parametrize("name", sorted(REORDERINGS))
@@ -43,6 +51,52 @@ def test_relabeling_preserves_spmv(name, wiki):
         relabeled.propagate(permute_values(x, perm)), perm
     )
     assert np.allclose(got, expect, atol=1e-9)
+
+
+class TestOrderToPerm:
+    """The visit-order converter must reject non-permutations instead
+    of leaving garbage slots (the old ``np.empty`` fill did exactly
+    that)."""
+
+    def test_valid_roundtrip(self):
+        order = np.array([2, 0, 1])
+        assert _order_to_perm(order, 3).tolist() == [1, 2, 0]
+
+    def test_duplicate_ids_raise(self):
+        with pytest.raises(GraphFormatError, match="not a permutation"):
+            _order_to_perm(np.array([0, 1, 1]), 3)
+
+    def test_missing_ids_raise(self):
+        # right length, but node 2 never visited and 0 visited twice
+        with pytest.raises(GraphFormatError, match="not a permutation"):
+            _order_to_perm(np.array([0, 0, 1]), 3)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(GraphFormatError, match="outside"):
+            _order_to_perm(np.array([0, 1, 3]), 3)
+
+    def test_wrong_length_raises(self):
+        with pytest.raises(GraphFormatError, match="entries"):
+            _order_to_perm(np.array([0, 1]), 3)
+
+    def test_empty(self):
+        assert _order_to_perm(np.array([], dtype=np.int64), 0).size == 0
+
+
+class _DegreeStub:
+    """A CSR-less stand-in whose degree arrays mimic an external CSR
+    handing back narrow/unsigned counts."""
+
+    def __init__(self, in_deg, out_deg=None):
+        self._in = np.asarray(in_deg)
+        self._out = self._in if out_deg is None else np.asarray(out_deg)
+        self.num_nodes = self._in.size
+
+    def in_degrees(self):
+        return self._in
+
+    def out_degrees(self):
+        return self._out
 
 
 class TestDegreeSort:
@@ -70,6 +124,29 @@ class TestDegreeSort:
         g = Graph.from_edges(4, [0, 1, 2, 3], [1, 0, 3, 2])
         perm = degree_sort(g)  # all degrees equal -> identity
         assert perm.tolist() == [0, 1, 2, 3]
+
+    @pytest.mark.parametrize(
+        "dtype", [np.uint32, np.uint64, np.int32]
+    )
+    def test_narrow_and_unsigned_degree_dtypes(self, dtype):
+        """``-deg`` on an unsigned array wraps around instead of
+        negating — the key must be promoted to int64 first.  On the
+        pre-fix tree the uint cases sort ascending."""
+        stub = _DegreeStub(np.array([0, 3, 1, 3], dtype=dtype))
+        perm = degree_sort(stub, by="in")
+        # descending by degree, original order on the tie: visit
+        # order 1, 3, 2, 0 -> new ids
+        assert perm.tolist() == [3, 0, 2, 1]
+        ascending = degree_sort(stub, by="in", descending=False)
+        assert ascending.tolist() == [0, 2, 1, 3]
+
+    def test_stub_total_mixed_dtypes(self):
+        stub = _DegreeStub(
+            np.array([1, 2, 3], dtype=np.uint32),
+            np.array([3, 2, 1], dtype=np.int32),
+        )
+        # total degree ties everywhere -> stable identity
+        assert degree_sort(stub, by="total").tolist() == [0, 1, 2]
 
 
 class TestRandomOrder:
@@ -112,3 +189,214 @@ class TestHubClusterOrder:
         # Every hub receives a new id below num_hubs.
         assert np.all(perm[hub_mask] < num_hubs)
         assert np.all(perm[~hub_mask] >= num_hubs)
+
+
+def _bfs_order_reference(graph, source):
+    """The pre-vectorization frontier expansion (per-node Python
+    comprehension), kept as the bit-identity oracle."""
+    csr = graph.csr
+    n = graph.num_nodes
+    visited = np.zeros(n, dtype=bool)
+    visited[source] = True
+    levels = [np.array([source], dtype=np.int64)]
+    frontier = levels[0]
+    while frontier.size:
+        neighbors = np.unique(
+            np.concatenate([csr.row(int(u)) for u in frontier])
+        ).astype(np.int64)
+        fresh = neighbors[~visited[neighbors]]
+        visited[fresh] = True
+        levels.append(fresh)
+        frontier = fresh
+    rest = np.flatnonzero(~visited)
+    return np.concatenate([*levels, rest])
+
+
+class TestBfsBitIdentity:
+    """The vectorized indptr-slice gather must visit nodes in exactly
+    the order the old per-node comprehension did."""
+
+    def test_wiki_default_source(self, wiki):
+        expect = _order_to_perm(
+            _bfs_order_reference(
+                wiki, int(np.argmax(wiki.out_degrees()))
+            ),
+            wiki.num_nodes,
+        )
+        assert np.array_equal(bfs_order(wiki), expect)
+
+    @pytest.mark.parametrize("source", [0, 7, 41])
+    def test_wiki_explicit_sources(self, wiki, source):
+        expect = _order_to_perm(
+            _bfs_order_reference(wiki, source), wiki.num_nodes
+        )
+        assert np.array_equal(bfs_order(wiki, source=source), expect)
+
+    def test_multi_component(self):
+        g = Graph.from_edges(7, [0, 1, 4, 5], [1, 2, 5, 6])
+        expect = _order_to_perm(_bfs_order_reference(g, 0), 7)
+        assert np.array_equal(bfs_order(g, source=0), expect)
+
+
+class TestReorderStaysVectorized:
+    """REP001 guards the bugfixed file: no per-edge Python loops may
+    creep back into ``graphs/reorder.py``."""
+
+    def test_real_file_is_loop_free(self):
+        from pathlib import Path
+
+        from repro.analysis.lint import lint_file
+        from repro.graphs import reorder
+
+        violations = lint_file(Path(reorder.__file__))
+        assert [v.rule for v in violations] == []
+
+    def test_old_style_frontier_loop_is_flagged(self):
+        from repro.analysis.lint import lint_source
+
+        code = (
+            "import numpy as np\n"
+            "def expand(csr, frontier):\n"
+            "    return np.unique(\n"
+            "        np.concatenate([csr.row(int(u)) for u in frontier])\n"
+            "    )\n"
+        )
+        violations = lint_source(
+            code,
+            "graphs/reorder.py",
+            scope=("graphs", "reorder.py"),
+        )
+        assert "REP001" in [v.rule for v in violations]
+
+    def test_scope_is_limited_to_reorder(self):
+        from repro.analysis.lint import lint_source
+
+        code = "vals = [v for v in frontier]\n"
+        violations = lint_source(
+            code, "graphs/stats.py", scope=("graphs", "stats.py")
+        )
+        assert "REP001" not in [v.rule for v in violations]
+
+
+class TestDbgOrder:
+    def test_power_of_two_bins(self):
+        stub = _DegreeStub(np.array([0, 1, 2, 3, 4, 8]))
+        perm = dbg_order(stub, by="in")
+        # bins: deg 8 -> 4, deg 4 -> 3, deg 2/3 -> 2, deg 1 -> 1,
+        # deg 0 -> 0; hottest first, stable inside a bin
+        visit = np.argsort(perm, kind="stable")
+        assert visit.tolist() == [5, 4, 2, 3, 1, 0]
+
+    def test_stable_within_bin(self):
+        stub = _DegreeStub(np.array([2, 3, 2, 3]))
+        # one shared bin -> identity
+        assert dbg_order(stub).tolist() == [0, 1, 2, 3]
+
+    def test_registry_key(self, wiki):
+        assert REORDERINGS["dbg"] is dbg_order
+
+
+class TestHubSortOrder:
+    def test_hot_sorted_cold_in_place(self):
+        stub = _DegreeStub(np.array([1, 5, 0, 9, 5]))
+        perm = hub_sort_order(stub, by="in")
+        # mean 4 -> hot {1, 3, 4}; hot sorted desc (9, 5, 5 stable),
+        # cold (0, 2) keep original order
+        visit = np.argsort(perm, kind="stable")
+        assert visit.tolist() == [3, 1, 4, 0, 2]
+
+    def test_no_hot_nodes_is_identity(self):
+        stub = _DegreeStub(np.array([2, 2, 2]))
+        # deg > mean is empty on a flat profile
+        assert hub_sort_order(stub).tolist() == [0, 1, 2]
+
+
+class TestHubClusterTotalOrder:
+    def test_hot_cold_split_is_stable(self):
+        stub = _DegreeStub(
+            np.array([1, 5, 1, 5]), np.array([0, 0, 0, 0])
+        )
+        perm = hub_cluster_total_order(stub)
+        visit = np.argsort(perm, kind="stable")
+        assert visit.tolist() == [1, 3, 0, 2]
+
+    def test_differs_from_in_degree_hubs(self, wiki):
+        # the Closer Look variant thresholds on total degree, Mixen's
+        # step 2 on in-degree; both are valid permutations
+        assert is_permutation(hub_cluster_total_order(wiki))
+
+
+# --------------------------------------------------------------------- #
+# adversarial graphs: every registered strategy must return a valid
+# permutation on the degenerate shapes (satellite of ISSUE 10)
+# --------------------------------------------------------------------- #
+_ADVERSARIAL = [
+    ("empty", Graph.from_edges(0, [], [])),
+    ("all-isolated", Graph.from_edges(6, [], [])),
+    (
+        "multi-component",
+        Graph.from_edges(8, [0, 1, 3, 4, 6], [1, 2, 4, 5, 7]),
+    ),
+    (
+        "single-supernode",
+        Graph.from_edges(9, [0] * 8, list(range(1, 9))),
+    ),
+]
+
+
+@pytest.mark.parametrize("name", sorted(REORDERINGS))
+@pytest.mark.parametrize(
+    "label,graph", _ADVERSARIAL, ids=[lbl for lbl, _ in _ADVERSARIAL]
+)
+def test_strategies_survive_adversarial_graphs(name, label, graph):
+    perm = REORDERINGS[name](graph)
+    verdict = check_permutation(perm, name=f"{name} on {label}")
+    assert verdict.passed, verdict.detail
+    assert perm.size == graph.num_nodes
+
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+
+@st.composite
+def small_graphs(draw):
+    n = draw(st.integers(min_value=0, max_value=24))
+    if n == 0:
+        return Graph.from_edges(0, [], [])
+    m = draw(st.integers(min_value=0, max_value=60))
+    src = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1),
+            min_size=m, max_size=m,
+        )
+    )
+    dst = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1),
+            min_size=m, max_size=m,
+        )
+    )
+    return Graph.from_edges(n, src, dst)
+
+
+class TestReorderProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(graph=small_graphs())
+    def test_every_strategy_is_a_permutation(self, graph):
+        for name in sorted(REORDERINGS):
+            perm = REORDERINGS[name](graph)
+            verdict = check_permutation(perm, name=name)
+            assert verdict.passed, verdict.detail
+
+    @settings(max_examples=25, deadline=None)
+    @given(graph=small_graphs())
+    def test_bfs_matches_reference(self, graph):
+        if graph.num_nodes == 0:
+            assert bfs_order(graph).size == 0
+            return
+        source = int(np.argmax(graph.out_degrees()))
+        expect = _order_to_perm(
+            _bfs_order_reference(graph, source), graph.num_nodes
+        )
+        assert np.array_equal(bfs_order(graph), expect)

@@ -140,3 +140,99 @@ class TestValidationFlags:
             "--scale", "0.25", "--race-check",
         )
         assert code == 1
+
+
+class TestTuneCommand:
+    """End-to-end coverage for ``tune`` and the ``--tuned`` flag."""
+
+    @pytest.fixture(scope="class")
+    def blob(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("tuned") / "wiki.json"
+        code, text = run_cli(
+            "tune", "--graph", "wiki", "--scale", "0.25",
+            "--orderings", "none,degree,bfs",
+            "--block-sweep", "128,512",
+            "--out", str(path),
+        )
+        assert code == 0
+        assert "tuned wiki" in text
+        assert "[saved to" in text
+        return path
+
+    def test_blob_written(self, blob):
+        import json
+
+        payload = json.loads(blob.read_text())
+        assert payload["graph"]["name"] == "wiki"
+        assert payload["choice"]["reorder"] in ("none", "degree", "bfs")
+        assert payload["choice"]["block_nodes"] in (128, 512)
+
+    def test_reorder_flag_choices(self):
+        args = build_parser().parse_args(
+            ["run", "--graph", "wiki", "--reorder", "hubsort"]
+        )
+        assert args.reorder == "hubsort"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--graph", "wiki", "--reorder", "metis"]
+            )
+
+    def test_run_tuned_matches_explicit_flags(self, blob):
+        import json
+
+        choice = json.loads(blob.read_text())["choice"]
+        code, tuned_text = run_cli(
+            "run", "--graph", "wiki", "--scale", "0.25",
+            "--engine", "mixen", "--iterations", "5",
+            "--tuned", str(blob),
+        )
+        assert code == 0
+        explicit = [
+            "run", "--graph", "wiki", "--scale", "0.25",
+            "--engine", "mixen", "--iterations", "5",
+            "--block-nodes", str(choice["block_nodes"]),
+        ]
+        if choice["reorder"] != "none":
+            explicit += ["--reorder", choice["reorder"]]
+        code, explicit_text = run_cli(*explicit)
+        assert code == 0
+
+        def node_lines(text):
+            return [ln for ln in text.splitlines() if "node" in ln]
+
+        assert node_lines(tuned_text) == node_lines(explicit_text)
+
+    def test_bfs_tuned_matches_untuned(self, blob):
+        code, tuned_text = run_cli(
+            "bfs", "--graph", "wiki", "--scale", "0.25",
+            "--engine", "mixen", "--tuned", str(blob),
+        )
+        assert code == 0
+        code, plain_text = run_cli(
+            "bfs", "--graph", "wiki", "--scale", "0.25",
+            "--engine", "mixen",
+        )
+        assert code == 0
+        # reach/depth are label-invariant, so the report is identical
+        # once the wall-clock timing suffix is stripped
+        import re
+
+        strip = lambda text: re.sub(r"[\d.]+ ms", "<ms>", text)  # noqa: E731
+        assert strip(tuned_text) == strip(plain_text)
+
+    def test_mismatched_blob_refused(self, blob):
+        # the blob fingerprints wiki @0.25; any other graph must be
+        # refused with the tuning exit code
+        code, _ = run_cli(
+            "run", "--graph", "road", "--scale", "0.25",
+            "--engine", "mixen", "--iterations", "2",
+            "--tuned", str(blob),
+        )
+        assert code == 13
+
+    def test_missing_blob_refused(self, tmp_path):
+        code, _ = run_cli(
+            "run", "--graph", "wiki", "--scale", "0.25",
+            "--tuned", str(tmp_path / "nope.json"),
+        )
+        assert code == 13
